@@ -1,0 +1,50 @@
+"""Example 5 (Section 7) — why condition (2) alone deadlocks.
+
+The paper derives LC3/LC4 by exhibiting a deadlock under the naive
+conditions (1) ``P_i > Sysceil`` / (2) ``P_i >= HPW(x)``: T_L read-locks x,
+T_H preempts and read-locks y via (2), then each blocks on the other's
+read lock.  This benchmark runs the weakened protocol (deadlock, detected
+as a wait-for cycle at t=3) and real PCP-DA (T_H is ceiling-blocked at t=1
+instead; everything commits).
+"""
+
+from benchmarks.conftest import banner, simulate
+from repro.engine.simulator import SimConfig
+from repro.trace.gantt import render_gantt
+from repro.verify import verify_pcp_da_run
+from repro.workloads.examples import example5_taskset
+
+
+def _run_both():
+    weak = simulate(
+        example5_taskset(), "weak-pcp-da", SimConfig(deadlock_action="halt")
+    )
+    real = simulate(example5_taskset(), "pcp-da")
+    return weak, real
+
+
+def test_example5_deadlock_demonstration(benchmark):
+    weak, real = benchmark(_run_both)
+
+    print(banner("Example 5 under weak-pcp-da (conditions (1)/(2) only)"))
+    assert weak.deadlock is not None
+    print(
+        f"deadlock detected at t={weak.deadlock.time:g}: "
+        f"{' -> '.join(weak.deadlock.cycle)}"
+    )
+    print(banner("Example 5 under pcp-da (LC3/LC4 prevent the cycle)"))
+    print(render_gantt(real))
+
+    # The weakened protocol deadlocks exactly as narrated.
+    assert weak.deadlock.time == 3.0
+    assert set(weak.deadlock.cycle) == {"TH#0", "TL#0"}
+    th_grant = weak.trace.grants_for("TH#0")[0]
+    assert th_grant.item == "y" and "cond(2)" in th_grant.rule
+
+    # Real PCP-DA: no deadlock; T_H is blocked once, then both commit.
+    assert real.deadlock is None
+    assert real.job("TL#0").finish_time == 3.0
+    assert real.job("TH#0").finish_time == 5.0
+    denial = real.trace.denials_for("TH#0")[0]
+    assert denial.item == "y" and "ceiling" in denial.rule
+    verify_pcp_da_run(real)

@@ -1,0 +1,59 @@
+"""Figure 4 — Example 4 under PCP-DA, including the ``Max_Sysceil`` trace.
+
+The paper's narration: T4 read-locks y at 0; T3 preempts at 1 and
+read-locks z through **LC4** (T* = T4, z ∉ WriteSet(T4)), write-locks z at
+2 (LC1), completes at 3; T4 resumes and write-locks x at 3 (LC1); T1
+preempts at 4 and read-locks the write-locked x through **LC2**,
+completing at 6; T4 completes at 9; T2 write-locks y at 9 and completes at
+11.  The dotted ``Max_Sysceil`` line never exceeds P2 and drops to the
+dummy level at t=9.
+"""
+
+from benchmarks.conftest import banner, simulate
+from repro.model.spec import DUMMY_PRIORITY
+from repro.trace.gantt import render_gantt
+from repro.trace.sysceil import SysceilTrace
+from repro.verify import verify_pcp_da_run
+from repro.workloads.examples import example4_taskset
+
+
+def _run():
+    return simulate(example4_taskset(), "pcp-da")
+
+
+def test_figure4_example4_pcp_da(benchmark):
+    result = benchmark(_run)
+
+    print(banner("Figure 4: Example 4 under PCP-DA"))
+    print(render_gantt(result))
+    trace = SysceilTrace.from_result(result)
+    print(trace.render(label="Max_Sysceil"))
+
+    # Grant instants and the conditions that fired.
+    assert (
+        [(g.time, g.item, g.rule) for g in result.trace.grants_for("T4#0")]
+        == [(0.0, "y", "LC2"), (3.0, "x", "LC1")]
+    )
+    assert (
+        [(g.time, g.item, g.rule) for g in result.trace.grants_for("T3#0")]
+        == [(1.0, "z", "LC4"), (2.0, "z", "LC1")]
+    )
+    assert (
+        [(g.time, g.item, g.rule) for g in result.trace.grants_for("T1#0")]
+        == [(4.0, "x", "LC2")]
+    )
+
+    # Completion times.
+    assert result.job("T3#0").finish_time == 3.0
+    assert result.job("T1#0").finish_time == 6.0
+    assert result.job("T4#0").finish_time == 9.0
+    assert result.job("T2#0").finish_time == 11.0
+
+    # Nobody blocks; Max_Sysceil stays at P2 and drops to dummy at 9.
+    assert all(j.total_blocking_time() == 0.0 for j in result.jobs)
+    p2 = 3
+    assert trace.max_level == p2
+    assert trace.level_at(8.9) == p2
+    assert trace.level_at(9.5) == DUMMY_PRIORITY
+
+    verify_pcp_da_run(result)

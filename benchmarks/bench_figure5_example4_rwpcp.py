@@ -1,0 +1,55 @@
+"""Figure 5 — Example 4 under RW-PCP, including the ``Max_Sysceil`` trace.
+
+The paper: "T3 encounters ceiling blocking since its priority is not
+higher than Sysceil ... T1 experiences conflict blocking since x has
+already been write-locked by T4.  The effective blocking times of T1 and
+T3 blocked by T4 are 1 and 4 time units respectively."  ``Max_Sysceil``
+reaches P1 — strictly above PCP-DA's P2, the "push-down" the paper calls a
+main advantage.
+"""
+
+from benchmarks.conftest import banner, simulate
+from repro.trace.gantt import render_gantt
+from repro.trace.metrics import compute_metrics
+from repro.trace.sysceil import SysceilTrace
+from repro.workloads.examples import example4_taskset
+
+
+def _run():
+    return simulate(example4_taskset(), "rw-pcp")
+
+
+def test_figure5_example4_rw_pcp(benchmark):
+    result = benchmark(_run)
+
+    print(banner("Figure 5: Example 4 under RW-PCP"))
+    print(render_gantt(result))
+    trace = SysceilTrace.from_result(result)
+    print(trace.render(label="Max_Sysceil"))
+
+    # The two blockings, attributed to T4.
+    t3 = result.job("T3#0")
+    assert t3.total_blocking_time() == 4.0
+    assert t3.block_intervals[0].blockers == ("T4#0",)
+    assert "ceiling" in result.trace.denials_for("T3#0")[0].rule
+
+    t1 = result.job("T1#0")
+    assert t1.total_blocking_time() == 1.0
+    assert t1.block_intervals[0].blockers == ("T4#0",)
+    assert "conflict" in result.trace.denials_for("T1#0")[0].rule
+
+    # Completion times.
+    assert result.job("T4#0").finish_time == 5.0
+    assert result.job("T1#0").finish_time == 7.0
+    assert result.job("T3#0").finish_time == 9.0
+    assert result.job("T2#0").finish_time == 11.0
+
+    # Max_Sysceil reaches P1; PCP-DA's stays at P2 (the push-down claim).
+    p1, p2 = 4, 3
+    assert trace.max_level == p1
+    da_trace = SysceilTrace.from_result(simulate(example4_taskset(), "pcp-da"))
+    assert da_trace.max_level == p2 < trace.max_level
+
+    # And the blockings simply do not exist under PCP-DA.
+    da_metrics = compute_metrics(simulate(example4_taskset(), "pcp-da"))
+    assert da_metrics.total_blocking_time == 0.0

@@ -1,0 +1,101 @@
+"""Deadline-miss ratio under overload (extension).
+
+The classic RTDBS evaluation figure the paper's Section 1 motivates:
+sweep the offered load past the schedulable region and measure the
+fraction of transaction instances that miss (firm deadlines: a late job is
+dropped at its deadline, as a hard/firm RTDBS would).
+
+Expected shapes:
+
+* every protocol is clean in the underloaded region and degrades as load
+  grows;
+* PCP-DA's curve sits at or below RW-PCP's (fewer unnecessary blockings
+  translate into fewer misses);
+* the abort-based protocols (2PL-HP, OCC-BC, RW-PCP-A) protect
+  high-priority transactions but burn capacity on re-execution, which
+  shows up as restarts and, under heavy load, as misses of their own.
+
+Only deferred-update protocols can run with firm deadlines (dropping a
+transaction whose writes were installed in place would need undo), so the
+update-in-place baselines (rw-pcp, ccp, pcp) run with the soft "record"
+policy here; their miss ratios count late completions instead of drops,
+which is the same quantity for the shapes asserted.
+"""
+
+import statistics
+
+from benchmarks.conftest import banner
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+from repro.trace.metrics import compute_metrics
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+FIRM = ("pcp-da", "2pl-hp", "occ-bc", "rw-pcp-abort")
+SOFT = ("rw-pcp", "ccp", "pcp")
+LOADS = (0.6, 0.8, 0.95, 1.1)
+SEEDS = range(15)
+
+
+def _miss_sweep():
+    table = {}
+    for load in LOADS:
+        per_protocol = {}
+        for protocol in FIRM + SOFT:
+            misses, restarts = [], 0
+            for seed in SEEDS:
+                taskset = generate_taskset(
+                    WorkloadConfig(
+                        n_transactions=6, n_items=8,
+                        write_probability=0.4,
+                        hot_access_probability=0.8,
+                        target_utilization=load, seed=seed,
+                    )
+                )
+                config = SimConfig(
+                    on_miss="abort" if protocol in FIRM else "record",
+                    deadlock_action="abort_lowest",
+                )
+                result = Simulator(
+                    taskset, make_protocol(protocol), config
+                ).run()
+                metrics = compute_metrics(result)
+                misses.append(metrics.miss_ratio)
+                restarts += metrics.total_restarts
+            per_protocol[protocol] = (statistics.mean(misses), restarts)
+        table[load] = per_protocol
+    return table
+
+
+def test_miss_ratio_under_overload(benchmark):
+    table = benchmark.pedantic(_miss_sweep, rounds=1, iterations=1)
+
+    print(banner("Deadline-miss ratio vs offered load (15 workloads/point)"))
+    header = f"{'load':<6}" + "".join(f"{p:>14}" for p in FIRM + SOFT)
+    print(header)
+    for load, per_protocol in table.items():
+        row = f"{load:<6}"
+        for protocol in FIRM + SOFT:
+            miss, restarts = per_protocol[protocol]
+            row += f"{100 * miss:>9.1f}%/{restarts:<4}"
+        print(row)
+    print("(cells are miss% / total restarts)")
+
+    # Underloaded region: everyone is clean (or nearly).
+    for protocol in FIRM + SOFT:
+        assert table[0.6][protocol][0] <= 0.02
+
+    # Misses grow with load for every protocol.
+    for protocol in FIRM + SOFT:
+        assert table[1.1][protocol][0] >= table[0.6][protocol][0]
+    # Overload produces real misses somewhere.
+    assert max(table[1.1][p][0] for p in FIRM + SOFT) > 0.05
+
+    # PCP-DA never does worse than RW-PCP on average at any load point.
+    for load in LOADS:
+        assert table[load]["pcp-da"][0] <= table[load]["rw-pcp"][0] + 0.02
+
+    # The ceiling family never restarts; abort-based protocols do (at
+    # contention-heavy loads).
+    assert table[1.1]["pcp-da"][1] == 0
+    assert table[1.1]["rw-pcp"][1] == 0
+    assert table[1.1]["2pl-hp"][1] + table[1.1]["occ-bc"][1] > 0

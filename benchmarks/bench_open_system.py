@@ -1,0 +1,86 @@
+"""Open-system study: miss ratio vs arrival rate (extension).
+
+The classic RTDBS evaluation the paper's motivation implies: Poisson
+transaction arrivals, firm slack-based deadlines, miss ratio measured as
+the arrival rate sweeps the system from light load to saturation.
+Protocols that waste capacity (plain 2PL's inversions, the abort-based
+protocols' re-execution) saturate earlier.
+"""
+
+import statistics
+
+from benchmarks.conftest import banner
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+from repro.trace.metrics import compute_metrics
+from repro.workloads.open_system import (
+    OpenSystemConfig,
+    generate_open_system,
+    offered_load,
+)
+
+PROTOCOLS = ("pcp-da", "2pl-hp", "occ-bc", "rw-pcp-abort", "pip-2pl")
+RATES = (0.1, 0.3, 0.5, 0.7)
+SEEDS = range(8)
+
+
+def _sweep():
+    rows = []
+    for rate in RATES:
+        per_protocol = {}
+        loads = []
+        for protocol in PROTOCOLS:
+            misses, restarts = [], 0
+            for seed in SEEDS:
+                config = OpenSystemConfig(
+                    arrival_rate=rate, duration=200.0, seed=seed,
+                    hot_access_probability=0.6,
+                )
+                taskset = generate_open_system(config)
+                loads.append(offered_load(taskset, config.duration))
+                result = Simulator(
+                    taskset, make_protocol(protocol),
+                    SimConfig(
+                        horizon=500.0, on_miss="abort",
+                        deadlock_action="abort_lowest",
+                    ),
+                ).run()
+                metrics = compute_metrics(result)
+                misses.append(metrics.miss_ratio)
+                restarts += metrics.total_restarts
+            per_protocol[protocol] = (statistics.mean(misses), restarts)
+        rows.append((rate, statistics.mean(loads), per_protocol))
+    return rows
+
+
+def test_open_system_miss_ratio(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    print(banner("Open system: miss ratio vs Poisson arrival rate"))
+    print(
+        f"{'rate':<6}{'load':>6}"
+        + "".join(f"{p:>15}" for p in PROTOCOLS)
+    )
+    for rate, load, per_protocol in rows:
+        row = f"{rate:<6}{load:>6.2f}"
+        for protocol in PROTOCOLS:
+            miss, restarts = per_protocol[protocol]
+            row += f"{100 * miss:>10.1f}%/{restarts:<4}"
+        print(row)
+    print("(cells are miss% / total restarts)")
+
+    # Light load: everyone is nearly clean.
+    light = rows[0][2]
+    for protocol in PROTOCOLS:
+        assert light[protocol][0] <= 0.1
+
+    # Misses never decrease from the lightest to the heaviest load.
+    heavy = rows[-1][2]
+    for protocol in PROTOCOLS:
+        assert heavy[protocol][0] >= light[protocol][0] - 1e-9
+    assert max(heavy[p][0] for p in PROTOCOLS) > 0.1  # saturation reached
+
+    # Restart-based protocols burn re-executions as load grows.
+    assert heavy["2pl-hp"][1] + heavy["occ-bc"][1] > 0
+    # PCP-DA never restarts anything.
+    assert all(row[2]["pcp-da"][1] == 0 for row in rows)

@@ -1,0 +1,62 @@
+"""Paired statistical comparison: is PCP-DA's advantage significant?
+
+Runs the same seeded workloads under PCP-DA and its comparators and
+computes paired per-seed differences with 95% confidence intervals
+(`repro.stats`).  Pairing removes across-workload variance, so the
+intervals are tight enough to state the paper's comparative claims as
+statistics rather than anecdotes:
+
+* total blocking: RW-PCP minus PCP-DA is positive with a CI excluding 0;
+* the same against the original PCP, with a larger margin.
+"""
+
+from benchmarks.conftest import banner
+from repro.stats import paired_difference, run_batch, summarize
+from repro.workloads.generator import WorkloadConfig
+
+PROTOCOLS = ("pcp-da", "rw-pcp", "pcp", "ccp")
+N_WORKLOADS = 30
+
+
+def _collect():
+    workloads = [
+        WorkloadConfig(
+            n_transactions=6, n_items=6, write_probability=0.5,
+            hot_access_probability=0.9, target_utilization=0.7, seed=seed,
+        )
+        for seed in range(N_WORKLOADS)
+    ]
+    return run_batch(PROTOCOLS, workloads)
+
+
+def test_paired_blocking_comparison(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    print(banner("Paired comparison: total blocking time (95% CI)"))
+    means = summarize(rows, metric="total_blocking_time")
+    for protocol in PROTOCOLS:
+        print(f"{protocol:<8} {means[(protocol,)].render()}")
+
+    print("\npaired differences (baseline - pcp-da):")
+    for baseline in ("rw-pcp", "pcp"):
+        diff = paired_difference(
+            rows, metric="total_blocking_time",
+            baseline=baseline, contender="pcp-da",
+        )
+        lo, hi = diff.ci95
+        print(f"  {baseline:<8} {diff.render()}  CI=({lo:.3f}, {hi:.3f})")
+
+    # The paper's claim as statistics: PCP-DA blocks less than RW-PCP and
+    # PCP, with the paired 95% CI excluding zero.
+    for baseline in ("rw-pcp", "pcp"):
+        diff = paired_difference(
+            rows, metric="total_blocking_time",
+            baseline=baseline, contender="pcp-da",
+        )
+        assert diff.mean > 0
+        assert diff.ci95[0] > 0, (
+            f"{baseline}: CI {diff.ci95} does not exclude zero"
+        )
+
+    # Nobody in the ceiling family restarts anything.
+    assert all(row.restarts == 0 for row in rows)

@@ -1,0 +1,69 @@
+"""Priority inversion vs interposing transactions — the Section 1 figure.
+
+"The blocking delay due to priority inversion can be unbounded, which is
+unacceptable in mission-critical real-time applications."  This benchmark
+makes the sentence quantitative: a high-priority reader blocks on a
+low-priority writer while N middle-priority compute transactions arrive.
+Under plain 2PL the inversion grows linearly with N; priority inheritance
+(PIP-2PL, RW-PCP) pins it to the blocker's remaining critical section; and
+PCP-DA eliminates this particular inversion altogether (the reader
+preempts through Case 1).
+"""
+
+from benchmarks.conftest import banner
+from repro.engine.simulator import SimConfig, Simulator
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.protocols import make_protocol
+from repro.trace.metrics import priority_inversion_time
+
+PROTOCOLS = ("2pl", "pip-2pl", "rw-pcp", "pcp-da")
+MIDDLEMEN = (0, 1, 2, 4)
+
+
+def _scenario(n_middlemen):
+    specs = [TransactionSpec("H", (read("x", 1.0),), offset=1.0)]
+    for i in range(n_middlemen):
+        specs.append(
+            TransactionSpec(f"M{i + 1}", (compute(5.0),), offset=2.0 + i)
+        )
+    specs.append(TransactionSpec("L", (write("x", 3.0),), offset=0.0))
+    return assign_by_order(specs)
+
+
+def _sweep():
+    table = {}
+    for n in MIDDLEMEN:
+        per_protocol = {}
+        for protocol in PROTOCOLS:
+            result = Simulator(
+                _scenario(n), make_protocol(protocol),
+                SimConfig(deadlock_action="abort_lowest"),
+            ).run()
+            per_protocol[protocol] = priority_inversion_time(result, "H#0")
+        table[n] = per_protocol
+    return table
+
+
+def test_priority_inversion_growth(benchmark):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    print(banner("Priority inversion of H vs interposing transactions"))
+    print(f"{'middlemen':<10}" + "".join(f"{p:>10}" for p in PROTOCOLS))
+    for n, per_protocol in table.items():
+        print(
+            f"{n:<10}" + "".join(f"{per_protocol[p]:>10.1f}" for p in PROTOCOLS)
+        )
+
+    # Plain 2PL: inversion grows with every middleman (unbounded).
+    series = [table[n]["2pl"] for n in MIDDLEMEN]
+    assert all(b > a for a, b in zip(series, series[1:]))
+
+    # Inheritance protocols: pinned to the blocker's remaining critical
+    # section (2 units here) regardless of N.
+    for protocol in ("pip-2pl", "rw-pcp"):
+        values = {table[n][protocol] for n in MIDDLEMEN}
+        assert values == {2.0}, (protocol, values)
+
+    # PCP-DA: this inversion does not exist (write preemptability).
+    assert all(table[n]["pcp-da"] == 0.0 for n in MIDDLEMEN)

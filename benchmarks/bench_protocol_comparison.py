@@ -1,0 +1,96 @@
+"""Protocol comparison — quantifying Sections 3 and 6 across the family.
+
+For randomly generated workloads at increasing data contention, simulate
+the identical task set under every protocol and compare the runtime
+quantities the paper argues about:
+
+* total blocking time (PCP-DA avoids RW-PCP's two unnecessary classes),
+* deadline miss ratio,
+* transaction restarts (zero for the ceiling family, nonzero for 2PL-HP),
+* the maximum system ceiling (Figure 4/5's push-down claim).
+"""
+
+import statistics
+
+from benchmarks.conftest import banner
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+from repro.trace.metrics import compute_metrics
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+PROTOCOLS = ("pcp-da", "rw-pcp", "ccp", "pcp", "ipcp", "pip-2pl", "2pl-hp", "2pl")
+SEEDS = range(25)
+HOT_LEVELS = (0.3, 0.6, 0.9)
+
+
+def _simulate_grid():
+    """{hot_probability: {protocol: aggregated metrics}}."""
+    grid = {}
+    for hot in HOT_LEVELS:
+        per_protocol = {}
+        for protocol in PROTOCOLS:
+            blocking, misses, restarts, ceilings = [], [], [], []
+            for seed in SEEDS:
+                taskset = generate_taskset(
+                    WorkloadConfig(
+                        n_transactions=6, n_items=8,
+                        write_probability=0.4,
+                        hot_access_probability=hot,
+                        target_utilization=0.6, seed=seed,
+                    )
+                )
+                result = Simulator(
+                    taskset, make_protocol(protocol),
+                    SimConfig(deadlock_action="abort_lowest"),
+                ).run()
+                metrics = compute_metrics(result)
+                blocking.append(metrics.total_blocking_time)
+                misses.append(metrics.miss_ratio)
+                restarts.append(metrics.total_restarts)
+                ceilings.append(metrics.max_sysceil)
+            per_protocol[protocol] = {
+                "blocking": statistics.mean(blocking),
+                "miss_ratio": statistics.mean(misses),
+                "restarts": sum(restarts),
+                "max_sysceil": statistics.mean(ceilings),
+            }
+        grid[hot] = per_protocol
+    return grid
+
+
+def test_protocol_comparison(benchmark):
+    grid = benchmark.pedantic(_simulate_grid, rounds=1, iterations=1)
+
+    for hot, per_protocol in grid.items():
+        print(banner(f"Protocol comparison at hot-set probability {hot}"))
+        print(
+            f"{'protocol':<10} {'blocking':>10} {'miss%':>8} "
+            f"{'restarts':>9} {'maxceil':>8}"
+        )
+        for protocol in PROTOCOLS:
+            m = per_protocol[protocol]
+            print(
+                f"{protocol:<10} {m['blocking']:>10.2f} "
+                f"{100 * m['miss_ratio']:>7.1f}% {m['restarts']:>9} "
+                f"{m['max_sysceil']:>8.2f}"
+            )
+
+    high = grid[HOT_LEVELS[-1]]
+
+    # Shape claims at the highest contention level:
+    # 1. PCP-DA blocks no more than RW-PCP, which blocks no more than the
+    #    exclusive-lock original PCP.
+    assert high["pcp-da"]["blocking"] <= high["rw-pcp"]["blocking"] + 1e-9
+    assert high["rw-pcp"]["blocking"] <= high["pcp"]["blocking"] + 1e-9
+    # 2. The ceiling family never restarts; 2PL-HP pays in restarts.
+    for protocol in ("pcp-da", "rw-pcp", "ccp", "pcp", "ipcp"):
+        assert high[protocol]["restarts"] == 0
+    # IPCP converts all lock blocking into dispatch interference.
+    assert high["ipcp"]["blocking"] == 0.0
+    assert high["2pl-hp"]["restarts"] > 0
+    # 3. The Max_Sysceil push-down: PCP-DA's average ceiling is the lowest
+    #    of the ceiling protocols.
+    for protocol in ("rw-pcp", "pcp"):
+        assert high["pcp-da"]["max_sysceil"] <= high[protocol]["max_sysceil"] + 1e-9
+    # 4. Blocking grows with contention for the conservative protocols.
+    assert grid[0.9]["pcp"]["blocking"] >= grid[0.3]["pcp"]["blocking"] - 1e-9

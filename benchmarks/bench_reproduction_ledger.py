@@ -1,0 +1,23 @@
+"""The complete reproduction ledger as a single benchmark.
+
+Runs every paper-vs-measured check (Table 1, Figures 1-5, Example 5,
+Section 9, plus the extension experiments) and prints the summary — the
+same artifact as ``repro reproduce --extended``.
+"""
+
+from benchmarks.conftest import banner
+from repro.experiments import render_summary, run_all
+
+
+def test_reproduction_ledger(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_all(extended=True), rounds=1, iterations=1
+    )
+
+    print(banner("Reproduction ledger (paper vs measured)"))
+    print(render_summary(reports))
+
+    total = sum(len(r.checks) for r in reports)
+    passed = sum(r.n_passed for r in reports)
+    assert passed == total, render_summary(reports)
+    assert total >= 60  # the ledger only ever grows

@@ -1,0 +1,75 @@
+"""Response-time analysis validation (extension).
+
+The RTA extension of Section 9 (see ``repro.analysis.response_time``)
+claims to upper-bound every transaction's worst-case response time under
+PCP-DA.  This benchmark validates the claim empirically: random task sets
+are released synchronously (offset 0 — the critical instant for the
+highest-priority levels) and simulated over their hyperperiod; every
+observed response time must be at most the analytical bound, and for the
+highest-priority transaction the bound should be *reasonably tight*
+(within its own C + B, not wildly pessimistic).
+"""
+
+from benchmarks.conftest import banner
+from repro.analysis.response_time import response_times, rta_schedulable
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+SEEDS = range(25)
+
+
+def _validate():
+    checked = 0
+    violations = []
+    slack_top = []
+    for seed in SEEDS:
+        taskset = generate_taskset(
+            WorkloadConfig(
+                n_transactions=5, n_items=6, write_probability=0.4,
+                hot_access_probability=0.8, target_utilization=0.6,
+                seed=seed,
+            )
+        )
+        if not rta_schedulable(taskset, "pcp-da"):
+            continue
+        bounds = response_times(taskset, "pcp-da")
+        result = Simulator(
+            taskset, make_protocol("pcp-da"), SimConfig()
+        ).run()
+        checked += 1
+        observed = {}
+        for job in result.jobs:
+            if job.response_time is None:
+                continue
+            name = job.spec.name
+            observed[name] = max(observed.get(name, 0.0), job.response_time)
+        for name, worst in observed.items():
+            if worst > bounds[name] + 1e-6:
+                violations.append((seed, name, worst, bounds[name]))
+        top = max(taskset, key=lambda s: s.priority or 0).name
+        if top in observed and bounds[top] > 0:
+            slack_top.append(observed[top] / bounds[top])
+    return checked, violations, slack_top
+
+
+def test_rta_upper_bounds_simulation(benchmark):
+    checked, violations, slack_top = benchmark.pedantic(
+        _validate, rounds=1, iterations=1
+    )
+
+    print(banner("RTA validation: observed worst response vs analytical bound"))
+    print(f"task sets checked (RTA-schedulable): {checked}")
+    print(f"bound violations: {len(violations)}")
+    if slack_top:
+        print(
+            "highest-priority tightness (observed/bound): "
+            f"min={min(slack_top):.2f} mean={sum(slack_top)/len(slack_top):.2f} "
+            f"max={max(slack_top):.2f}"
+        )
+
+    assert checked >= 10
+    assert violations == [], f"RTA bound violated: {violations[:3]}"
+    # The top-priority bound is not absurdly loose: simulation reaches at
+    # least half of it somewhere in the corpus.
+    assert max(slack_top) >= 0.5

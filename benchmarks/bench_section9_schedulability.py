@@ -1,0 +1,150 @@
+"""Section 9 — worst-case schedulability analysis: PCP-DA vs RW-PCP vs PCP.
+
+The paper's analytical result: ``BTS_i`` under PCP-DA is a subset of
+RW-PCP's (write-only blockers drop out), so ``B_i`` shrinks and the
+rate-monotonic condition admits strictly more task sets.  This benchmark
+quantifies the claim three ways over randomly generated workloads:
+
+1. per-transaction blocking terms on a contended example set,
+2. the fraction of random task sets accepted by the RM bound as
+   utilisation grows (the classic schedulable-fraction curve), and
+3. mean breakdown utilisation per protocol.
+"""
+
+import statistics
+
+from benchmarks.conftest import banner
+from repro.analysis.blocking import blocking_terms
+from repro.analysis.breakdown import breakdown_utilization
+from repro.analysis.report import schedulability_report
+from repro.analysis.rm_bound import rm_schedulable
+from repro.workloads.examples import example3_taskset
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+PROTOCOLS = ("pcp-da", "rw-pcp", "pcp")
+UTILIZATIONS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+SETS_PER_POINT = 40
+
+
+def _make_sets(target_utilization):
+    return [
+        generate_taskset(
+            WorkloadConfig(
+                n_transactions=6,
+                n_items=8,
+                write_probability=0.5,
+                hot_access_probability=0.8,
+                target_utilization=target_utilization,
+                seed=seed,
+            )
+        )
+        for seed in range(SETS_PER_POINT)
+    ]
+
+
+def _schedulable_fraction_sweep():
+    rows = []
+    for utilization in UTILIZATIONS:
+        sets = _make_sets(utilization)
+        fractions = {
+            protocol: sum(rm_schedulable(ts, protocol) for ts in sets) / len(sets)
+            for protocol in PROTOCOLS
+        }
+        rows.append((utilization, fractions))
+    return rows
+
+
+def test_section9_blocking_terms_example3(benchmark):
+    """The concrete B_i reduction behind Figure 2 vs Figure 3."""
+    ts = example3_taskset()
+    # Give T2 a period so the RM analysis applies end to end.
+    from repro.model.spec import TaskSet, TransactionSpec
+
+    periodic = TaskSet([
+        ts["T1"],
+        TransactionSpec(
+            name="T2", operations=ts["T2"].operations,
+            priority=ts["T2"].priority, period=20.0,
+        ),
+    ])
+    terms = benchmark(
+        lambda: {p: blocking_terms(periodic, p) for p in PROTOCOLS}
+    )
+    print(banner("Section 9: blocking terms B_i for Example 3's transactions"))
+    print(f"{'txn':<5}" + "".join(f"{p:>10}" for p in PROTOCOLS))
+    for name in periodic.names:
+        print(f"{name:<5}" + "".join(f"{terms[p][name]:>10g}" for p in PROTOCOLS))
+
+    # Paper claim: T2 writes only, so it drops out of BTS_1 under PCP-DA.
+    assert terms["pcp-da"]["T1"] == 0.0
+    assert terms["rw-pcp"]["T1"] == 5.0
+    assert terms["pcp"]["T1"] == 5.0
+
+
+def test_section9_schedulable_fraction(benchmark):
+    rows = benchmark.pedantic(
+        _schedulable_fraction_sweep, rounds=1, iterations=1
+    )
+
+    print(banner(
+        "Section 9: fraction of random sets accepted by the RM bound"
+    ))
+    print(f"{'util':<6}" + "".join(f"{p:>10}" for p in PROTOCOLS))
+    for utilization, fractions in rows:
+        print(
+            f"{utilization:<6}"
+            + "".join(f"{fractions[p]:>10.2f}" for p in PROTOCOLS)
+        )
+
+    # Shape claims: acceptance is monotone in protocol generality at every
+    # load point, and PCP-DA strictly wins somewhere in the mid range.
+    strictly_better = 0
+    for __, fractions in rows:
+        assert fractions["pcp-da"] >= fractions["rw-pcp"] >= fractions["pcp"]
+        if fractions["pcp-da"] > fractions["rw-pcp"]:
+            strictly_better += 1
+    assert strictly_better >= 1
+
+    # Acceptance decays with load for every protocol.
+    for protocol in PROTOCOLS:
+        series = [fractions[protocol] for __, fractions in rows]
+        assert series[0] >= series[-1]
+
+
+def test_section9_breakdown_utilization(benchmark):
+    sets = _make_sets(0.4)
+
+    def mean_breakdowns():
+        return {
+            protocol: statistics.mean(
+                breakdown_utilization(ts, protocol) for ts in sets
+            )
+            for protocol in PROTOCOLS
+        }
+
+    means = benchmark.pedantic(mean_breakdowns, rounds=1, iterations=1)
+    print(banner("Section 9: mean breakdown utilisation (RM bound)"))
+    for protocol in PROTOCOLS:
+        print(f"{protocol:<8} {means[protocol]:.4f}")
+    assert means["pcp-da"] >= means["rw-pcp"] >= means["pcp"]
+    assert means["pcp-da"] > means["pcp"]
+
+
+def test_section9_example_report(benchmark):
+    """The full per-transaction report on one contended workload."""
+    ts = generate_taskset(
+        WorkloadConfig(
+            n_transactions=5, n_items=4, write_probability=0.5,
+            hot_access_probability=0.9, target_utilization=0.5, seed=11,
+        )
+    )
+    report = benchmark.pedantic(
+        lambda: schedulability_report(ts), rounds=1, iterations=1
+    )
+    print(banner("Section 9: full schedulability report (seed 11)"))
+    print(report.render())
+    for name in report.taskset_names:
+        assert (
+            report.blocking_by_protocol["pcp-da"][name]
+            <= report.blocking_by_protocol["rw-pcp"][name]
+        )

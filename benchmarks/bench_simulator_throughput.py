@@ -1,0 +1,50 @@
+"""Engine throughput — how fast the substrate simulates.
+
+Not a paper artifact, but the harness everything else stands on: these
+benchmarks time full simulations (hyperperiod, priority inheritance,
+ceiling checks, serializability audit) so regressions in the engine's hot
+paths are visible.
+"""
+
+from benchmarks.conftest import simulate
+from repro.db.serializability import check_serializable
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+_TASKSET = generate_taskset(
+    WorkloadConfig(
+        n_transactions=8, n_items=10, write_probability=0.4,
+        hot_access_probability=0.7, target_utilization=0.65, seed=7,
+    )
+)
+
+
+def test_throughput_pcp_da_hyperperiod(benchmark):
+    result = benchmark(
+        lambda: Simulator(_TASKSET, make_protocol("pcp-da"), SimConfig()).run()
+    )
+    assert result.committed_jobs
+
+
+def test_throughput_rw_pcp_hyperperiod(benchmark):
+    result = benchmark(
+        lambda: Simulator(_TASKSET, make_protocol("rw-pcp"), SimConfig()).run()
+    )
+    assert result.committed_jobs
+
+
+def test_throughput_serializability_check(benchmark):
+    result = Simulator(_TASKSET, make_protocol("pcp-da"), SimConfig()).run()
+    graph = benchmark(lambda: check_serializable(result.history))
+    assert graph.is_acyclic()
+
+
+def test_throughput_long_horizon(benchmark):
+    """A 10x-hyperperiod run: event-queue and dispatcher scaling."""
+    config = SimConfig(horizon=4800.0)
+    result = benchmark.pedantic(
+        lambda: Simulator(_TASKSET, make_protocol("pcp-da"), config).run(),
+        rounds=3, iterations=1,
+    )
+    assert len(result.jobs) > 50

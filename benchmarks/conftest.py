@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (a table, a
+figure, or the Section 9 analysis), prints it (run pytest with ``-s`` to
+see the output), asserts the qualitative *shape* the paper reports, and
+times the regeneration under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+
+
+def simulate(taskset, protocol_name, config=None, **kwargs):
+    """One full simulation run; returns the result."""
+    return Simulator(taskset, make_protocol(protocol_name, **kwargs), config).run()
+
+
+def banner(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{bar}\n{title}\n{bar}"

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Domain scenario: a hard real-time avionics data store.
+
+The paper motivates hard RTDBS with "avionics systems, aerospace systems,
+robotics and defence systems".  This example models a small flight-control
+data store shared by five periodic transactions:
+
+* ``AttitudeCtl`` (10 ms)  — reads the fused attitude estimate and writes
+  actuator commands; missing its deadline destabilises the aircraft;
+* ``SensorFusion`` (20 ms) — reads raw gyro/accel samples, writes the
+  fused attitude estimate;
+* ``NavUpdate`` (40 ms)    — reads GPS + attitude, writes the nav solution;
+* ``Telemetry`` (80 ms)    — reads nearly everything for the downlink;
+* ``GroundCmd`` (160 ms)   — writes setpoints uploaded from the ground.
+
+Rate-monotonic priorities follow the periods.  The script
+
+1. computes the Section 9 worst-case blocking terms per protocol,
+2. checks the rate-monotonic schedulability condition, and
+3. validates the analysis by simulating two full hyperperiods under
+   PCP-DA, RW-PCP and 2PL-HP.
+
+Run:  python examples/avionics_monitor.py
+"""
+
+from repro import (
+    SimConfig,
+    Simulator,
+    TransactionSpec,
+    assign_rate_monotonic,
+    compute,
+    compute_metrics,
+    make_protocol,
+    read,
+    write,
+)
+from repro.analysis import blocking_terms, rm_schedulable_detail
+from repro.model.spec import TaskSet
+
+
+def build_taskset() -> TaskSet:
+    """The avionics transactions (durations in milliseconds)."""
+    specs = [
+        TransactionSpec(
+            "AttitudeCtl",
+            (read("attitude", 0.4), compute(0.8), write("actuators", 0.3)),
+            period=10.0,
+        ),
+        TransactionSpec(
+            "SensorFusion",
+            (read("gyro", 0.5), read("accel", 0.5), compute(1.5),
+             write("attitude", 0.5)),
+            period=20.0,
+        ),
+        TransactionSpec(
+            "NavUpdate",
+            (read("gps", 0.6), read("attitude", 0.4), compute(2.0),
+             write("navsol", 0.5)),
+            period=40.0,
+        ),
+        TransactionSpec(
+            "Telemetry",
+            (read("attitude", 0.5), read("navsol", 0.5),
+             read("actuators", 0.5), compute(2.5)),
+            period=80.0,
+        ),
+        TransactionSpec(
+            "GroundCmd",
+            (compute(1.0), write("setpoints", 0.5), write("gps", 0.5)),
+            period=160.0,
+        ),
+    ]
+    return assign_rate_monotonic(TaskSet(specs))
+
+
+def main() -> None:
+    taskset = build_taskset()
+    print("Avionics task set (rate-monotonic priorities):")
+    print(taskset.describe())
+    print(f"total utilisation: {taskset.total_utilization():.3f}\n")
+
+    # --- Section 9 analysis ------------------------------------------
+    print("Worst-case blocking terms B_i (ms):")
+    print(f"{'transaction':<14}{'pcp-da':>8}{'rw-pcp':>8}{'pcp':>8}")
+    per_protocol = {p: blocking_terms(taskset, p) for p in ("pcp-da", "rw-pcp", "pcp")}
+    for spec in taskset:
+        row = "".join(
+            f"{per_protocol[p][spec.name]:>8.2f}" for p in ("pcp-da", "rw-pcp", "pcp")
+        )
+        print(f"{spec.name:<14}{row}")
+
+    print("\nRate-monotonic schedulability condition (Section 9):")
+    for protocol in ("pcp-da", "rw-pcp", "pcp"):
+        detail = rm_schedulable_detail(taskset, protocol)
+        verdict = "SCHEDULABLE" if detail.schedulable else "NOT schedulable"
+        print(f"  {protocol:<8} -> {verdict}")
+
+    # --- simulation validation ----------------------------------------
+    print("\nSimulating two hyperperiods:")
+    hyper = taskset.hyperperiod()
+    assert hyper is not None
+    for protocol in ("pcp-da", "rw-pcp", "2pl-hp"):
+        result = Simulator(
+            taskset,
+            make_protocol(protocol),
+            SimConfig(horizon=2 * hyper, deadlock_action="abort_lowest"),
+        ).run()
+        metrics = compute_metrics(result)
+        worst = max(
+            (jm.response_time or 0.0 for jm in metrics.jobs
+             if jm.transaction == "AttitudeCtl"),
+            default=0.0,
+        )
+        print(
+            f"  {protocol:<8} misses={metrics.missed_jobs}/{metrics.total_jobs}"
+            f"  blocking={metrics.total_blocking_time:7.2f} ms"
+            f"  restarts={metrics.total_restarts}"
+            f"  worst AttitudeCtl response={worst:.2f} ms"
+        )
+        result.check_serializable()
+
+    print("\nInterpretation: the control loop's worst-case response under "
+          "PCP-DA excludes\nthe write-only transactions from its blocking "
+          "set, which is exactly the paper's\nSection 9 improvement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works offline (no PEP 517 build isolation, no wheel
+package required).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,146 @@
+"""repro — a reproduction of *"A Priority Ceiling Protocol with Dynamic
+Adjustment of Serialization Order"* (Kwok-wa Lam, Sang H. Son, Sheung-lun
+Hung; ICDE 1997).
+
+The library implements the paper's protocol (**PCP-DA**), its published
+comparators (RW-PCP, CCP, the original PCP, priority-inheritance 2PL,
+2PL-HP, plain 2PL), a deterministic discrete-event simulator of a
+single-processor hard real-time database system, the worst-case
+schedulability analysis of Section 9, and the tooling that regenerates
+every table and figure of the paper.
+
+Quickstart::
+
+    from repro import (
+        PCPDA, Simulator, TaskSet, TransactionSpec, read, write,
+        assign_by_order, render_gantt,
+    )
+
+    t_high = TransactionSpec("T1", (read("x"), read("y")), period=5, offset=1)
+    t_low = TransactionSpec("T2", (write("x"), write("y")), offset=0)
+    taskset = assign_by_order([t_high, t_low])
+
+    result = Simulator(taskset, PCPDA()).run()
+    print(render_gantt(result))
+    result.check_serializable()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every experiment.
+"""
+
+from repro.core import CeilingTable, PCPDA
+from repro.core.compatibility import compatibility_table, lock_compatible
+from repro.db import Database, History, check_serializable, serialization_order
+from repro.engine import SimConfig, SimulationResult, Simulator
+from repro.exceptions import (
+    DeadlockError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    SerializationViolation,
+    SimulationError,
+    SpecificationError,
+)
+from repro.model import (
+    DUMMY_PRIORITY,
+    LockMode,
+    OpKind,
+    Operation,
+    TaskSet,
+    TransactionSpec,
+    assign_rate_monotonic,
+    compute,
+    read,
+    write,
+)
+from repro.model.priorities import assign_by_order
+from repro.protocols import (
+    CCP,
+    OriginalPCP,
+    PIP2PL,
+    Plain2PL,
+    RWPCP,
+    TwoPLHP,
+    WeakPCPDA,
+    available_protocols,
+    make_protocol,
+)
+from repro.trace import (
+    SysceilTrace,
+    build_timeline,
+    compute_metrics,
+    render_gantt,
+)
+from repro.verify import (
+    LemmaCheckingPCPDA,
+    assert_deadlock_free,
+    assert_serializable,
+    assert_single_blocking,
+    verify_pcp_da_run,
+)
+from repro.workloads import (
+    WorkloadConfig,
+    example1_taskset,
+    example3_taskset,
+    example4_taskset,
+    example5_taskset,
+    generate_taskset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCP",
+    "CeilingTable",
+    "LemmaCheckingPCPDA",
+    "assert_deadlock_free",
+    "assert_serializable",
+    "assert_single_blocking",
+    "verify_pcp_da_run",
+    "DUMMY_PRIORITY",
+    "Database",
+    "DeadlockError",
+    "History",
+    "InvariantViolation",
+    "LockMode",
+    "OpKind",
+    "Operation",
+    "OriginalPCP",
+    "PCPDA",
+    "PIP2PL",
+    "Plain2PL",
+    "ProtocolError",
+    "RWPCP",
+    "ReproError",
+    "SerializationViolation",
+    "SimConfig",
+    "SimulationError",
+    "SimulationResult",
+    "Simulator",
+    "SpecificationError",
+    "SysceilTrace",
+    "TaskSet",
+    "TransactionSpec",
+    "TwoPLHP",
+    "WeakPCPDA",
+    "WorkloadConfig",
+    "assign_by_order",
+    "assign_rate_monotonic",
+    "available_protocols",
+    "build_timeline",
+    "check_serializable",
+    "compatibility_table",
+    "compute",
+    "compute_metrics",
+    "example1_taskset",
+    "example3_taskset",
+    "example4_taskset",
+    "example5_taskset",
+    "generate_taskset",
+    "lock_compatible",
+    "make_protocol",
+    "read",
+    "render_gantt",
+    "serialization_order",
+    "write",
+]

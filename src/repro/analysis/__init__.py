@@ -1,0 +1,57 @@
+"""Worst-case schedulability analysis (paper, Section 9).
+
+* :mod:`repro.analysis.blocking` — blocking transaction sets ``BTS_i`` and
+  worst-case blocking terms ``B_i`` for PCP-DA, RW-PCP, and the original
+  PCP;
+* :mod:`repro.analysis.rm_bound` — the rate-monotonic utilisation-bound
+  schedulability condition with blocking;
+* :mod:`repro.analysis.response_time` — exact response-time analysis
+  (extension; tighter than the utilisation bound);
+* :mod:`repro.analysis.breakdown` — breakdown-utilisation search;
+* :mod:`repro.analysis.report` — side-by-side comparison tables.
+"""
+
+from repro.analysis.blocking import (
+    blocking_term,
+    blocking_terms,
+    bts,
+    bts_original_pcp,
+    bts_pcp_da,
+    bts_rw_pcp,
+)
+from repro.analysis.rm_bound import (
+    liu_layland_bound,
+    rm_schedulable,
+    rm_schedulable_detail,
+)
+from repro.analysis.response_time import response_times, rta_schedulable
+from repro.analysis.breakdown import breakdown_utilization
+from repro.analysis.report import schedulability_report
+from repro.analysis.critical_instant import (
+    critical_instant_phasings,
+    simulate_worst_responses,
+)
+from repro.analysis.refined_blocking import (
+    refined_blocking_term,
+    refined_blocking_terms,
+)
+
+__all__ = [
+    "blocking_term",
+    "blocking_terms",
+    "breakdown_utilization",
+    "bts",
+    "bts_original_pcp",
+    "bts_pcp_da",
+    "bts_rw_pcp",
+    "critical_instant_phasings",
+    "liu_layland_bound",
+    "refined_blocking_term",
+    "refined_blocking_terms",
+    "response_times",
+    "rm_schedulable",
+    "rm_schedulable_detail",
+    "rta_schedulable",
+    "schedulability_report",
+    "simulate_worst_responses",
+]

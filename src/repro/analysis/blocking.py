@@ -1,0 +1,122 @@
+"""Blocking transaction sets and worst-case blocking terms (Section 9).
+
+The paper defines, for a transaction ``T_i``:
+
+* under **PCP-DA**::
+
+      BTS_i = { T_L | P_L < P_i and T_L reads x and Wceil(x) >= P_i }
+
+  — only *read* operations of lower-priority transactions can block,
+  because writes are preemptable;
+
+* under **RW-PCP**::
+
+      BTS_i = { T_L | P_L < P_i and (T_L reads x and Wceil(x) >= P_i
+                                     or T_L writes x and Aceil(x) >= P_i) }
+
+  — a strict superset of PCP-DA's, which is exactly where PCP-DA's
+  schedulability advantage comes from;
+
+* for the **original PCP** (exclusive access, single ceiling ``Aceil``)::
+
+      BTS_i = { T_L | P_L < P_i and T_L accesses x and Aceil(x) >= P_i }
+
+and in every case ``B_i = max { C_L : T_L in BTS_i }`` (single-blocking
+makes the max, not the sum, the right aggregate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet
+
+from repro.core.ceilings import CeilingTable
+from repro.exceptions import AnalysisError
+from repro.model.spec import TaskSet, TransactionSpec
+
+#: Analysis keys accepted by :func:`bts` / :func:`blocking_term`.
+ANALYZED_PROTOCOLS = ("pcp-da", "rw-pcp", "pcp")
+
+
+def _require_priority(spec: TransactionSpec) -> int:
+    if spec.priority is None:
+        raise AnalysisError(f"{spec.name}: priority required for analysis")
+    return spec.priority
+
+
+def bts_pcp_da(taskset: TaskSet, name: str) -> FrozenSet[str]:
+    """``BTS_i`` under PCP-DA for the transaction called ``name``."""
+    ceilings = CeilingTable(taskset)
+    me = taskset[name]
+    p_i = _require_priority(me)
+    out = set()
+    for spec in taskset:
+        if spec.name == name or _require_priority(spec) >= p_i:
+            continue
+        if any(ceilings.wceil(x) >= p_i for x in spec.read_set):
+            out.add(spec.name)
+    return frozenset(out)
+
+
+def bts_rw_pcp(taskset: TaskSet, name: str) -> FrozenSet[str]:
+    """``BTS_i`` under RW-PCP for the transaction called ``name``."""
+    ceilings = CeilingTable(taskset)
+    me = taskset[name]
+    p_i = _require_priority(me)
+    out = set()
+    for spec in taskset:
+        if spec.name == name or _require_priority(spec) >= p_i:
+            continue
+        reads_block = any(ceilings.wceil(x) >= p_i for x in spec.read_set)
+        writes_block = any(ceilings.aceil(x) >= p_i for x in spec.write_set)
+        if reads_block or writes_block:
+            out.add(spec.name)
+    return frozenset(out)
+
+
+def bts_original_pcp(taskset: TaskSet, name: str) -> FrozenSet[str]:
+    """``BTS_i`` under the original (exclusive-lock) PCP."""
+    ceilings = CeilingTable(taskset)
+    me = taskset[name]
+    p_i = _require_priority(me)
+    out = set()
+    for spec in taskset:
+        if spec.name == name or _require_priority(spec) >= p_i:
+            continue
+        if any(ceilings.aceil(x) >= p_i for x in spec.access_set):
+            out.add(spec.name)
+    return frozenset(out)
+
+
+_BTS_FUNCS: Dict[str, Callable[[TaskSet, str], FrozenSet[str]]] = {
+    "pcp-da": bts_pcp_da,
+    "rw-pcp": bts_rw_pcp,
+    "pcp": bts_original_pcp,
+}
+
+
+def bts(taskset: TaskSet, name: str, protocol: str) -> FrozenSet[str]:
+    """``BTS_i`` for ``name`` under the named protocol's analysis."""
+    try:
+        func = _BTS_FUNCS[protocol]
+    except KeyError:
+        raise AnalysisError(
+            f"no worst-case blocking analysis for protocol {protocol!r}; "
+            f"available: {ANALYZED_PROTOCOLS}"
+        ) from None
+    return func(taskset, name)
+
+
+def blocking_term(taskset: TaskSet, name: str, protocol: str) -> float:
+    """``B_i = max C_L over BTS_i`` (0 when the set is empty)."""
+    members = bts(taskset, name, protocol)
+    return max(
+        (taskset[member].execution_time for member in members), default=0.0
+    )
+
+
+def blocking_terms(taskset: TaskSet, protocol: str) -> Dict[str, float]:
+    """``B_i`` for every transaction, keyed by name."""
+    return {
+        spec.name: blocking_term(taskset, spec.name, protocol)
+        for spec in taskset
+    }

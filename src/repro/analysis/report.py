@@ -1,0 +1,87 @@
+"""Side-by-side schedulability comparison tables.
+
+The textual artifact behind the Section 9 benchmark: for one task set,
+``BTS_i``, ``B_i``, the per-level utilisation-bound verdicts, and the
+breakdown utilisation under each analysed protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.analysis.blocking import ANALYZED_PROTOCOLS, blocking_terms, bts
+from repro.analysis.breakdown import breakdown_utilization
+from repro.analysis.refined_blocking import refined_blocking_terms
+from repro.analysis.rm_bound import rm_schedulable_detail
+from repro.model.spec import TaskSet
+
+
+@dataclass(frozen=True)
+class SchedulabilityReport:
+    """Comparison of the analysed protocols over one task set."""
+
+    taskset_names: Tuple[str, ...]
+    bts_by_protocol: Mapping[str, Mapping[str, Tuple[str, ...]]]
+    blocking_by_protocol: Mapping[str, Mapping[str, float]]
+    refined_blocking_by_protocol: Mapping[str, Mapping[str, float]]
+    schedulable_by_protocol: Mapping[str, bool]
+    breakdown_by_protocol: Mapping[str, float]
+
+    def render(self) -> str:
+        """ASCII table: one row per transaction, one column group per protocol."""
+        protocols = sorted(self.blocking_by_protocol)
+        lines = []
+        header = f"{'txn':<6}" + "".join(
+            f"| B_i/B_i* {p:<10} BTS_i {p:<16}" for p in protocols
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in self.taskset_names:
+            row = f"{name:<6}"
+            for p in protocols:
+                b = self.blocking_by_protocol[p][name]
+                refined = self.refined_blocking_by_protocol[p][name]
+                members = ",".join(self.bts_by_protocol[p][name]) or "-"
+                row += f"| {b:g}/{refined:<12g} {members:<22}"
+            lines.append(row)
+        lines.append("")
+        lines.append("(B_i = Section 9 whole-C bound; "
+                     "B_i* = critical-section refinement)")
+        for p in protocols:
+            lines.append(
+                f"{p:<8} rm-bound schedulable: "
+                f"{self.schedulable_by_protocol[p]!s:<5}  "
+                f"breakdown utilisation: {self.breakdown_by_protocol[p]:.4f}"
+            )
+        return "\n".join(lines)
+
+
+def schedulability_report(
+    taskset: TaskSet,
+    protocols: Sequence[str] = ANALYZED_PROTOCOLS,
+) -> SchedulabilityReport:
+    """Compute the full comparison for ``taskset``."""
+    names = taskset.names
+    bts_by: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+    blocking_by: Dict[str, Dict[str, float]] = {}
+    refined_by: Dict[str, Dict[str, float]] = {}
+    sched_by: Dict[str, bool] = {}
+    breakdown_by: Dict[str, float] = {}
+    for protocol in protocols:
+        bts_by[protocol] = {
+            name: tuple(sorted(bts(taskset, name, protocol))) for name in names
+        }
+        blocking_by[protocol] = blocking_terms(taskset, protocol)
+        refined_by[protocol] = refined_blocking_terms(taskset, protocol)
+        detail = rm_schedulable_detail(taskset, protocol)
+        sched_by[protocol] = detail.schedulable
+        breakdown_by[protocol] = breakdown_utilization(taskset, protocol)
+    return SchedulabilityReport(
+        taskset_names=names,
+        bts_by_protocol=bts_by,
+        blocking_by_protocol=blocking_by,
+        refined_blocking_by_protocol=refined_by,
+        schedulable_by_protocol=sched_by,
+        breakdown_by_protocol=breakdown_by,
+    )

@@ -1,0 +1,114 @@
+"""The rate-monotonic utilisation-bound schedulability condition.
+
+Paper, Section 9: a set of ``n`` periodic transactions under rate-monotonic
+priorities and a single-blocking protocol always meets its deadlines if::
+
+    forall i, 1 <= i <= n:
+        C_1/Pd_1 + ... + C_i/Pd_i + B_i/Pd_i <= i * (2^(1/i) - 1)
+
+where transactions are indexed in descending priority order and ``B_i`` is
+the protocol's worst-case blocking term.  The condition is sufficient, not
+necessary — :mod:`repro.analysis.response_time` is the tighter test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.analysis.blocking import blocking_terms
+from repro.exceptions import AnalysisError
+from repro.model.spec import TaskSet
+
+
+def liu_layland_bound(i: int) -> float:
+    """The Liu & Layland utilisation bound ``i * (2^(1/i) - 1)``."""
+    if i < 1:
+        raise AnalysisError("bound index must be >= 1")
+    return i * (2.0 ** (1.0 / i) - 1.0)
+
+
+@dataclass(frozen=True)
+class RMLevelResult:
+    """Schedulability verdict at one priority level."""
+
+    transaction: str
+    level: int
+    cumulative_utilization: float
+    blocking_term: float
+    blocking_utilization: float
+    bound: float
+    schedulable: bool
+
+
+@dataclass(frozen=True)
+class RMResult:
+    """Verdicts at all levels; the set passes iff every level passes."""
+
+    protocol: str
+    levels: Tuple[RMLevelResult, ...]
+
+    @property
+    def schedulable(self) -> bool:
+        return all(level.schedulable for level in self.levels)
+
+    def failing_levels(self) -> Tuple[RMLevelResult, ...]:
+        """The levels at which the condition fails (empty when schedulable)."""
+        return tuple(level for level in self.levels if not level.schedulable)
+
+
+def rm_schedulable_detail(
+    taskset: TaskSet,
+    protocol: str = "pcp-da",
+    blocking: Optional[Mapping[str, float]] = None,
+) -> RMResult:
+    """Evaluate the bound level by level.
+
+    Args:
+        taskset: periodic task set with total-order priorities.
+        protocol: analysis key ("pcp-da", "rw-pcp", "pcp") used to compute
+            ``B_i`` when ``blocking`` is not given.
+        blocking: optional explicit ``{name: B_i}`` override.
+
+    Returns:
+        An :class:`RMResult` with one entry per priority level, highest
+        priority first.
+    """
+    for spec in taskset:
+        if spec.period is None:
+            raise AnalysisError(
+                f"{spec.name}: utilisation-bound analysis needs periods"
+            )
+    b_terms = dict(blocking) if blocking is not None else blocking_terms(
+        taskset, protocol
+    )
+    ordered = sorted(taskset, key=lambda s: -(s.priority or 0))
+    levels = []
+    cumulative = 0.0
+    for i, spec in enumerate(ordered, start=1):
+        assert spec.period is not None
+        cumulative += spec.execution_time / spec.period
+        b_i = b_terms.get(spec.name, 0.0)
+        blocking_util = b_i / spec.period
+        bound = liu_layland_bound(i)
+        levels.append(
+            RMLevelResult(
+                transaction=spec.name,
+                level=i,
+                cumulative_utilization=cumulative,
+                blocking_term=b_i,
+                blocking_utilization=blocking_util,
+                bound=bound,
+                schedulable=cumulative + blocking_util <= bound + 1e-12,
+            )
+        )
+    return RMResult(protocol=protocol, levels=tuple(levels))
+
+
+def rm_schedulable(
+    taskset: TaskSet,
+    protocol: str = "pcp-da",
+    blocking: Optional[Mapping[str, float]] = None,
+) -> bool:
+    """True iff the paper's Section 9 condition holds at every level."""
+    return rm_schedulable_detail(taskset, protocol, blocking).schedulable

@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands:
+
+* ``repro examples`` — run the paper's worked examples under PCP-DA and
+  RW-PCP and print the Gantt charts (Figures 1-5);
+* ``repro table1`` — print the lock-compatibility table (Table 1);
+* ``repro schedulability`` — Section 9 analysis on a random workload;
+* ``repro compare`` — simulate one random workload under every protocol
+  and print the metric comparison;
+* ``repro protocols`` — list registered protocols.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import schedulability_report
+from repro.core.compatibility import render_compatibility_table
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import available_protocols, make_protocol
+from repro.trace.gantt import render_gantt
+from repro.trace.metrics import compute_metrics
+from repro.trace.sysceil import SysceilTrace
+from repro.workloads.examples import (
+    example1_taskset,
+    example3_taskset,
+    example4_taskset,
+    example5_taskset,
+)
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+
+def _cmd_examples(args: argparse.Namespace) -> int:
+    runs = [
+        ("Example 1 (Figure 1)", example1_taskset(), None),
+        ("Example 3 (Figures 2/3)", example3_taskset(),
+         SimConfig(horizon=11, max_instances=2)),
+        ("Example 4 (Figures 4/5)", example4_taskset(), None),
+    ]
+    for title, taskset, config in runs:
+        for protocol_name in ("pcp-da", "rw-pcp"):
+            result = Simulator(
+                taskset, make_protocol(protocol_name), config
+            ).run()
+            print(f"=== {title} under {protocol_name} ===")
+            print(render_gantt(result))
+            print(SysceilTrace.from_result(result).render())
+            metrics = compute_metrics(result)
+            for jm in sorted(metrics.jobs, key=lambda m: m.job):
+                print(
+                    f"  {jm.job}: finish={jm.finish}, "
+                    f"blocked={jm.blocking_time:g}, miss={jm.missed_deadline}"
+                )
+            print()
+    # Example 5: the deadlock demonstration.
+    result = Simulator(
+        example5_taskset(),
+        make_protocol("weak-pcp-da"),
+        SimConfig(deadlock_action="halt"),
+    ).run()
+    print("=== Example 5 under weak-pcp-da (conditions (1)/(2) only) ===")
+    assert result.deadlock is not None
+    print(
+        f"deadlock at t={result.deadlock.time:g}: "
+        f"{' -> '.join(result.deadlock.cycle)}"
+    )
+    result = Simulator(example5_taskset(), make_protocol("pcp-da")).run()
+    print("=== Example 5 under pcp-da ===")
+    print(render_gantt(result))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(render_compatibility_table())
+    return 0
+
+
+def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_transactions=args.transactions,
+        n_items=args.items,
+        write_probability=args.write_probability,
+        target_utilization=args.utilization,
+        seed=args.seed,
+    )
+
+
+def _cmd_schedulability(args: argparse.Namespace) -> int:
+    taskset = generate_taskset(_workload_from_args(args))
+    print(taskset.describe())
+    print()
+    print(schedulability_report(taskset).render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    taskset = generate_taskset(_workload_from_args(args))
+    print(taskset.describe())
+    print()
+    print(
+        f"{'protocol':<13} {'blocked':>9} {'miss%':>7} "
+        f"{'restarts':>9} {'maxceil':>8}"
+    )
+    names = (
+        "pcp-da", "rw-pcp", "ccp", "pcp", "pip-2pl", "2pl-hp", "2pl",
+        "occ-bc", "rw-pcp-abort",
+    )
+    for name in names:
+        config = SimConfig(deadlock_action="abort_lowest")
+        result = Simulator(taskset, make_protocol(name), config).run()
+        metrics = compute_metrics(result)
+        print(
+            f"{name:<13} {metrics.total_blocking_time:>9.2f} "
+            f"{100 * metrics.miss_ratio:>6.1f}% "
+            f"{metrics.total_restarts:>9} {metrics.max_sysceil:>8}"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Simulate one paper example and write the trace as JSON/CSV files."""
+    import pathlib
+
+    from repro.trace.export import (
+        metrics_to_csv,
+        result_to_json,
+        segments_to_csv,
+        sysceil_to_csv,
+    )
+    from repro.workloads.examples import (
+        example1_taskset,
+        example3_taskset,
+        example4_taskset,
+    )
+
+    builders = {
+        "example1": (example1_taskset, None),
+        "example3": (example3_taskset, SimConfig(horizon=11, max_instances=2)),
+        "example4": (example4_taskset, None),
+    }
+    try:
+        build, config = builders[args.example]
+    except KeyError:
+        print(f"unknown example {args.example!r}; choose from {sorted(builders)}")
+        return 2
+    result = Simulator(build(), make_protocol(args.protocol), config).run()
+    out = pathlib.Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.example}_{args.protocol}"
+    from repro.trace.svg import render_svg_gantt
+
+    (out / f"{stem}.json").write_text(result_to_json(result))
+    (out / f"{stem}_segments.csv").write_text(segments_to_csv(result))
+    (out / f"{stem}_sysceil.csv").write_text(sysceil_to_csv(result))
+    (out / f"{stem}_metrics.csv").write_text(metrics_to_csv(result))
+    (out / f"{stem}.svg").write_text(
+        render_svg_gantt(result, title=f"{args.example} under {args.protocol}")
+    )
+    print(f"wrote {stem}.json, {stem}.svg and 3 CSV series to {out}/")
+    return 0
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    for name in available_protocols():
+        print(name)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    """Simulate a user-supplied task-set file and print the outcome."""
+    from repro.trace.sysceil import SysceilTrace
+    from repro.workloads.io import load_taskset
+
+    taskset = load_taskset(args.taskset)
+    print(taskset.describe())
+    print()
+    config = SimConfig(
+        horizon=args.horizon,
+        on_miss="abort" if args.firm else "record",
+        deadlock_action="abort_lowest",
+    )
+    result = Simulator(taskset, make_protocol(args.protocol), config).run()
+    print(render_gantt(result))
+    print(SysceilTrace.from_result(result).render())
+    metrics = compute_metrics(result)
+    for jm in sorted(metrics.jobs, key=lambda m: (m.transaction, m.arrival)):
+        status = "MISSED" if jm.missed_deadline else "ok"
+        finish = f"{jm.finish:g}" if jm.finish is not None else "-"
+        print(
+            f"  {jm.job}: finish={finish} blocked={jm.blocking_time:g} "
+            f"restarts={jm.restarts} deadline {status}"
+        )
+    result.check_serializable()
+    print(
+        f"\n{metrics.committed_jobs}/{metrics.total_jobs} committed, "
+        f"{metrics.missed_jobs} missed, total blocking "
+        f"{metrics.total_blocking_time:g}; history is serializable"
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import render_summary, run_all
+
+    reports = run_all(extended=args.extended)
+    print(render_summary(reports, verbose=args.verbose))
+    return 0 if all(r.passed for r in reports) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Priority Ceiling Protocol with Dynamic "
+            "Adjustment of Serialization Order' (Lam, Son, Hung; ICDE 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("examples", help="run the paper's worked examples").set_defaults(
+        func=_cmd_examples
+    )
+    sub.add_parser("table1", help="print the Table 1 compatibility matrix").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("protocols", help="list registered protocols").set_defaults(
+        func=_cmd_protocols
+    )
+
+    for name, func, help_text in (
+        ("schedulability", _cmd_schedulability, "Section 9 analysis on a random set"),
+        ("compare", _cmd_compare, "simulate one workload under every protocol"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--transactions", type=int, default=6)
+        p.add_argument("--items", type=int, default=12)
+        p.add_argument("--write-probability", type=float, default=0.3)
+        p.add_argument("--utilization", type=float, default=0.5)
+        p.add_argument("--seed", type=int, default=0)
+        p.set_defaults(func=func)
+
+    export = sub.add_parser(
+        "export", help="write a paper example's trace as JSON + CSV series"
+    )
+    export.add_argument("example", choices=["example1", "example3", "example4"])
+    export.add_argument("--protocol", default="pcp-da")
+    export.add_argument("--output-dir", default="traces")
+    export.set_defaults(func=_cmd_export)
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate a task set defined in a JSON file"
+    )
+    simulate.add_argument("taskset", help="path to a task-set JSON document")
+    simulate.add_argument("--protocol", default="pcp-da")
+    simulate.add_argument("--horizon", type=float, default=None)
+    simulate.add_argument(
+        "--firm", action="store_true",
+        help="drop jobs at their deadlines (on_miss='abort')",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run the full paper-vs-measured ledger (every table and figure)",
+    )
+    reproduce.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print every check and the regenerated artifacts",
+    )
+    reproduce.add_argument(
+        "--extended", action="store_true",
+        help="also run the extension experiments (overload, open system, "
+             "ablation, refined analysis)",
+    )
+    reproduce.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

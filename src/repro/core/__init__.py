@@ -1,0 +1,26 @@
+"""The paper's contribution: PCP-DA and its building blocks.
+
+* :class:`~repro.core.ceilings.CeilingTable` — static priority ceilings
+  (``Wceil``, ``Aceil``, ``HPW``) derived from a task set's declared read
+  and write sets;
+* :mod:`repro.core.compatibility` — the paper's Table 1 (lock compatibility
+  under dynamic adjustment of serialization order);
+* :mod:`repro.core.locking_conditions` — LC1..LC4 as inspectable
+  predicates, shared by the protocol and the tests;
+* :class:`~repro.core.pcp_da.PCPDA` — the protocol itself.
+"""
+
+from repro.core.ceilings import CeilingTable
+from repro.core.compatibility import CompatibilityDecision, compatibility_table, lock_compatible
+from repro.core.locking_conditions import ConditionReport, evaluate_conditions
+from repro.core.pcp_da import PCPDA
+
+__all__ = [
+    "CeilingTable",
+    "CompatibilityDecision",
+    "ConditionReport",
+    "PCPDA",
+    "compatibility_table",
+    "evaluate_conditions",
+    "lock_compatible",
+]

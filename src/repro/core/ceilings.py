@@ -1,0 +1,81 @@
+"""Static priority ceilings derived from a task set.
+
+Definitions (paper, Sections 3 and 5), all in terms of *original* priorities
+of the transactions that may access an item:
+
+* ``Wceil(x)`` — priority of the highest-priority transaction that may
+  **write** ``x``.  In PCP-DA this is the only ceiling; it "comes into
+  effect" only while ``x`` is read-locked.  ``HPW(x)`` in the protocol text
+  is the same static quantity.
+* ``Aceil(x)`` — priority of the highest-priority transaction that may
+  **read or write** ``x`` (used by RW-PCP and the original PCP).
+
+Items nobody writes (resp. accesses) get the *dummy* ceiling, "lower than
+the priorities of all transactions in the system".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from repro.exceptions import SpecificationError
+from repro.model.spec import DUMMY_PRIORITY, TaskSet
+
+
+class CeilingTable:
+    """Precomputed ``Wceil`` / ``Aceil`` for every item of a task set."""
+
+    def __init__(self, taskset: TaskSet):
+        if not taskset.has_priorities:
+            raise SpecificationError(
+                "ceilings require every transaction to carry a priority"
+            )
+        self._wceil: Dict[str, int] = {}
+        self._aceil: Dict[str, int] = {}
+        for spec in taskset:
+            assert spec.priority is not None
+            for item in spec.write_set:
+                self._wceil[item] = max(
+                    self._wceil.get(item, DUMMY_PRIORITY), spec.priority
+                )
+                self._aceil[item] = max(
+                    self._aceil.get(item, DUMMY_PRIORITY), spec.priority
+                )
+            for item in spec.read_set:
+                self._aceil[item] = max(
+                    self._aceil.get(item, DUMMY_PRIORITY), spec.priority
+                )
+        self._items = frozenset(self._aceil)
+
+    @property
+    def items(self) -> FrozenSet[str]:
+        """Items accessed by at least one transaction."""
+        return self._items
+
+    def wceil(self, item: str) -> int:
+        """``Wceil(x)``; the dummy priority when nobody writes ``x``."""
+        return self._wceil.get(item, DUMMY_PRIORITY)
+
+    def hpw(self, item: str) -> int:
+        """``HPW(x)`` — alias of :meth:`wceil`; the paper distinguishes the
+        names only because ``Wceil`` is said to "come into effect" when the
+        item is read-locked, while ``HPW`` is the raw static quantity."""
+        return self._wceil.get(item, DUMMY_PRIORITY)
+
+    def aceil(self, item: str) -> int:
+        """``Aceil(x)``; the dummy priority when nobody accesses ``x``."""
+        return self._aceil.get(item, DUMMY_PRIORITY)
+
+    def as_mapping(self) -> Mapping[str, Tuple[int, int]]:
+        """``{item: (Wceil, Aceil)}`` for reports and tests."""
+        return {
+            item: (self.wceil(item), self.aceil(item))
+            for item in sorted(self._items)
+        }
+
+    def describe(self) -> str:
+        """ASCII table of every item's Wceil/Aceil."""
+        lines = ["item  Wceil  Aceil"]
+        for item in sorted(self._items):
+            lines.append(f"{item:<5} {self.wceil(item):>5}  {self.aceil(item):>5}")
+        return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""The paper's Table 1: lock compatibility with dynamic serialization order.
+
+With deferred updates, the compatibility of a new request against an
+existing holder is:
+
+=====================  ==============  ==============
+holder ``T_L`` holds   ``T_H`` requests read  ``T_H`` requests write
+=====================  ==============  ==============
+read lock              OK              **NOK** (Case 2: a read must block
+                                       later conflicting writes)
+write lock             OK\\*           OK (Case 3: blind writes are
+                                       non-conflicting)
+=====================  ==============  ==============
+
+\\* under the condition ``DataRead(T_L) ∩ WriteSet(T_H) = ∅`` — the
+sufficient condition of Section 4.1 that guarantees the reader commits
+before the writer (Case 1), so neither transaction ever restarts.
+
+This table is *necessary* for consistency and no-restart, but not
+sufficient for single-blocking and deadlock freedom; the ceiling-based
+locking conditions LC1..LC4 add that (see
+:mod:`repro.core.locking_conditions`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, List, Tuple
+
+from repro.model.spec import LockMode
+
+
+@dataclass(frozen=True)
+class CompatibilityDecision:
+    """Outcome of one compatibility lookup.
+
+    Attributes:
+        compatible: whether the request may coexist with the holder's lock.
+        conditional: True when compatibility depended on the Table-1 ``*``
+            condition (read request over a write lock).
+        rationale: which of the paper's cases decided it.
+    """
+
+    compatible: bool
+    conditional: bool
+    rationale: str
+
+
+def lock_compatible(
+    held: LockMode,
+    requested: LockMode,
+    holder_data_read: AbstractSet[str] = frozenset(),
+    requester_write_set: AbstractSet[str] = frozenset(),
+) -> CompatibilityDecision:
+    """Evaluate Table 1 for one (holder mode, requested mode) pair.
+
+    Args:
+        held: mode the holder ``T_L`` has on the item.
+        requested: mode ``T_H`` requests on the same item.
+        holder_data_read: ``DataRead(T_L)`` — items the holder has read.
+        requester_write_set: ``WriteSet(T_H)`` — items the requester may
+            write (static).
+
+    Returns:
+        A :class:`CompatibilityDecision`.
+    """
+    if held is LockMode.READ and requested is LockMode.READ:
+        return CompatibilityDecision(
+            True, False, "read/read: no conflict"
+        )
+    if held is LockMode.READ and requested is LockMode.WRITE:
+        return CompatibilityDecision(
+            False,
+            False,
+            "Case 2 (Read_L, Write_H): serialization order is forced to "
+            "T_L -> T_H, so T_H must wait",
+        )
+    if held is LockMode.WRITE and requested is LockMode.WRITE:
+        return CompatibilityDecision(
+            True,
+            False,
+            "Case 3 (Write_L, Write_H): blind writes are non-conflicting; "
+            "commit order decides the final value",
+        )
+    # held WRITE, requested READ — Case 1, conditional.
+    overlap = sorted(set(holder_data_read) & set(requester_write_set))
+    if overlap:
+        return CompatibilityDecision(
+            False,
+            True,
+            "Case 1 (Write_L, Read_H) refused: DataRead(T_L) ∩ WriteSet(T_H) "
+            f"= {overlap} ≠ ∅, so T_H could later be blocked by T_L and "
+            "fail to commit first",
+        )
+    return CompatibilityDecision(
+        True,
+        True,
+        "Case 1 (Write_L, Read_H): allowed because DataRead(T_L) ∩ "
+        "WriteSet(T_H) = ∅ guarantees T_H commits before T_L "
+        "(serialization order adjusted to T_H -> T_L)",
+    )
+
+
+def compatibility_table() -> List[Tuple[str, str, str, bool]]:
+    """Regenerate Table 1 as rows ``(held, requested, condition, ok)``.
+
+    The conditional cell is expanded into its two outcomes, so the table
+    has five rows: the four mode pairs plus the refused variant of the
+    conditional cell.
+    """
+    rows: List[Tuple[str, str, str, bool]] = []
+    for held in (LockMode.READ, LockMode.WRITE):
+        for requested in (LockMode.READ, LockMode.WRITE):
+            if held is LockMode.WRITE and requested is LockMode.READ:
+                ok = lock_compatible(held, requested, frozenset(), frozenset())
+                rows.append(
+                    (str(held), str(requested),
+                     "DataRead(T_L) ∩ WriteSet(T_H) = ∅", ok.compatible)
+                )
+                refused = lock_compatible(
+                    held, requested, frozenset({"y"}), frozenset({"y"})
+                )
+                rows.append(
+                    (str(held), str(requested),
+                     "DataRead(T_L) ∩ WriteSet(T_H) ≠ ∅", refused.compatible)
+                )
+            else:
+                ok = lock_compatible(held, requested)
+                rows.append((str(held), str(requested), "-", ok.compatible))
+    return rows
+
+
+def render_compatibility_table() -> str:
+    """ASCII rendering of Table 1 for reports and the benchmark harness."""
+    rows = compatibility_table()
+    lines = [
+        "T_L holds | T_H requests | condition                          | outcome",
+        "----------+--------------+------------------------------------+--------",
+    ]
+    for held, requested, condition, ok in rows:
+        outcome = "OK" if ok else "NOK"
+        lines.append(
+            f"{held:<9} | {requested:<12} | {condition:<34} | {outcome}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Memory-resident database substrate.
+
+The paper assumes "a single processor with a memory resident database".
+This package provides:
+
+* :class:`~repro.db.database.Database` — named data items holding versioned
+  values, with both *update-in-workspace* (deferred install at commit) and
+  *update-in-place* (immediate install) write paths, because PCP-DA uses the
+  former while RW-PCP/CCP use the latter;
+* :class:`~repro.db.history.History` — a recorder of committed reads and
+  installed writes, sufficient to decide conflict serializability;
+* :class:`~repro.db.serialization_graph.SerializationGraph` — ``SG(H)`` with
+  cycle detection, used by Theorem 3's correctness check.
+"""
+
+from repro.db.database import Database, DataItem, Version
+from repro.db.history import History, HistoryEvent
+from repro.db.serialization_graph import SerializationGraph
+from repro.db.serializability import check_serializable, serialization_order
+
+__all__ = [
+    "DataItem",
+    "Database",
+    "History",
+    "HistoryEvent",
+    "SerializationGraph",
+    "Version",
+    "check_serializable",
+    "serialization_order",
+]

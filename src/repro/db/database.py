@@ -1,0 +1,135 @@
+"""The memory-resident database: data items and installed versions.
+
+Each :class:`DataItem` stores the sequence of *installed* versions, stamped
+with the installing transaction and the install time.  Under the
+update-in-workspace model a transaction's writes are buffered in its private
+workspace (:mod:`repro.engine.workspace`) and installed here atomically at
+commit; under update-in-place a write is installed the moment the write
+operation executes.
+
+Values are opaque; for traceability the engine writes tokens like
+``"T2#0@5"`` (transaction, instance, time), which is enough for the
+serializability checker to bind every read to the version it observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class Version:
+    """One installed version of a data item.
+
+    Attributes:
+        value: the stored value (opaque to the engine).
+        writer: name of the *job* (transaction instance) that installed it,
+            or ``None`` for the initial version.
+        time: simulation time of installation.
+        seq: global install sequence number; total order over installs.
+    """
+
+    value: Any
+    writer: Optional[str]
+    time: float
+    seq: int
+
+
+class DataItem:
+    """A single named data item with its version history."""
+
+    __slots__ = ("name", "_versions")
+
+    def __init__(self, name: str, initial_value: Any = None):
+        self.name = name
+        self._versions: List[Version] = [Version(initial_value, None, 0.0, 0)]
+
+    @property
+    def current(self) -> Version:
+        """The most recently installed version."""
+        return self._versions[-1]
+
+    @property
+    def versions(self) -> Tuple[Version, ...]:
+        """All installed versions, oldest first."""
+        return tuple(self._versions)
+
+    def install(self, value: Any, writer: str, time: float, seq: int) -> Version:
+        """Install a new committed version and return it."""
+        if time < self.current.time:
+            raise SimulationError(
+                f"install on {self.name} at t={time} precedes latest version "
+                f"at t={self.current.time}"
+            )
+        version = Version(value, writer, time, seq)
+        self._versions.append(version)
+        return version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataItem({self.name!r}, current={self.current.value!r})"
+
+
+class Database:
+    """A set of named data items.
+
+    Items can be declared up front (from a task set's access sets) or
+    created lazily on first touch; lazy creation keeps the worked examples
+    terse while the workload generator declares everything explicitly.
+    """
+
+    def __init__(self, items: Iterable[str] = ()):
+        self._items: Dict[str, DataItem] = {}
+        self._install_seq = 0
+        for name in items:
+            self.declare(name)
+
+    def declare(self, name: str, initial_value: Any = None) -> DataItem:
+        """Create ``name`` if it does not exist; return the item."""
+        if name not in self._items:
+            self._items[name] = DataItem(name, initial_value)
+        return self._items[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._items
+
+    def __getitem__(self, name: str) -> DataItem:
+        return self.declare(name)
+
+    @property
+    def item_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._items))
+
+    def read_committed(self, name: str) -> Version:
+        """Return the latest installed version of ``name``.
+
+        This is what a reader observes under the update-in-workspace model
+        even when another transaction holds a write lock: the writer's
+        pending value lives only in its private workspace until commit.
+        """
+        return self[name].current
+
+    def install(self, name: str, value: Any, writer: str, time: float) -> Version:
+        """Install a committed value, assigning the next global sequence number."""
+        self._install_seq += 1
+        return self[name].install(value, writer, time, self._install_seq)
+
+    def install_many(
+        self, updates: Dict[str, Any], writer: str, time: float
+    ) -> Dict[str, Version]:
+        """Atomically install a set of updates (a commit's write-back).
+
+        Items are installed in sorted order under one logical timestamp;
+        the per-install sequence numbers remain distinct so ``ww`` ordering
+        stays a total order.
+        """
+        return {
+            name: self.install(name, value, writer, time)
+            for name, value in sorted(updates.items())
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Current committed value of every item (for assertions in tests)."""
+        return {name: item.current.value for name, item in self._items.items()}

@@ -1,0 +1,146 @@
+"""Committed-history recording.
+
+A :class:`History` is the sequence of *observable* data events of a run:
+
+* ``read`` events — a job bound its read of item ``x`` to a particular
+  installed version (identified by that version's install sequence number);
+* ``install`` events — a committed write placed a new version of ``x``;
+* ``commit`` / ``abort`` events — transaction outcomes.
+
+This is exactly the information needed to build ``SG(H)`` and check the
+paper's Theorem 3 (all histories produced by PCP-DA are serializable).  The
+history speaks in terms of *jobs* (transaction instances, e.g. ``"T2#0"``)
+because under periodic execution each instance is an independent transaction
+for serializability purposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+class HistoryEventKind(enum.Enum):
+    READ = "read"
+    INSTALL = "install"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One observable event of a committed history.
+
+    Attributes:
+        kind: read / install / commit / abort.
+        job: the job (transaction instance) performing the event.
+        item: the data item, for read/install events.
+        version_seq: for READ — the install sequence number of the version
+            observed (0 = initial version); for INSTALL — the sequence number
+            of the version created.
+        time: simulation time of the event.
+        seq: global history order (assigned by the recorder).
+    """
+
+    kind: HistoryEventKind
+    job: str
+    item: Optional[str]
+    version_seq: Optional[int]
+    time: float
+    seq: int
+
+
+class History:
+    """Append-only recorder of history events."""
+
+    def __init__(self) -> None:
+        self._events: List[HistoryEvent] = []
+        self._committed: List[str] = []
+        self._aborted: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[HistoryEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[HistoryEvent, ...]:
+        return tuple(self._events)
+
+    @property
+    def committed_jobs(self) -> Tuple[str, ...]:
+        """Jobs that committed, in commit order."""
+        return tuple(self._committed)
+
+    @property
+    def aborted_jobs(self) -> Tuple[str, ...]:
+        """Jobs that were aborted at least once (abort-based baselines only)."""
+        return tuple(self._aborted)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _append(
+        self,
+        kind: HistoryEventKind,
+        job: str,
+        item: Optional[str],
+        version_seq: Optional[int],
+        time: float,
+    ) -> HistoryEvent:
+        event = HistoryEvent(kind, job, item, version_seq, time, len(self._events))
+        self._events.append(event)
+        return event
+
+    def record_read(self, job: str, item: str, version_seq: int, time: float) -> None:
+        """A job observed version ``version_seq`` of ``item``."""
+        self._append(HistoryEventKind.READ, job, item, version_seq, time)
+
+    def record_install(self, job: str, item: str, version_seq: int, time: float) -> None:
+        """A committed write of ``job`` created version ``version_seq``."""
+        self._append(HistoryEventKind.INSTALL, job, item, version_seq, time)
+
+    def record_commit(self, job: str, time: float) -> None:
+        """The job committed at ``time``."""
+        self._append(HistoryEventKind.COMMIT, job, None, None, time)
+        self._committed.append(job)
+
+    def record_abort(self, job: str, time: float) -> None:
+        """The job's current execution was aborted at ``time``."""
+        self._append(HistoryEventKind.ABORT, job, None, None, time)
+        self._aborted.append(job)
+
+    # ------------------------------------------------------------------
+    # Views used by the serializability checker
+    # ------------------------------------------------------------------
+    def committed_reads(self) -> Sequence[HistoryEvent]:
+        """READ events of the *surviving* execution of each committed job.
+
+        Reads performed by an execution that was later aborted and restarted
+        (2PL-HP, deadlock-resolution aborts) do not participate in
+        ``SG(H)``: the restarted execution re-reads.  For each committed job
+        only READ events after its last ABORT are kept; reads by jobs that
+        never committed (still running at the horizon) are excluded too.
+        """
+        committed = set(self._committed)
+        last_abort: dict = {}
+        for e in self._events:
+            if e.kind is HistoryEventKind.ABORT:
+                last_abort[e.job] = e.seq
+        return [
+            e
+            for e in self._events
+            if e.kind is HistoryEventKind.READ
+            and e.job in committed
+            and e.seq > last_abort.get(e.job, -1)
+        ]
+
+    def installs(self) -> Sequence[HistoryEvent]:
+        """INSTALL events, in global history order (= install seq order)."""
+        return [e for e in self._events if e.kind is HistoryEventKind.INSTALL]
+
+    def commit_order(self) -> Tuple[str, ...]:
+        """Alias of :attr:`committed_jobs` for readability at call sites."""
+        return self.committed_jobs

@@ -1,0 +1,143 @@
+"""Serialization graph ``SG(H)`` with cycle detection.
+
+Nodes are committed jobs; a directed edge ``T_i -> T_j`` means ``T_i`` must
+precede ``T_j`` in any equivalent serial order.  The graph is small (one node
+per committed job), so the implementation favours clarity: adjacency sets, a
+Kahn topological sort for acyclicity, and an explicit DFS to extract a
+witness cycle when one exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class SerializationGraph:
+    """A directed graph over job names with labelled edges."""
+
+    def __init__(self, nodes: Iterable[str] = ()):
+        self._succ: Dict[str, Set[str]] = {}
+        self._labels: Dict[Tuple[str, str], Set[str]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        """Ensure ``node`` exists (idempotent)."""
+        self._succ.setdefault(node, set())
+
+    def add_edge(self, src: str, dst: str, label: str = "") -> None:
+        """Add ``src -> dst``; self-loops are ignored (a transaction never
+        conflicts with itself in ``SG(H)``)."""
+        if src == dst:
+            return
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].add(dst)
+        if label:
+            self._labels.setdefault((src, dst), set()).add(label)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._succ))
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(
+            sorted((s, d) for s, dsts in self._succ.items() for d in dsts)
+        )
+
+    def successors(self, node: str) -> Tuple[str, ...]:
+        """Nodes reachable from ``node`` by one edge, sorted."""
+        return tuple(sorted(self._succ.get(node, ())))
+
+    def edge_labels(self, src: str, dst: str) -> Tuple[str, ...]:
+        """Conflict kinds ("wr", "rw", "ww") that induced ``src -> dst``."""
+        return tuple(sorted(self._labels.get((src, dst), ())))
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        """Whether the edge ``src -> dst`` exists."""
+        return dst in self._succ.get(src, ())
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    # ------------------------------------------------------------------
+    # Acyclicity
+    # ------------------------------------------------------------------
+    def topological_order(self) -> Optional[Tuple[str, ...]]:
+        """Kahn's algorithm.
+
+        Returns a topological order of the nodes (a valid serialization
+        order of the committed transactions), or ``None`` if the graph has
+        a cycle.  Among admissible orders the lexicographically smallest is
+        returned, making results deterministic for tests.
+        """
+        indeg: Dict[str, int] = {n: 0 for n in self._succ}
+        for dsts in self._succ.values():
+            for d in dsts:
+                indeg[d] += 1
+        ready = sorted(n for n, deg in indeg.items() if deg == 0)
+        order: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            inserted = False
+            for d in sorted(self._succ[node]):
+                indeg[d] -= 1
+                if indeg[d] == 0:
+                    ready.append(d)
+                    inserted = True
+            if inserted:
+                ready.sort()
+        if len(order) != len(self._succ):
+            return None
+        return tuple(order)
+
+    def is_acyclic(self) -> bool:
+        """Whether the graph admits a topological order."""
+        return self.topological_order() is not None
+
+    def find_cycle(self) -> Optional[Tuple[str, ...]]:
+        """Return one cycle as a tuple of nodes (without repeating the
+        first node at the end), or ``None`` when the graph is acyclic."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[str, int] = {n: WHITE for n in self._succ}
+        parent: Dict[str, Optional[str]] = {}
+
+        for root in sorted(self._succ):
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[str, Iterable[str]]] = [
+                (root, iter(sorted(self._succ[root])))
+            ]
+            colour[root] = GREY
+            parent[root] = None
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if colour[nxt] == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(sorted(self._succ[nxt]))))
+                        advanced = True
+                        break
+                    if colour[nxt] == GREY:
+                        # Found a back edge node -> nxt: unwind the parents.
+                        cycle = [node]
+                        cur = node
+                        while cur != nxt:
+                            cur = parent[cur]  # type: ignore[assignment]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return tuple(cycle)
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None

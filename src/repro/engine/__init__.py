@@ -1,0 +1,46 @@
+"""Discrete-event simulation engine for a single-processor hard RTDBS.
+
+This package is the substrate the paper's evaluation runs on: a
+deterministic discrete-event simulator of a single CPU with preemptive
+fixed-priority scheduling, priority inheritance, a lock manager, and
+private per-transaction workspaces (the update-in-workspace model of
+Section 4).  Concurrency-control protocols plug in through
+:class:`~repro.engine.interfaces.ConcurrencyControlProtocol`.
+
+Public names:
+
+* :class:`~repro.engine.simulator.Simulator` and
+  :class:`~repro.engine.simulator.SimulationResult`
+* :class:`~repro.engine.simulator.SimConfig`
+* :class:`~repro.engine.job.Job` / :class:`~repro.engine.job.JobState`
+* :class:`~repro.engine.lock_table.LockTable`
+* the protocol decision types
+  :class:`~repro.engine.interfaces.Grant`,
+  :class:`~repro.engine.interfaces.Deny`,
+  :class:`~repro.engine.interfaces.AbortAndGrant`
+"""
+
+from repro.engine.interfaces import (
+    AbortAndGrant,
+    ConcurrencyControlProtocol,
+    Deny,
+    Grant,
+    InstallPolicy,
+)
+from repro.engine.job import Job, JobState
+from repro.engine.lock_table import LockTable
+from repro.engine.simulator import SimConfig, SimulationResult, Simulator
+
+__all__ = [
+    "AbortAndGrant",
+    "ConcurrencyControlProtocol",
+    "Deny",
+    "Grant",
+    "InstallPolicy",
+    "Job",
+    "JobState",
+    "LockTable",
+    "SimConfig",
+    "SimulationResult",
+    "Simulator",
+]

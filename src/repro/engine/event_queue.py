@@ -1,0 +1,97 @@
+"""A deterministic event calendar.
+
+The queue is a binary heap keyed by ``(time, sequence)``: events at the same
+simulation time pop in insertion order, which makes every run reproducible.
+Cancellation is handled by *tokens* — an operation-completion event carries
+the token it was scheduled under, and the simulator bumps a job's token when
+the job is preempted, so stale completions are recognised and dropped
+instead of being laboriously removed from the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+
+#: Same-time ordering: operation completions (and the commits they trigger)
+#: happen before new arrivals at the same instant, matching the paper's
+#: narration ("at time 3, T3 completes its execution and releases its
+#: locks" — an arrival at time 3 already sees them released).
+#: Deadline checks run after completions (a commit at exactly the deadline
+#: meets it) and after arrivals.
+_KIND_RANK = {"op_done": 0, "arrival": 1, "deadline": 2}
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """An entry in the calendar.
+
+    Attributes:
+        time: simulation time at which the event fires.
+        seq: tie-breaking insertion sequence (assigned by the queue).
+        kind: event discriminator string (``"arrival"``, ``"op_done"``...).
+        payload: event-specific data (kept opaque to the queue).
+    """
+
+    time: float
+    seq: int
+    kind: str
+    payload: Any
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Heap ordering: time, then same-time kind rank, then insertion."""
+        return (self.time, _KIND_RANK.get(self.kind, 9), self.seq)
+
+
+class EventQueue:
+    """Binary-heap calendar with deterministic same-time ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Tuple[float, int, int], ScheduledEvent]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event (starts at 0)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, kind: str, payload: Any) -> ScheduledEvent:
+        """Schedule an event; ``time`` must not precede the current time."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule {kind!r} at t={time} in the past (now={self._now})"
+            )
+        event = ScheduledEvent(time, next(self._counter), kind, payload)
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def pop(self) -> ScheduledEvent:
+        """Pop the earliest event and advance the clock to it."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        _, event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` when the calendar is empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0][0]
+
+    def drain(self) -> Iterator[ScheduledEvent]:
+        """Pop every remaining event in order (used by tests)."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,151 @@
+"""The lock table: who holds which lock in which mode.
+
+The table is deliberately *policy-free*: it records grants and releases and
+answers queries, while every admission decision lives in the protocol
+objects.  This split keeps each protocol's rules readable against the paper
+text and lets all protocols share one bookkeeping implementation.
+
+Unusual-but-intentional capabilities (required by PCP-DA):
+
+* multiple concurrent *write* holders on one item — the paper's Case 3
+  treats blind writes as non-conflicting, so PCP-DA grants co-existing
+  write locks (commit order decides the final value);
+* a reader co-existing with a writer on the same item (Case 1) — the reader
+  observes the committed version while the writer's value sits in its
+  workspace.
+
+Stricter protocols simply never grant such combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.exceptions import ProtocolError
+from repro.model.spec import LockMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.job import Job
+
+
+@dataclass
+class LockEntry:
+    """Holders of one data item, by mode."""
+
+    readers: "Set[Job]" = field(default_factory=set)
+    writers: "Set[Job]" = field(default_factory=set)
+
+    @property
+    def holders(self) -> "FrozenSet[Job]":
+        return frozenset(self.readers | self.writers)
+
+    @property
+    def empty(self) -> bool:
+        return not self.readers and not self.writers
+
+
+class LockTable:
+    """Mapping of item name to :class:`LockEntry`, plus per-job indexes."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, LockEntry] = {}
+        self._held_by_job: "Dict[Job, Dict[str, Set[LockMode]]]" = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def grant(self, job: "Job", item: str, mode: LockMode) -> None:
+        """Record that ``job`` now holds ``item`` in ``mode``.
+
+        Granting a mode the job already holds is an error — the engine
+        checks for held locks before consulting the protocol.
+        """
+        entry = self._entries.setdefault(item, LockEntry())
+        side = entry.readers if mode is LockMode.READ else entry.writers
+        if job in side:
+            raise ProtocolError(f"{job.name} already holds {mode} lock on {item!r}")
+        side.add(job)
+        self._held_by_job.setdefault(job, {}).setdefault(item, set()).add(mode)
+
+    def release(self, job: "Job", item: str, mode: LockMode) -> None:
+        """Release one lock (CCP's early unlock path)."""
+        entry = self._entries.get(item)
+        side = entry.readers if (entry and mode is LockMode.READ) else (
+            entry.writers if entry else None
+        )
+        if entry is None or side is None or job not in side:
+            raise ProtocolError(f"{job.name} does not hold {mode} lock on {item!r}")
+        side.discard(job)
+        modes = self._held_by_job.get(job, {}).get(item)
+        if modes:
+            modes.discard(mode)
+            if not modes:
+                del self._held_by_job[job][item]
+        if entry.empty:
+            del self._entries[item]
+
+    def release_all(self, job: "Job") -> Tuple[Tuple[str, LockMode], ...]:
+        """Release every lock ``job`` holds; returns what was released."""
+        released: List[Tuple[str, LockMode]] = []
+        for item, modes in list(self._held_by_job.get(job, {}).items()):
+            for mode in list(modes):
+                self.release(job, item, mode)
+                released.append((item, mode))
+        self._held_by_job.pop(job, None)
+        return tuple(released)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def readers_of(self, item: str) -> "FrozenSet[Job]":
+        """Jobs holding a read lock on ``item``."""
+        entry = self._entries.get(item)
+        return frozenset(entry.readers) if entry else frozenset()
+
+    def writers_of(self, item: str) -> "FrozenSet[Job]":
+        """Jobs holding a write lock on ``item``."""
+        entry = self._entries.get(item)
+        return frozenset(entry.writers) if entry else frozenset()
+
+    def holders_of(self, item: str) -> "FrozenSet[Job]":
+        """Jobs holding any lock on ``item``."""
+        entry = self._entries.get(item)
+        return entry.holders if entry else frozenset()
+
+    def holds(self, job: "Job", item: str, mode: LockMode) -> bool:
+        """Whether ``job`` holds ``item`` in exactly ``mode``."""
+        return mode in self._held_by_job.get(job, {}).get(item, ())
+
+    def holds_any(self, job: "Job", item: str) -> bool:
+        """Whether ``job`` holds ``item`` in any mode."""
+        return bool(self._held_by_job.get(job, {}).get(item))
+
+    def items_held_by(self, job: "Job") -> "Dict[str, FrozenSet[LockMode]]":
+        """``{item: modes}`` for every lock ``job`` currently holds."""
+        return {
+            item: frozenset(modes)
+            for item, modes in self._held_by_job.get(job, {}).items()
+        }
+
+    def read_locked_items(self, exclude: "Job" = None) -> Tuple[str, ...]:
+        """Items currently read-locked by some job other than ``exclude``."""
+        out = []
+        for item, entry in self._entries.items():
+            readers = entry.readers - {exclude} if exclude else entry.readers
+            if readers:
+                out.append(item)
+        return tuple(sorted(out))
+
+    def locked_items(self, exclude: "Job" = None) -> Tuple[str, ...]:
+        """Items locked (any mode) by some job other than ``exclude``."""
+        out = []
+        for item, entry in self._entries.items():
+            holders = entry.holders - {exclude} if exclude else entry.holders
+            if holders:
+                out.append(item)
+        return tuple(sorted(out))
+
+    def all_entries(self) -> "Dict[str, LockEntry]":
+        """Live view of the table (tests and protocol tracing only)."""
+        return self._entries

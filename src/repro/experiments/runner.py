@@ -1,0 +1,71 @@
+"""Run the whole reproduction ledger and render the summary."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.figures import (
+    run_example5,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table1,
+)
+from repro.experiments.extensions import (
+    run_ablation_extension,
+    run_open_system_extension,
+    run_overload_extension,
+    run_reconstruction_findings,
+    run_refined_analysis_extension,
+)
+from repro.experiments.section9 import run_section9_analysis, run_section9_sweep
+from repro.experiments.spec import ExperimentReport
+
+_EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
+    "table1": run_table1,
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "example5": run_example5,
+    "section9": run_section9_analysis,
+    "section9-sweep": run_section9_sweep,
+}
+
+_EXTENSIONS: Dict[str, Callable[[], ExperimentReport]] = {
+    "overload": run_overload_extension,
+    "open-system": run_open_system_extension,
+    "ablation": run_ablation_extension,
+    "refined-analysis": run_refined_analysis_extension,
+    "reconstruction-findings": run_reconstruction_findings,
+}
+
+
+def all_experiments(*, extended: bool = False) -> Dict[str, Callable[[], ExperimentReport]]:
+    """Name -> runner; pass ``extended=True`` to include the extensions."""
+    out = dict(_EXPERIMENTS)
+    if extended:
+        out.update(_EXTENSIONS)
+    return out
+
+
+def run_all(*, extended: bool = False) -> List[ExperimentReport]:
+    """Execute the ledger (deterministic; a few seconds, ~10s extended)."""
+    return [runner() for runner in all_experiments(extended=extended).values()]
+
+
+def render_summary(reports: List[ExperimentReport], *, verbose: bool = False) -> str:
+    """Human-readable summary; failures are always expanded."""
+    lines: List[str] = []
+    total = passed = 0
+    for report in reports:
+        lines.append(report.render(verbose=verbose))
+        total += len(report.checks)
+        passed += report.n_passed
+    status = "ALL CHECKS PASS" if passed == total else "FAILURES PRESENT"
+    lines.append("")
+    lines.append(f"reproduction ledger: {passed}/{total} checks pass — {status}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Transaction and task-set model.
+
+This package defines the *static* description of a real-time database
+workload, exactly as the paper's Section 5 assumes it:
+
+* periodic transactions on a single processor,
+* rate-monotonic priority assignment (shorter period = higher priority),
+* deadline at the end of the period,
+* each transaction is a fixed, declared sequence of read / write / compute
+  operations, so read sets and write sets are known a priori — a
+  prerequisite for computing priority ceilings.
+
+Public names:
+
+* :class:`~repro.model.spec.Operation` and the constructors
+  :func:`~repro.model.spec.read`, :func:`~repro.model.spec.write`,
+  :func:`~repro.model.spec.compute`
+* :class:`~repro.model.spec.TransactionSpec`
+* :class:`~repro.model.spec.TaskSet`
+* :func:`~repro.model.priorities.assign_rate_monotonic`
+* :data:`~repro.model.spec.DUMMY_PRIORITY`
+"""
+
+from repro.model.spec import (
+    DUMMY_PRIORITY,
+    LockMode,
+    OpKind,
+    Operation,
+    TaskSet,
+    TransactionSpec,
+    compute,
+    read,
+    write,
+)
+from repro.model.priorities import assign_deadline_monotonic, assign_rate_monotonic
+from repro.model.validation import validate_taskset
+
+__all__ = [
+    "DUMMY_PRIORITY",
+    "LockMode",
+    "OpKind",
+    "Operation",
+    "TaskSet",
+    "TransactionSpec",
+    "assign_deadline_monotonic",
+    "assign_rate_monotonic",
+    "compute",
+    "read",
+    "validate_taskset",
+    "write",
+]

@@ -1,0 +1,86 @@
+"""Priority assignment policies.
+
+The paper assumes rate-monotonic priority assignment (Liu & Layland): a
+transaction with a shorter period gets a higher priority, and priorities form
+a total order.  Priorities here are positive integers with *larger = higher*;
+:data:`repro.model.spec.DUMMY_PRIORITY` (zero) is reserved for the dummy
+ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.exceptions import SpecificationError
+from repro.model.spec import TaskSet, TransactionSpec
+
+
+def assign_rate_monotonic(taskset: TaskSet) -> TaskSet:
+    """Assign rate-monotonic priorities to every transaction in ``taskset``.
+
+    Shorter period gets a higher priority.  Ties on period are broken by
+    transaction name (lexicographic, earlier name wins) so that the result
+    is deterministic and forms a total order, as the paper requires.
+
+    Args:
+        taskset: task set whose transactions all have a period.
+
+    Returns:
+        A new :class:`TaskSet` where the shortest-period transaction has
+        priority ``n`` and the longest-period one has priority ``1``.
+
+    Raises:
+        SpecificationError: if any transaction is aperiodic.
+    """
+    specs = list(taskset)
+    for s in specs:
+        if s.period is None:
+            raise SpecificationError(
+                f"{s.name}: rate-monotonic assignment requires a period"
+            )
+    # Sort by (period, name): earliest entries get the highest priorities.
+    ordered = sorted(specs, key=lambda s: (s.period, s.name))
+    n = len(ordered)
+    return TaskSet(
+        spec.with_priority(n - rank) for rank, spec in enumerate(ordered)
+    )
+
+
+def assign_deadline_monotonic(taskset: TaskSet) -> TaskSet:
+    """Assign deadline-monotonic priorities (shorter relative deadline =
+    higher priority).
+
+    Optimal among fixed-priority assignments when deadlines may be shorter
+    than periods (Leung & Whitehead); coincides with rate-monotonic when
+    every deadline equals its period.  Ties are broken by name.
+
+    Raises:
+        SpecificationError: if any transaction lacks a relative deadline
+            (i.e. is aperiodic with no explicit deadline).
+    """
+    specs = list(taskset)
+    for s in specs:
+        if s.relative_deadline is None:
+            raise SpecificationError(
+                f"{s.name}: deadline-monotonic assignment requires a deadline"
+            )
+    ordered = sorted(specs, key=lambda s: (s.relative_deadline, s.name))
+    n = len(ordered)
+    return TaskSet(
+        spec.with_priority(n - rank) for rank, spec in enumerate(ordered)
+    )
+
+
+def assign_by_order(specs: Iterable[TransactionSpec]) -> TaskSet:
+    """Assign descending priorities following the given iteration order.
+
+    The first spec receives the highest priority.  This mirrors the paper's
+    "T_1, ..., T_n in descending order of priority" convention and is used
+    to encode the worked examples, which fix priorities explicitly rather
+    than deriving them from periods.
+    """
+    spec_list: List[TransactionSpec] = list(specs)
+    if not spec_list:
+        raise SpecificationError("need at least one transaction")
+    n = len(spec_list)
+    return TaskSet(spec.with_priority(n - i) for i, spec in enumerate(spec_list))

@@ -1,0 +1,69 @@
+"""Task-set validation beyond the structural checks in the dataclasses.
+
+:func:`validate_taskset` is called by the simulator before a run; it can also
+be used standalone by workload generators and by users assembling task sets
+by hand.  It collects *all* problems rather than stopping at the first, so a
+failing validation reports everything that needs fixing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import SpecificationError
+from repro.model.spec import TaskSet
+
+
+def validate_taskset(
+    taskset: TaskSet,
+    *,
+    require_priorities: bool = True,
+    require_periods: bool = False,
+) -> None:
+    """Check a task set for semantic problems.
+
+    Args:
+        taskset: the task set to validate.
+        require_priorities: when true (default), every transaction must carry
+            a priority and the priorities must be a total order (enforced at
+            :class:`TaskSet` construction; re-checked here for belt and
+            braces).
+        require_periods: when true, every transaction must be periodic —
+            needed for schedulability analysis but not for one-shot
+            simulations of the paper's examples.
+
+    Raises:
+        SpecificationError: listing every violation found.
+    """
+    problems: List[str] = []
+
+    if require_priorities and not taskset.has_priorities:
+        missing = [s.name for s in taskset if s.priority is None]
+        problems.append(f"transactions without a priority: {missing}")
+
+    for spec in taskset:
+        if require_periods and spec.period is None:
+            problems.append(f"{spec.name}: aperiodic, but a period is required")
+        if spec.period is not None and spec.relative_deadline is not None:
+            if spec.relative_deadline > spec.period:
+                problems.append(
+                    f"{spec.name}: deadline {spec.relative_deadline:g} exceeds "
+                    f"period {spec.period:g} (the paper assumes deadline = period)"
+                )
+        if spec.execution_time <= 0:
+            problems.append(f"{spec.name}: total execution time must be positive")
+        if spec.period is not None and spec.execution_time > spec.period:
+            problems.append(
+                f"{spec.name}: execution time {spec.execution_time:g} exceeds "
+                f"its period {spec.period:g}; the set can never be schedulable"
+            )
+
+    if taskset.has_priorities:
+        priorities = [s.priority for s in taskset]
+        if len(set(priorities)) != len(priorities):
+            problems.append(f"priorities are not a total order: {priorities}")
+
+    if problems:
+        raise SpecificationError(
+            "invalid task set:\n  - " + "\n  - ".join(problems)
+        )

@@ -1,0 +1,56 @@
+"""Concurrency-control protocols: PCP-DA's comparators and variants.
+
+Every protocol implements
+:class:`repro.engine.interfaces.ConcurrencyControlProtocol` and registers
+itself in the name registry, so simulations can be parameterised by a
+string (``make_protocol("rw-pcp")``).
+
+Implemented protocols:
+
+========== =====================================================
+name        protocol
+========== =====================================================
+pcp-da      the paper's contribution (:mod:`repro.core.pcp_da`)
+rw-pcp      read/write priority ceiling protocol (Sha et al.)
+ccp         convex ceiling protocol (Nakazato), early-unlock
+pcp         the original single-ceiling, exclusive-lock PCP
+pip-2pl     two-phase locking with basic priority inheritance
+2pl-hp      two-phase locking with high-priority abort
+2pl         plain two-phase locking (no priority management)
+ipcp        immediate priority ceiling protocol (ceiling locking)
+occ-bc      optimistic concurrency control, broadcast commit
+rw-pcp-abort RW-PCP with high-priority abort instead of blocking
+pcp-da-checked PCP-DA with the paper's Lemmas 1-6 asserted live
+weak-pcp-da PCP-DA with only condition (2) — Example 5's deadlock
+========== =====================================================
+"""
+
+from repro.protocols.base import available_protocols, make_protocol, register_protocol
+from repro.core.pcp_da import PCPDA
+from repro.protocols.rw_pcp import RWPCP
+from repro.protocols.ccp import CCP
+from repro.protocols.original_pcp import OriginalPCP
+from repro.protocols.pip_2pl import PIP2PL
+from repro.protocols.two_pl_hp import TwoPLHP
+from repro.protocols.plain_2pl import Plain2PL
+from repro.protocols.occ_bc import OCCBroadcastCommit
+from repro.protocols.rw_pcp_abort import RWPCPAbort
+from repro.protocols.ipcp import IPCP
+from repro.protocols.weak_pcp_da import WeakPCPDA
+
+__all__ = [
+    "CCP",
+    "IPCP",
+    "OCCBroadcastCommit",
+    "OriginalPCP",
+    "PCPDA",
+    "PIP2PL",
+    "Plain2PL",
+    "RWPCP",
+    "RWPCPAbort",
+    "TwoPLHP",
+    "WeakPCPDA",
+    "available_protocols",
+    "make_protocol",
+    "register_protocol",
+]

@@ -1,0 +1,66 @@
+"""Protocol registry and shared helpers for ceiling-based baselines."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Type
+
+from repro.core.ceilings import CeilingTable
+from repro.engine.interfaces import ConcurrencyControlProtocol
+from repro.exceptions import ProtocolError, UnknownProtocolError
+from repro.model.spec import DUMMY_PRIORITY, LockMode, TaskSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.job import Job
+    from repro.engine.lock_table import LockTable
+
+_REGISTRY: Dict[str, Callable[[], ConcurrencyControlProtocol]] = {}
+
+
+def register_protocol(
+    cls: Type[ConcurrencyControlProtocol],
+) -> Type[ConcurrencyControlProtocol]:
+    """Class decorator: register ``cls`` under its ``name`` attribute."""
+    if not cls.name:
+        raise ProtocolError(f"{cls.__name__} has no registry name")
+    if cls.name in _REGISTRY:
+        raise ProtocolError(f"protocol name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_protocol(name: str, **kwargs) -> ConcurrencyControlProtocol:
+    """Instantiate a registered protocol by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownProtocolError(name, tuple(sorted(_REGISTRY))) from None
+    return factory(**kwargs)
+
+
+def available_protocols() -> Tuple[str, ...]:
+    """Registered protocol names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+class CeilingProtocolBase(ConcurrencyControlProtocol):
+    """Shared machinery for protocols that use static ceiling tables."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ceilings: Optional[CeilingTable] = None
+
+    def bind(self, taskset: TaskSet, table: "LockTable") -> None:
+        super().bind(taskset, table)
+        self._ceilings = CeilingTable(taskset)
+
+    @property
+    def ceilings(self) -> CeilingTable:
+        assert self._ceilings is not None, "protocol used before bind()"
+        return self._ceilings
+
+
+# Register PCP-DA here (its module lives in repro.core and must not import
+# the registry, to keep core free of protocol-package dependencies).
+from repro.core.pcp_da import PCPDA  # noqa: E402  (import placement intended)
+
+register_protocol(PCPDA)

@@ -1,0 +1,69 @@
+"""The original priority ceiling protocol (Sha, Rajkumar, Lehoczky),
+treating every data item as an exclusively-locked resource.
+
+This is the protocol the paper's Section 1/2 positions as the starting
+point: deadlock-free, single-blocking, but blind to read/write semantics —
+concurrent readers are impossible, so it blocks even more than RW-PCP.
+Included as the most conservative baseline of the family.
+
+Rule: one static ceiling per item, ``ceil(x) = Aceil(x)``; ``T_i`` may lock
+``x`` (in either mode — both are exclusive here) iff its priority is
+strictly higher than the highest ceiling among items locked by other
+transactions.  Because ``T_i`` accesses ``x``, ``ceil(x) >= P_i``, so the
+ceiling test also subsumes the direct-conflict check.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.engine.interfaces import Deny, Grant, InstallPolicy
+from repro.model.spec import DUMMY_PRIORITY, LockMode
+from repro.protocols.base import CeilingProtocolBase, register_protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.job import Job
+
+
+@register_protocol
+class OriginalPCP(CeilingProtocolBase):
+    """Single-ceiling, exclusive-access PCP."""
+
+    name = "pcp"
+    install_policy = InstallPolicy.AT_WRITE
+    can_deadlock = False
+
+    def _sysceil_and_holders(
+        self, exclude: "Optional[Job]"
+    ) -> Tuple[int, Tuple["Job", ...]]:
+        level = DUMMY_PRIORITY
+        per_item: List[Tuple[str, int]] = []
+        for item in self.table.locked_items(exclude=exclude):
+            ceil = self.ceilings.aceil(item)
+            per_item.append((item, ceil))
+            level = max(level, ceil)
+        if level == DUMMY_PRIORITY:
+            return level, ()
+        holders: List["Job"] = []
+        for item, ceil in per_item:
+            if ceil == level:
+                for job in self.table.holders_of(item):
+                    if job is not exclude and job not in holders:
+                        holders.append(job)
+        return level, tuple(sorted(holders, key=lambda j: j.seq))
+
+    def decide(self, job: "Job", item: str, mode: LockMode):
+        sysceil, holders = self._sysceil_and_holders(job)
+        if job.running_priority > sysceil:
+            return Grant("P>Sysceil")
+        item_holders = self.table.holders_of(item) - {job}
+        reason = (
+            "conflict blocking: item locked (exclusive access)"
+            if item_holders
+            else "ceiling blocking: P <= Sysceil"
+        )
+        return Deny(holders, reason)
+
+    def system_ceiling(self, exclude: "Optional[Job]" = None) -> int:
+        level, _ = self._sysceil_and_holders(exclude)
+        return level

@@ -1,0 +1,52 @@
+"""2PL with basic priority inheritance (no ceilings).
+
+This is the protocol the paper's introduction criticises: priority
+inheritance bounds each *individual* inversion, but a transaction can still
+be blocked by several lower-priority transactions in sequence (chained
+blocking), and deadlocks remain possible.  Included as a baseline to make
+both defects measurable.
+
+Lock compatibility is classical: readers share; a writer excludes everyone.
+On conflict the requester waits and the holders inherit its priority.
+Writes are deferred to commit so that deadlock-resolution aborts
+(``SimConfig.deadlock_action="abort_lowest"``) need no undo.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.engine.interfaces import ConcurrencyControlProtocol, Deny, Grant, InstallPolicy
+from repro.model.spec import LockMode
+from repro.protocols.base import register_protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.job import Job
+
+
+def classical_conflicts(protocol: ConcurrencyControlProtocol, job: "Job",
+                        item: str, mode: LockMode) -> Tuple["Job", ...]:
+    """Holders of ``item`` that conflict with ``mode`` under classical
+    read/write semantics (shared readers, exclusive writer)."""
+    if mode is LockMode.READ:
+        conflicting = protocol.table.writers_of(item) - {job}
+    else:
+        conflicting = (
+            protocol.table.readers_of(item) | protocol.table.writers_of(item)
+        ) - {job}
+    return tuple(sorted(conflicting, key=lambda j: j.seq))
+
+
+@register_protocol
+class PIP2PL(ConcurrencyControlProtocol):
+    """Two-phase locking with the basic priority inheritance protocol."""
+
+    name = "pip-2pl"
+    install_policy = InstallPolicy.AT_COMMIT
+    can_deadlock = True
+
+    def decide(self, job: "Job", item: str, mode: LockMode):
+        conflicting = classical_conflicts(self, job, item, mode)
+        if not conflicting:
+            return Grant("compatible")
+        return Deny(conflicting, "conflict blocking: classical r/w conflict")

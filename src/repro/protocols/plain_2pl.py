@@ -1,0 +1,39 @@
+"""Plain two-phase locking: no priority management at all.
+
+The null baseline.  A blocked high-priority transaction waits without
+boosting anyone, so priority inversion is unbounded — exactly the failure
+mode that motivates the whole protocol family.  Deadlocks are possible and
+are resolved by the simulator's configured action (recommended:
+``deadlock_action="abort_lowest"``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.interfaces import ConcurrencyControlProtocol, Deny, Grant, InstallPolicy
+from repro.model.spec import LockMode
+from repro.protocols.base import register_protocol
+from repro.protocols.pip_2pl import classical_conflicts
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.job import Job
+
+
+@register_protocol
+class Plain2PL(ConcurrencyControlProtocol):
+    """Two-phase locking without inheritance, ceilings, or aborts."""
+
+    name = "2pl"
+    install_policy = InstallPolicy.AT_COMMIT
+    can_deadlock = True
+
+    def decide(self, job: "Job", item: str, mode: LockMode):
+        conflicting = classical_conflicts(self, job, item, mode)
+        if not conflicting:
+            return Grant("compatible")
+        return Deny(
+            conflicting,
+            "conflict blocking: classical r/w conflict (no inheritance)",
+            inherit=False,
+        )

@@ -1,0 +1,104 @@
+"""RW-PCP — the read/write priority ceiling protocol (Sha, Rajkumar, Son,
+Chang), the first extension of the original PCP to transactions in hard
+RTDBS and the paper's principal comparator.
+
+Rules (paper, Section 3):
+
+* each item has two static ceilings: ``Wceil(x)`` and ``Aceil(x)``;
+* at runtime the *r/w priority ceiling* ``rwceil(x)`` is ``Aceil(x)`` while
+  ``x`` is write-locked and ``Wceil(x)`` while it is (only) read-locked;
+* ``T_i`` may take any lock iff its priority is strictly higher than
+  ``Sysceil_i`` — the highest ``rwceil`` among items locked by transactions
+  other than ``T_i``;
+* on denial, the transaction holding the ceiling-setting item inherits the
+  requester's priority;
+* two-phase locking: all locks are held until commit.
+
+RW-PCP assumes the update-in-place model; writes are installed when the
+write operation executes (which is observationally safe because no other
+transaction can hold any lock on a write-locked item).
+
+The combination of the ceiling test and the ceiling definitions subsumes
+explicit conflict checks: a write-locked item has ``rwceil = Aceil ≥``
+every potential accessor's priority, and a read-locked item has ``rwceil =
+Wceil ≥`` every potential writer's priority.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.engine.interfaces import Deny, Grant, InstallPolicy
+from repro.model.spec import DUMMY_PRIORITY, LockMode
+from repro.protocols.base import CeilingProtocolBase, register_protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.job import Job
+
+
+@register_protocol
+class RWPCP(CeilingProtocolBase):
+    """Read/write priority ceiling protocol."""
+
+    name = "rw-pcp"
+    install_policy = InstallPolicy.AT_WRITE
+    can_deadlock = False
+
+    # ------------------------------------------------------------------
+    # Runtime ceilings
+    # ------------------------------------------------------------------
+    def rwceil(self, item: str) -> Optional[int]:
+        """Current r/w ceiling of ``item``; ``None`` when unlocked."""
+        if self.table.writers_of(item):
+            return self.ceilings.aceil(item)
+        if self.table.readers_of(item):
+            return self.ceilings.wceil(item)
+        return None
+
+    def _sysceil_and_holders(
+        self, exclude: "Optional[Job]"
+    ) -> Tuple[int, Tuple["Job", ...]]:
+        """``Sysceil`` w.r.t. ``exclude`` and the jobs holding it."""
+        level = DUMMY_PRIORITY
+        per_item: List[Tuple[str, int]] = []
+        for item in self.table.locked_items(exclude=exclude):
+            holders = self.table.holders_of(item) - ({exclude} if exclude else set())
+            if not holders:
+                continue
+            # rwceil from the perspective of "locked by others": a write
+            # lock by anyone (including exclude) dominates, but the item
+            # only counts if someone else holds a lock on it.
+            ceil = self.rwceil(item)
+            assert ceil is not None
+            per_item.append((item, ceil))
+            level = max(level, ceil)
+        if level == DUMMY_PRIORITY:
+            return level, ()
+        holders: List["Job"] = []
+        for item, ceil in per_item:
+            if ceil == level:
+                for job in self.table.holders_of(item):
+                    if job is not exclude and job not in holders:
+                        holders.append(job)
+        return level, tuple(sorted(holders, key=lambda j: j.seq))
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def decide(self, job: "Job", item: str, mode: LockMode):
+        sysceil, holders = self._sysceil_and_holders(job)
+        if job.running_priority > sysceil:
+            return Grant("P>Sysceil")
+        # Classify the blocking for the trace: conflict blocking when the
+        # requested item itself is locked by another transaction, ceiling
+        # blocking otherwise.
+        item_holders = self.table.holders_of(item) - {job}
+        if item_holders:
+            reason = "conflict blocking: item locked and P <= Sysceil"
+        else:
+            reason = "ceiling blocking: P <= Sysceil"
+        return Deny(holders, reason)
+
+    def system_ceiling(self, exclude: "Optional[Job]" = None) -> int:
+        level, _ = self._sysceil_and_holders(exclude)
+        return level

@@ -1,0 +1,69 @@
+"""Execution tracing, timelines, figures, and metrics.
+
+The simulator feeds a :class:`~repro.trace.recorder.TraceRecorder`; the rest
+of this package turns the recorded events into the artifacts the paper
+presents:
+
+* :mod:`repro.trace.timeline` — per-transaction execution/blocked segments
+  (the horizontal bars of Figures 1-5);
+* :mod:`repro.trace.gantt` — an ASCII Gantt renderer that regenerates those
+  figures in the terminal;
+* :mod:`repro.trace.sysceil` — the ``Sysceil(t)`` step function (the dotted
+  ``Max_Sysceil`` line in Figures 4 and 5);
+* :mod:`repro.trace.metrics` — blocking times, response times, deadline
+  misses, restarts.
+"""
+
+from repro.trace.recorder import (
+    LockEvent,
+    LockOutcome,
+    SchedEvent,
+    SchedEventKind,
+    TraceRecorder,
+)
+from repro.trace.timeline import Segment, SegmentKind, Timeline, build_timeline
+from repro.trace.gantt import render_gantt, render_gantt_comparison
+from repro.trace.metrics import (
+    JobMetrics,
+    RunMetrics,
+    compute_metrics,
+    priority_inversion_time,
+)
+from repro.trace.sysceil import SysceilTrace
+from repro.trace.export import (
+    metrics_to_csv,
+    result_to_dict,
+    result_to_json,
+    segments_to_csv,
+    sysceil_to_csv,
+)
+from repro.trace.compare import RunComparison, compare_runs, render_comparison
+from repro.trace.svg import render_svg_gantt
+
+__all__ = [
+    "JobMetrics",
+    "LockEvent",
+    "LockOutcome",
+    "RunComparison",
+    "RunMetrics",
+    "compare_runs",
+    "render_comparison",
+    "SchedEvent",
+    "SchedEventKind",
+    "Segment",
+    "SegmentKind",
+    "SysceilTrace",
+    "Timeline",
+    "TraceRecorder",
+    "build_timeline",
+    "compute_metrics",
+    "metrics_to_csv",
+    "priority_inversion_time",
+    "render_gantt",
+    "render_gantt_comparison",
+    "render_svg_gantt",
+    "result_to_dict",
+    "result_to_json",
+    "segments_to_csv",
+    "sysceil_to_csv",
+]

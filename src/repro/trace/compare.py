@@ -1,0 +1,153 @@
+"""Side-by-side comparison of two runs of the same task set.
+
+The paper's argument is always comparative — "under RW-PCP T3 blocks four
+units; under PCP-DA it does not".  :func:`compare_runs` lines two results
+up per transaction (worst blocking, worst response, misses, restarts) and
+per job (finish-time deltas), and :func:`render_comparison` prints the
+table the Section 6 discussions read off their figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.exceptions import SpecificationError
+from repro.trace.metrics import compute_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class TransactionDelta:
+    """Per-transaction differences between two runs (b minus a)."""
+
+    transaction: str
+    blocking_a: float
+    blocking_b: float
+    worst_response_a: Optional[float]
+    worst_response_b: Optional[float]
+    misses_a: int
+    misses_b: int
+    restarts_a: int
+    restarts_b: int
+
+    @property
+    def blocking_delta(self) -> float:
+        return self.blocking_b - self.blocking_a
+
+    @property
+    def response_delta(self) -> Optional[float]:
+        if self.worst_response_a is None or self.worst_response_b is None:
+            return None
+        return self.worst_response_b - self.worst_response_a
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """The full comparison of two runs."""
+
+    protocol_a: str
+    protocol_b: str
+    transactions: Tuple[TransactionDelta, ...]
+    total_blocking_a: float
+    total_blocking_b: float
+    misses_a: int
+    misses_b: int
+    restarts_a: int
+    restarts_b: int
+
+    def delta(self, transaction: str) -> TransactionDelta:
+        """The per-transaction delta entry for ``transaction``."""
+        for entry in self.transactions:
+            if entry.transaction == transaction:
+                return entry
+        raise KeyError(transaction)
+
+
+def _per_transaction(result: "SimulationResult") -> Dict[str, Dict[str, float]]:
+    metrics = compute_metrics(result)
+    out: Dict[str, Dict[str, float]] = {}
+    for jm in metrics.jobs:
+        entry = out.setdefault(
+            jm.transaction,
+            {"blocking": 0.0, "response": None, "misses": 0, "restarts": 0},
+        )
+        entry["blocking"] = max(entry["blocking"], jm.blocking_time)
+        if jm.response_time is not None:
+            current = entry["response"]
+            entry["response"] = (
+                jm.response_time if current is None else max(current, jm.response_time)
+            )
+        entry["misses"] += int(jm.missed_deadline)
+        entry["restarts"] += jm.restarts
+    return out
+
+
+def compare_runs(
+    result_a: "SimulationResult", result_b: "SimulationResult"
+) -> RunComparison:
+    """Compare two runs of the *same task set* (checked by name sets)."""
+    if set(result_a.taskset.names) != set(result_b.taskset.names):
+        raise SpecificationError(
+            "cannot compare runs of different task sets: "
+            f"{result_a.taskset.names} vs {result_b.taskset.names}"
+        )
+    table_a = _per_transaction(result_a)
+    table_b = _per_transaction(result_b)
+    deltas: List[TransactionDelta] = []
+    for name in result_a.taskset.names:
+        a = table_a.get(name, {"blocking": 0.0, "response": None, "misses": 0,
+                               "restarts": 0})
+        b = table_b.get(name, {"blocking": 0.0, "response": None, "misses": 0,
+                               "restarts": 0})
+        deltas.append(
+            TransactionDelta(
+                transaction=name,
+                blocking_a=a["blocking"], blocking_b=b["blocking"],
+                worst_response_a=a["response"], worst_response_b=b["response"],
+                misses_a=int(a["misses"]), misses_b=int(b["misses"]),
+                restarts_a=int(a["restarts"]), restarts_b=int(b["restarts"]),
+            )
+        )
+    metrics_a = compute_metrics(result_a)
+    metrics_b = compute_metrics(result_b)
+    return RunComparison(
+        protocol_a=result_a.protocol_name,
+        protocol_b=result_b.protocol_name,
+        transactions=tuple(deltas),
+        total_blocking_a=metrics_a.total_blocking_time,
+        total_blocking_b=metrics_b.total_blocking_time,
+        misses_a=metrics_a.missed_jobs,
+        misses_b=metrics_b.missed_jobs,
+        restarts_a=metrics_a.total_restarts,
+        restarts_b=metrics_b.total_restarts,
+    )
+
+
+def render_comparison(comparison: RunComparison) -> str:
+    """ASCII table of the comparison, one row per transaction."""
+    a, b = comparison.protocol_a, comparison.protocol_b
+    header = (
+        f"{'txn':<8}{'block ' + a:>14}{'block ' + b:>14}"
+        f"{'resp ' + a:>13}{'resp ' + b:>13}{'miss':>6}{'restart':>9}"
+    )
+    lines = [header, "-" * len(header)]
+
+    def fmt(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value:g}"
+
+    for d in comparison.transactions:
+        lines.append(
+            f"{d.transaction:<8}{d.blocking_a:>14g}{d.blocking_b:>14g}"
+            f"{fmt(d.worst_response_a):>13}{fmt(d.worst_response_b):>13}"
+            f"{d.misses_a:>3}/{d.misses_b:<3}{d.restarts_a:>4}/{d.restarts_b:<4}"
+        )
+    lines.append(
+        f"total blocking: {comparison.total_blocking_a:g} ({a}) vs "
+        f"{comparison.total_blocking_b:g} ({b}); misses "
+        f"{comparison.misses_a} vs {comparison.misses_b}; restarts "
+        f"{comparison.restarts_a} vs {comparison.restarts_b}"
+    )
+    return "\n".join(lines)

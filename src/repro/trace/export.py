@@ -1,0 +1,165 @@
+"""Export simulation traces to plain data formats.
+
+The ASCII renderers are for the terminal; this module emits the same
+information as structured data so the figures can be rebuilt in any
+plotting tool:
+
+* :func:`result_to_dict` / :func:`result_to_json` — the full run (jobs,
+  scheduling events, lock decisions, execution segments, Sysceil samples)
+  as one JSON-serialisable document;
+* :func:`segments_to_csv` — the Gantt bars as CSV rows
+  ``transaction,job,kind,start,end``;
+* :func:`sysceil_to_csv` — the ceiling step function as ``time,level``
+  rows (the Figure 4/5 dotted line);
+* :func:`metrics_to_csv` — one row per job with response/blocking/miss.
+
+Everything returns strings; callers decide where to write.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.trace.metrics import compute_metrics, priority_inversion_time
+from repro.trace.timeline import build_timeline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import SimulationResult
+
+
+def result_to_dict(result: "SimulationResult") -> Dict[str, Any]:
+    """The full run as a JSON-serialisable dictionary."""
+    timeline = build_timeline(result)
+    metrics = compute_metrics(result)
+    return {
+        "protocol": result.protocol_name,
+        "end_time": result.end_time,
+        "deadlock": (
+            None
+            if result.deadlock is None
+            else {"time": result.deadlock.time, "cycle": list(result.deadlock.cycle)}
+        ),
+        "restarts": result.aborted_restarts,
+        "transactions": [
+            {
+                "name": spec.name,
+                "priority": spec.priority,
+                "period": spec.period,
+                "offset": spec.offset,
+                "execution_time": spec.execution_time,
+                "reads": sorted(spec.read_set),
+                "writes": sorted(spec.write_set),
+            }
+            for spec in result.taskset
+        ],
+        "jobs": [
+            {
+                "job": jm.job,
+                "transaction": jm.transaction,
+                "arrival": jm.arrival,
+                "finish": jm.finish,
+                "response_time": jm.response_time,
+                "blocking_time": jm.blocking_time,
+                "blockers": sorted(jm.distinct_blockers),
+                "missed_deadline": jm.missed_deadline,
+                "restarts": jm.restarts,
+                "preemptions": jm.preemptions,
+                "executed_time": jm.executed_time,
+                "interference_time": jm.interference_time,
+                "priority_inversion_time": priority_inversion_time(
+                    result, jm.job
+                ),
+            }
+            for jm in metrics.jobs
+        ],
+        "segments": [
+            {
+                "job": seg.job,
+                "transaction": jt.transaction,
+                "kind": seg.kind.value,
+                "start": seg.start,
+                "end": seg.end,
+            }
+            for jt in timeline.jobs
+            for seg in jt.segments
+        ],
+        "lock_events": [
+            {
+                "time": e.time,
+                "job": e.job,
+                "item": e.item,
+                "mode": e.mode.value,
+                "outcome": e.outcome.value,
+                "rule": e.rule,
+                "blockers": list(e.blockers),
+            }
+            for e in result.trace.lock_events
+        ],
+        "sched_events": [
+            {"time": e.time, "kind": e.kind.value, "job": e.job, "other": e.other}
+            for e in result.trace.sched_events
+        ],
+        "sysceil": [
+            {"time": t, "level": level}
+            for t, level in result.trace.sysceil_samples
+        ],
+        "priority_changes": [
+            {"time": t, "job": job, "level": level}
+            for t, job, level in result.trace.priority_changes
+        ],
+        "committed": list(result.history.commit_order()),
+    }
+
+
+def result_to_json(result: "SimulationResult", *, indent: int = 2) -> str:
+    """The full run as a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=False)
+
+
+def _csv(rows: List[List[Any]], header: List[str]) -> str:
+    import csv
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def segments_to_csv(result: "SimulationResult") -> str:
+    """Gantt bars as ``transaction,job,kind,start,end`` CSV rows."""
+    timeline = build_timeline(result)
+    rows = [
+        [jt.transaction, seg.job, seg.kind.value, seg.start, seg.end]
+        for jt in timeline.jobs
+        for seg in jt.segments
+    ]
+    return _csv(rows, ["transaction", "job", "kind", "start", "end"])
+
+
+def sysceil_to_csv(result: "SimulationResult") -> str:
+    """The ceiling step function as ``time,level`` CSV rows."""
+    rows = [[t, level] for t, level in result.trace.sysceil_samples]
+    return _csv(rows, ["time", "level"])
+
+
+def metrics_to_csv(result: "SimulationResult") -> str:
+    """Per-job metrics as CSV rows."""
+    metrics = compute_metrics(result)
+    rows = [
+        [
+            jm.job, jm.transaction, jm.arrival, jm.finish, jm.response_time,
+            jm.blocking_time, int(jm.missed_deadline), jm.restarts,
+            jm.preemptions,
+        ]
+        for jm in metrics.jobs
+    ]
+    return _csv(
+        rows,
+        [
+            "job", "transaction", "arrival", "finish", "response_time",
+            "blocking_time", "missed_deadline", "restarts", "preemptions",
+        ],
+    )

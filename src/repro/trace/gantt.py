@@ -1,0 +1,153 @@
+"""ASCII Gantt rendering of a run — the terminal version of Figures 1-5.
+
+One row per transaction (instances share the row, like the paper's
+figures); the time axis is discretised into fixed-width cells:
+
+* ``#`` — executing,
+* ``b`` — blocked waiting for a lock,
+* ``.`` — preempted (ready, not running),
+* `` `` — not released / finished,
+* ``^`` below the axis marks arrivals, ``v`` marks commits.
+
+The renderer works best with the paper's unit-length operations (one cell
+per time unit) but accepts any ``cell`` width.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.trace.recorder import SchedEventKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import SimulationResult
+from repro.trace.timeline import SegmentKind, build_timeline
+
+_GLYPH = {
+    SegmentKind.EXECUTING: "#",
+    SegmentKind.BLOCKED: "b",
+    SegmentKind.PREEMPTED: ".",
+}
+
+
+def render_gantt(
+    result: "SimulationResult",
+    *,
+    cell: float = 1.0,
+    width_limit: int = 200,
+    show_markers: bool = True,
+) -> str:
+    """Render the run as an ASCII Gantt chart.
+
+    Args:
+        result: a finished simulation.
+        cell: time units per character cell.
+        width_limit: maximum number of cells (longer runs are truncated
+            with a note).
+        show_markers: add arrival (``^``) / commit (``v``) marker rows.
+
+    Returns:
+        A multi-line string, one row per transaction, highest priority
+        first, headed by a time ruler.
+    """
+    end = max(result.end_time, cell)
+    n_cells = min(int(math.ceil(end / cell + 1e-9)), width_limit)
+    truncated = n_cells < int(math.ceil(end / cell + 1e-9))
+
+    timeline = build_timeline(result)
+    specs = sorted(
+        result.taskset.specs,
+        key=lambda s: -(s.priority or 0),
+    )
+    label_width = max(len(s.name) for s in specs) + 1
+
+    def cell_range(start: float, stop: float) -> range:
+        first = int(math.floor(start / cell + 1e-9))
+        last = int(math.ceil(stop / cell - 1e-9))
+        return range(max(first, 0), min(last, n_cells))
+
+    lines: List[str] = []
+
+    # Ruler: tens row (only when useful) and units row.
+    units = "".join(str(int(i * cell) % 10) for i in range(n_cells))
+    if n_cells * cell >= 10:
+        tens = "".join(
+            str(int(i * cell) // 10 % 10) if int(i * cell) % 10 == 0 and i > 0 else " "
+            for i in range(n_cells)
+        )
+        lines.append(" " * label_width + tens)
+    lines.append(" " * label_width + units)
+
+    for spec in specs:
+        row = [" "] * n_cells
+        for jt in timeline.for_transaction(spec.name):
+            for seg in jt.segments:
+                glyph = _GLYPH[seg.kind]
+                for i in cell_range(seg.start, seg.end):
+                    # Execution wins over blocked wins over preempted when
+                    # a cell straddles segment boundaries.
+                    current = row[i]
+                    rank = {" ": 0, ".": 1, "b": 2, "#": 3}
+                    if rank[glyph] > rank[current]:
+                        row[i] = glyph
+        lines.append(f"{spec.name:<{label_width}}" + "".join(row))
+
+        if show_markers:
+            marks = [" "] * n_cells
+            for ev in result.trace.sched_events:
+                if not ev.job.startswith(spec.name + "#"):
+                    continue
+                idx = int(math.floor(ev.time / cell + 1e-9))
+                if idx >= n_cells:
+                    continue
+                if ev.kind is SchedEventKind.ARRIVAL:
+                    marks[idx] = "^"
+                elif ev.kind is SchedEventKind.COMMIT:
+                    marks[idx] = "v" if marks[idx] == " " else "*"
+            if any(m != " " for m in marks):
+                lines.append(" " * label_width + "".join(marks))
+
+    legend = "#=executing  b=blocked  .=preempted  ^=arrival  v=commit"
+    lines.append("")
+    lines.append(" " * label_width + legend)
+    if truncated:
+        lines.append(f"(truncated at {n_cells * cell:g} of {end:g} time units)")
+    return "\n".join(lines)
+
+
+def render_gantt_comparison(
+    results,
+    *,
+    cell: float = 1.0,
+    width_limit: int = 200,
+) -> str:
+    """Stack the Gantt charts of several runs of the same task set.
+
+    The paper's Figures 2/3 and 4/5 are exactly this artifact: the same
+    transactions under two protocols, aligned on one time axis.  Results
+    must share a task set (same transaction names).
+
+    Args:
+        results: sequence of finished simulations (2+).
+        cell / width_limit: as in :func:`render_gantt`.
+    """
+    results = list(results)
+    if len(results) < 2:
+        raise ValueError("need at least two runs to compare")
+    names = set(results[0].taskset.names)
+    for result in results[1:]:
+        if set(result.taskset.names) != names:
+            raise ValueError(
+                "comparison requires runs of the same task set; got "
+                f"{sorted(names)} vs {sorted(result.taskset.names)}"
+            )
+    blocks = []
+    for result in results:
+        title = f"--- {result.protocol_name} ---"
+        blocks.append(
+            title + "\n" + render_gantt(
+                result, cell=cell, width_limit=width_limit, show_markers=False
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,171 @@
+"""Run metrics: blocking, response times, deadline misses, restarts.
+
+These are the quantities the paper's examples and Section 9 analysis talk
+about: "the effective blocking times of T1 and T3 blocked by T4 are 1 and 4
+time units respectively", deadline misses, and the worst-case blocking per
+transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Tuple
+
+from repro.model.spec import DUMMY_PRIORITY
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """Metrics of one job (transaction instance)."""
+
+    job: str
+    transaction: str
+    arrival: float
+    finish: Optional[float]
+    response_time: Optional[float]
+    blocking_time: float
+    distinct_blockers: FrozenSet[str]
+    missed_deadline: bool
+    restarts: int
+    preemptions: int
+    #: Executed CPU time (sum of this job's execution segments).
+    executed_time: float = 0.0
+
+    @property
+    def interference_time(self) -> Optional[float]:
+        """Time spent ready-but-not-running (higher-priority work held the
+        CPU): ``response - executed - blocking``.  ``None`` until the job
+        finishes.  Under IPCP this is where the PCP literature's
+        "blocking" reappears (see docs/PROTOCOLS.md)."""
+        if self.response_time is None:
+            return None
+        return max(
+            0.0, self.response_time - self.executed_time - self.blocking_time
+        )
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregated metrics of one run."""
+
+    protocol: str
+    jobs: Tuple[JobMetrics, ...]
+    total_blocking_time: float
+    max_blocking_time: float
+    mean_blocking_time: float
+    total_jobs: int
+    committed_jobs: int
+    missed_jobs: int
+    miss_ratio: float
+    total_restarts: int
+    max_sysceil: int
+    mean_response_time: Optional[float]
+
+    def per_transaction_blocking(self) -> Dict[str, float]:
+        """Worst observed blocking per transaction (max over instances)."""
+        out: Dict[str, float] = {}
+        for jm in self.jobs:
+            out[jm.transaction] = max(
+                out.get(jm.transaction, 0.0), jm.blocking_time
+            )
+        return out
+
+    def blocking_of(self, transaction: str) -> float:
+        """Worst observed blocking of the named transaction (0 if never)."""
+        return self.per_transaction_blocking().get(transaction, 0.0)
+
+
+def priority_inversion_time(result: "SimulationResult", job_name: str) -> float:
+    """Time the named job spent blocked *while a lower-base-priority job
+    held the CPU* — priority inversion in the strict sense of the paper's
+    introduction ("a higher priority transaction is blocked by lower
+    priority transactions").
+
+    Computed exactly by intersecting the job's blocking intervals with the
+    execution segments of lower-base-priority jobs.  Inheritance does not
+    disguise inversion here: the comparison uses *base* priorities, so a
+    boosted blocker still counts (that is the inversion PCP bounds to one
+    critical section, and plain 2PL does not bound at all).
+    """
+    target = result.job(job_name)
+    base_priorities = {
+        spec.name: spec.priority or 0 for spec in result.taskset
+    }
+
+    blocked_windows = [
+        (interval.start, interval.end if interval.end is not None else result.end_time)
+        for interval in target.block_intervals
+    ]
+    if not blocked_windows:
+        return 0.0
+
+    total = 0.0
+    for segment in result.trace.segments:
+        runner_base = base_priorities.get(segment.job.split("#", 1)[0], 0)
+        if runner_base >= target.base_priority:
+            continue
+        for start, end in blocked_windows:
+            overlap = min(end, segment.end) - max(start, segment.start)
+            if overlap > 0:
+                total += overlap
+    return total
+
+
+def compute_metrics(result: "SimulationResult") -> RunMetrics:
+    """Derive :class:`RunMetrics` from a finished simulation."""
+    from repro.engine.job import JobState  # deferred: avoids import cycle
+
+    executed: Dict[str, float] = {}
+    for segment in result.trace.segments:
+        executed[segment.job] = executed.get(segment.job, 0.0) + (
+            segment.end - segment.start
+        )
+
+    job_metrics = []
+    for job in result.jobs:
+        job_metrics.append(
+            JobMetrics(
+                job=job.name,
+                transaction=job.spec.name,
+                arrival=job.arrival,
+                finish=job.finish_time,
+                response_time=job.response_time,
+                blocking_time=job.total_blocking_time(),
+                distinct_blockers=job.distinct_blockers(),
+                missed_deadline=job.missed_deadline,
+                restarts=job.restarts,
+                preemptions=job.preemptions,
+                executed_time=executed.get(job.name, 0.0),
+            )
+        )
+    job_metrics_t = tuple(job_metrics)
+    blocking = [jm.blocking_time for jm in job_metrics_t]
+    responses = [
+        jm.response_time for jm in job_metrics_t if jm.response_time is not None
+    ]
+    committed = sum(
+        1 for j in result.jobs if j.state is JobState.COMMITTED
+    )
+    missed = sum(1 for jm in job_metrics_t if jm.missed_deadline)
+    max_ceiling = max(
+        (level for _, level in result.trace.sysceil_samples),
+        default=DUMMY_PRIORITY,
+    )
+    n = len(job_metrics_t)
+    return RunMetrics(
+        protocol=result.protocol_name,
+        jobs=job_metrics_t,
+        total_blocking_time=sum(blocking),
+        max_blocking_time=max(blocking, default=0.0),
+        mean_blocking_time=(sum(blocking) / n) if n else 0.0,
+        total_jobs=n,
+        committed_jobs=committed,
+        missed_jobs=missed,
+        miss_ratio=(missed / n) if n else 0.0,
+        total_restarts=result.aborted_restarts,
+        max_sysceil=max_ceiling,
+        mean_response_time=(sum(responses) / len(responses)) if responses else None,
+    )

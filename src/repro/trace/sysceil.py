@@ -1,0 +1,74 @@
+"""The ``Sysceil(t)`` step function — Figures 4/5's dotted ``Max_Sysceil`` line.
+
+The simulator samples the protocol's global system ceiling after every
+event; this module turns those samples into a queryable step function and a
+compact ASCII rendering.
+
+The paper's observation (Section 6): under PCP-DA the global ceiling in
+Example 4 never exceeds ``P2`` and drops back to the dummy level at t=9,
+while under RW-PCP it reaches ``P1`` and stays up until no transaction
+runs.  ``Max_Sysceil`` — the supremum of the step function — quantifies how
+restrictive a protocol is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.model.spec import DUMMY_PRIORITY
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class SysceilTrace:
+    """Step function of the global system ceiling over time."""
+
+    samples: Tuple[Tuple[float, int], ...]
+    end_time: float
+
+    @classmethod
+    def from_result(cls, result: "SimulationResult") -> "SysceilTrace":
+        return cls(tuple(result.trace.sysceil_samples), result.end_time)
+
+    def level_at(self, time: float) -> int:
+        """Ceiling level in effect at ``time`` (step function, right-open)."""
+        level = DUMMY_PRIORITY
+        for t, value in self.samples:
+            if t > time + 1e-9:
+                break
+            level = value
+        return level
+
+    @property
+    def max_level(self) -> int:
+        """``Max_Sysceil`` over the whole run."""
+        return max((v for _, v in self.samples), default=DUMMY_PRIORITY)
+
+    def intervals(self) -> Tuple[Tuple[float, float, int], ...]:
+        """Constant-level intervals ``(start, end, level)`` covering the run."""
+        if not self.samples:
+            return ((0.0, self.end_time, DUMMY_PRIORITY),)
+        out: List[Tuple[float, float, int]] = []
+        times = [t for t, _ in self.samples]
+        levels = [v for _, v in self.samples]
+        if times[0] > 1e-9:
+            out.append((0.0, times[0], DUMMY_PRIORITY))
+        for i, (t, v) in enumerate(zip(times, levels)):
+            end = times[i + 1] if i + 1 < len(times) else self.end_time
+            if end > t + 1e-12:
+                out.append((t, end, v))
+        return tuple(out)
+
+    def render(self, *, cell: float = 1.0, label: str = "Sysceil") -> str:
+        """One-line ASCII rendering: the ceiling level digit per time cell."""
+        import math
+
+        n_cells = max(1, int(math.ceil(self.end_time / cell - 1e-9)))
+        row = []
+        for i in range(n_cells):
+            level = self.level_at(i * cell)
+            row.append("-" if level == DUMMY_PRIORITY else str(level % 10))
+        return f"{label}: " + "".join(row) + "   (-=dummy)"

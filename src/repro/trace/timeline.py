@@ -1,0 +1,146 @@
+"""Per-transaction timelines: the horizontal bars of the paper's figures.
+
+A :class:`Timeline` decomposes each job's lifetime into segments:
+
+* ``EXECUTING`` — the job held the CPU;
+* ``BLOCKED`` — the job waited for a lock (the shaded "blocked" spans in
+  Figures 1, 3 and 5);
+* ``PREEMPTED`` — the job was ready but a higher-priority job ran.
+
+Segments are derived from the recorder's CPU slices and the jobs' block
+intervals, so a timeline can be built for any completed
+:class:`~repro.engine.simulator.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import SimulationResult
+
+
+class SegmentKind(enum.Enum):
+    EXECUTING = "executing"
+    BLOCKED = "blocked"
+    PREEMPTED = "preempted"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open interval ``[start, end)`` in one job's life."""
+
+    job: str
+    kind: SegmentKind
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class JobTimeline:
+    """All segments of one job, ordered by start time."""
+
+    job: str
+    transaction: str
+    arrival: float
+    finish: Optional[float]
+    segments: Tuple[Segment, ...]
+
+    def executing(self) -> Tuple[Segment, ...]:
+        """The EXECUTING segments only."""
+        return tuple(s for s in self.segments if s.kind is SegmentKind.EXECUTING)
+
+    def blocked(self) -> Tuple[Segment, ...]:
+        """The BLOCKED segments only."""
+        return tuple(s for s in self.segments if s.kind is SegmentKind.BLOCKED)
+
+    def preempted(self) -> Tuple[Segment, ...]:
+        """The PREEMPTED segments only."""
+        return tuple(s for s in self.segments if s.kind is SegmentKind.PREEMPTED)
+
+
+@dataclass
+class Timeline:
+    """Timelines for every job of a run, plus the run horizon."""
+
+    jobs: Tuple[JobTimeline, ...]
+    end_time: float
+
+    def for_job(self, name: str) -> JobTimeline:
+        """Timeline of one job (KeyError when unknown)."""
+        for jt in self.jobs:
+            if jt.job == name:
+                return jt
+        raise KeyError(name)
+
+    def for_transaction(self, name: str) -> Tuple[JobTimeline, ...]:
+        """Timelines of every instance of the named transaction."""
+        return tuple(jt for jt in self.jobs if jt.transaction == name)
+
+
+_EPS = 1e-9
+
+
+def _merge_intervals(
+    intervals: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Merge overlapping/adjacent intervals; returns a sorted disjoint list."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if end - start <= _EPS:
+            continue
+        if merged and start <= merged[-1][1] + _EPS:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def build_timeline(result: "SimulationResult") -> Timeline:
+    """Derive a :class:`Timeline` from a simulation result."""
+    job_timelines: List[JobTimeline] = []
+    for job in result.jobs:
+        end = job.finish_time if job.finish_time is not None else result.end_time
+        exec_ivs = _merge_intervals(
+            [(s.start, s.end) for s in result.trace.segments_for(job.name)]
+        )
+        block_ivs = _merge_intervals(
+            [
+                (b.start, b.end if b.end is not None else end)
+                for b in job.block_intervals
+            ]
+        )
+        segments: List[Segment] = [
+            Segment(job.name, SegmentKind.EXECUTING, s, e) for s, e in exec_ivs
+        ] + [Segment(job.name, SegmentKind.BLOCKED, s, e) for s, e in block_ivs]
+
+        # PREEMPTED = alive, not executing, not blocked.
+        covered = _merge_intervals(exec_ivs + block_ivs)
+        cursor = job.arrival
+        for s, e in covered:
+            if s - cursor > _EPS:
+                segments.append(
+                    Segment(job.name, SegmentKind.PREEMPTED, cursor, s)
+                )
+            cursor = max(cursor, e)
+        if end - cursor > _EPS:
+            segments.append(Segment(job.name, SegmentKind.PREEMPTED, cursor, end))
+
+        segments.sort(key=lambda s: (s.start, s.end))
+        job_timelines.append(
+            JobTimeline(
+                job=job.name,
+                transaction=job.spec.name,
+                arrival=job.arrival,
+                finish=job.finish_time,
+                segments=tuple(segments),
+            )
+        )
+    job_timelines.sort(key=lambda jt: (jt.transaction, jt.arrival))
+    return Timeline(tuple(job_timelines), result.end_time)

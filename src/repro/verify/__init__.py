@@ -1,0 +1,39 @@
+"""Verification oracles for the paper's theorems.
+
+Each oracle takes a finished :class:`~repro.engine.simulator.SimulationResult`
+and raises :class:`~repro.exceptions.InvariantViolation` (or
+:class:`~repro.exceptions.SerializationViolation`) when the corresponding
+property fails:
+
+* Theorem 1 — single blocking: :func:`assert_single_blocking`;
+* Theorem 2 — deadlock freedom: :func:`assert_deadlock_free`;
+* Theorem 3 — serializability: :func:`assert_serializable`;
+* PCP-DA's design goal — no restarts: :func:`assert_no_restarts`.
+
+:func:`verify_pcp_da_run` bundles all four; the property-based tests run it
+over thousands of random workloads.
+"""
+
+from repro.verify.invariants import (
+    assert_all_committed,
+    assert_deadlock_free,
+    assert_no_restarts,
+    assert_serializable,
+    assert_single_blocking,
+    lower_priority_blockers,
+    verify_pcp_da_run,
+)
+from repro.verify.lemmas import LemmaCheckingPCPDA
+from repro.verify.value_replay import assert_value_replay_consistent
+
+__all__ = [
+    "LemmaCheckingPCPDA",
+    "assert_value_replay_consistent",
+    "assert_all_committed",
+    "assert_deadlock_free",
+    "assert_no_restarts",
+    "assert_serializable",
+    "assert_single_blocking",
+    "lower_priority_blockers",
+    "verify_pcp_da_run",
+]

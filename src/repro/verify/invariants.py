@@ -1,0 +1,92 @@
+"""Runtime checks of the properties the paper proves for PCP-DA."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.db.serializability import check_serializable
+from repro.engine.job import Job, JobState
+from repro.engine.simulator import SimulationResult
+from repro.exceptions import InvariantViolation
+
+
+def lower_priority_blockers(result: SimulationResult, job: Job) -> FrozenSet[str]:
+    """Names of *transactions* (not instances) with a base priority lower
+    than ``job``'s that ever blocked ``job``.
+
+    This is the quantity Theorem 1 bounds.  Being blocked by (or preempted
+    for) a higher-priority transaction is ordinary interference, not
+    "blocking" in the priority-inversion sense, so higher-priority blockers
+    are excluded.
+    """
+    base_priorities: Dict[str, int] = {
+        s.name: s.priority or 0 for s in result.taskset
+    }
+    out: Set[str] = set()
+    for interval in job.block_intervals:
+        for blocker in interval.blockers:
+            transaction = blocker.split("#", 1)[0]
+            if base_priorities.get(transaction, 0) < job.base_priority:
+                out.add(transaction)
+    return frozenset(out)
+
+
+def assert_single_blocking(result: SimulationResult) -> None:
+    """Theorem 1: each job is blocked by at most one lower-priority
+    transaction over its whole execution."""
+    for job in result.jobs:
+        blockers = lower_priority_blockers(result, job)
+        if len(blockers) > 1:
+            raise InvariantViolation(
+                f"single-blocking violated: {job.name} was blocked by "
+                f"{sorted(blockers)} (protocol {result.protocol_name})"
+            )
+
+
+def assert_deadlock_free(result: SimulationResult) -> None:
+    """Theorem 2: the run completed without a wait-for cycle.
+
+    A run that deadlocked either raised :class:`DeadlockError` during
+    :meth:`Simulator.run` (``deadlock_action="raise"``) or carries the
+    cycle in ``result.deadlock`` (``"halt"``); restarts caused by
+    deadlock-resolution aborts also count as evidence of a cycle.
+    """
+    if result.deadlock is not None:
+        raise InvariantViolation(
+            f"deadlock at t={result.deadlock.time}: "
+            f"{' -> '.join(result.deadlock.cycle)} "
+            f"(protocol {result.protocol_name})"
+        )
+
+
+def assert_no_restarts(result: SimulationResult) -> None:
+    """PCP-DA never aborts/restarts a transaction (Section 4's design goal)."""
+    if result.aborted_restarts:
+        raise InvariantViolation(
+            f"{result.aborted_restarts} restart(s) under "
+            f"{result.protocol_name}, which promises none"
+        )
+
+
+def assert_serializable(result: SimulationResult) -> None:
+    """Theorem 3: the committed history is conflict serializable."""
+    check_serializable(result.history)
+
+
+def assert_all_committed(result: SimulationResult) -> None:
+    """Every released job committed (use for one-shot workloads or runs
+    whose horizon covers all work)."""
+    stuck = [j.name for j in result.jobs if j.state is not JobState.COMMITTED]
+    if stuck:
+        raise InvariantViolation(
+            f"jobs never committed by t={result.end_time}: {stuck} "
+            f"(protocol {result.protocol_name})"
+        )
+
+
+def verify_pcp_da_run(result: SimulationResult) -> None:
+    """All of Theorems 1-3 plus the no-restart guarantee, in one call."""
+    assert_deadlock_free(result)
+    assert_no_restarts(result)
+    assert_single_blocking(result)
+    assert_serializable(result)

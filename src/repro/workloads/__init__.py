@@ -1,0 +1,48 @@
+"""Workloads: the paper's worked examples and a parametric generator.
+
+* :mod:`repro.workloads.examples` — Examples 1, 3, 4, 5 from the paper,
+  encoded with the arrival times and operation durations that reproduce
+  Figures 1-5 (the reconstruction of the durations is documented in
+  DESIGN.md §2);
+* :mod:`repro.workloads.generator` — random periodic transaction sets over
+  a synthetic database, parameterised by size, utilisation, and read/write
+  mix, for the Section 9 schedulability experiments and the protocol
+  comparison benchmarks.
+"""
+
+from repro.workloads.examples import (
+    example1_taskset,
+    example3_taskset,
+    example4_taskset,
+    example5_taskset,
+)
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+from repro.workloads.io import (
+    dump_taskset,
+    load_taskset,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+from repro.workloads.open_system import (
+    OpenSystemConfig,
+    generate_open_system,
+    offered_load,
+)
+from repro.workloads.scenarios import all_scenarios
+
+__all__ = [
+    "OpenSystemConfig",
+    "WorkloadConfig",
+    "all_scenarios",
+    "dump_taskset",
+    "example1_taskset",
+    "example3_taskset",
+    "example4_taskset",
+    "example5_taskset",
+    "generate_open_system",
+    "generate_taskset",
+    "load_taskset",
+    "offered_load",
+    "taskset_from_dict",
+    "taskset_to_dict",
+]

@@ -1,0 +1,104 @@
+"""The paper's worked examples as ready-to-simulate task sets.
+
+Arrival times come straight from the paper's narration; operation durations
+are reconstructed so that the narrated timelines are reproduced exactly
+under both PCP-DA and RW-PCP (DESIGN.md §2 records the reconstruction).
+All examples use explicit priorities in the paper's convention —
+``T_1`` highest — via :func:`repro.model.priorities.assign_by_order`.
+"""
+
+from __future__ import annotations
+
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TaskSet, TransactionSpec, compute, read, write
+
+
+def example1_taskset() -> TaskSet:
+    """Example 1 (Section 3; Figure 1).
+
+    Three one-shot transactions, descending priority T1 > T2 > T3::
+
+        T1: Read(x)   arrives t=2, C=1
+        T2: Read(y)   arrives t=1, C=1
+        T3: Write(x)  arrives t=0, C=3
+
+    Under RW-PCP, ``Aceil(x) = P1`` so once T3 write-locks x: T2 suffers a
+    *ceiling blocking* at t=1 (y is free!) and T1 a *conflict blocking* at
+    t=2; both wait until T3 completes at t=3.  Under PCP-DA neither blocks.
+    """
+    t1 = TransactionSpec("T1", (read("x", 1.0),), offset=2.0)
+    t2 = TransactionSpec("T2", (read("y", 1.0),), offset=1.0)
+    t3 = TransactionSpec("T3", (write("x", 1.0), compute(2.0)), offset=0.0)
+    return assign_by_order([t1, t2, t3])
+
+
+def example3_taskset() -> TaskSet:
+    """Example 3 (Section 6; Figures 2 and 3).
+
+    Two transactions, T1 higher priority::
+
+        T1: Read(x), Read(y)          period 5, first arrival t=1, C=2
+        T2: Write(x) ... Write(y)     one-shot, arrival t=0, C=5
+                                      (Wlock x at offset 0, Wlock y at 3)
+
+    ``Wceil(x) = Wceil(y) = P2``.  Under PCP-DA T1 is never blocked
+    (completions at 3 and 8; T2 at 9).  Under RW-PCP T1's first instance is
+    conflict-blocked from t=1 until T2 completes at t=5 and misses its
+    deadline at t=6.
+    """
+    t1 = TransactionSpec(
+        "T1", (read("x", 1.0), read("y", 1.0)), period=5.0, offset=1.0
+    )
+    t2 = TransactionSpec(
+        "T2", (write("x", 1.0), compute(2.0), write("y", 2.0)), offset=0.0
+    )
+    return assign_by_order([t1, t2])
+
+
+def example4_taskset() -> TaskSet:
+    """Example 4 (Section 6; Figures 4 and 5).
+
+    Four one-shot transactions, descending priority T1 > T2 > T3 > T4::
+
+        T1: Read(x)             arrives t=4, C=2
+        T2: Write(y)            arrives t=9, C=2
+        T3: Read(z), Write(z)   arrives t=1, C=2
+        T4: Read(y), Write(x)   arrives t=0, C=5 (Wlock x at offset 1)
+
+    ``Wceil(x) = P1``, ``Wceil(y) = P2``, ``Wceil(z) = P3``.  Under PCP-DA
+    T3 read-locks z at t=1 through **LC4** (T* = T4, z ∉ WriteSet(T4)) and
+    T1 read-locks the write-locked x at t=4 through **LC2**; nobody blocks,
+    and the global ceiling never exceeds P2 (dummy again after t=9).  Under
+    RW-PCP T3 is ceiling-blocked for 4 units and T1 conflict-blocked for 1,
+    and the global ceiling reaches P1.
+    """
+    t1 = TransactionSpec("T1", (read("x", 1.0), compute(1.0)), offset=4.0)
+    t2 = TransactionSpec("T2", (write("y", 1.0), compute(1.0)), offset=9.0)
+    t3 = TransactionSpec("T3", (read("z", 1.0), write("z", 1.0)), offset=1.0)
+    t4 = TransactionSpec(
+        "T4", (read("y", 1.0), write("x", 1.0), compute(3.0)), offset=0.0
+    )
+    return assign_by_order([t1, t2, t3, t4])
+
+
+def example5_taskset() -> TaskSet:
+    """Example 5 (Section 7): the deadlock under naive condition (2).
+
+    Two one-shot transactions, T_H higher priority::
+
+        T_L: Read(x), Write(y)   arrives t=0
+        T_H: Read(y), Write(x)   arrives t=1
+
+    ``Wceil(x) = P_H``, ``Wceil(y) = P_L``.  T_L's read runs for 2 units so
+    that T_H arrives while T_L holds *only* the read lock on x, as the
+    example requires.  Under the weakened protocol
+    (:class:`repro.protocols.weak_pcp_da.WeakPCPDA`): T_L read-locks x
+    (condition 1), T_H preempts and read-locks y (condition 2), T_H blocks
+    writing x (read-locked by T_L), T_L inherits, resumes, and blocks
+    writing y (read-locked by T_H) — deadlock.  Real PCP-DA denies T_H's
+    read of y instead (LC3 fails: y ∈ WriteSet(T*) with T* = T_L; LC4
+    fails: P_H ≠ HPW(y)) and no deadlock occurs.
+    """
+    th = TransactionSpec("TH", (read("y", 1.0), write("x", 1.0)), offset=1.0)
+    tl = TransactionSpec("TL", (read("x", 2.0), write("y", 1.0)), offset=0.0)
+    return assign_by_order([th, tl])

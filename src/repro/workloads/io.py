@@ -1,0 +1,156 @@
+"""Task-set serialisation: define workloads in JSON files.
+
+The format is a direct mirror of :class:`~repro.model.spec.TransactionSpec`::
+
+    {
+      "transactions": [
+        {
+          "name": "T1",
+          "priority": 2,            // optional if "priority_policy" is set
+          "period": 5.0,            // optional (one-shot when absent)
+          "offset": 1.0,
+          "deadline": null,
+          "operations": [
+            {"op": "read",    "item": "x", "duration": 1.0},
+            {"op": "compute", "duration": 2.0},
+            {"op": "write",   "item": "y", "duration": 1.0}
+          ]
+        }
+      ],
+      "priority_policy": "rate-monotonic"   // or "by-order" or "explicit"
+    }
+
+``load_taskset`` / ``dump_taskset`` round-trip exactly; the CLI's
+``simulate`` command consumes the same format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.exceptions import SpecificationError
+from repro.model.priorities import assign_by_order, assign_rate_monotonic
+from repro.model.spec import (
+    OpKind,
+    Operation,
+    TaskSet,
+    TransactionSpec,
+    compute,
+    read,
+    write,
+)
+
+_POLICIES = ("explicit", "by-order", "rate-monotonic")
+
+
+def _operation_from_dict(entry: Dict[str, Any], context: str) -> Operation:
+    try:
+        op = entry["op"]
+    except KeyError:
+        raise SpecificationError(f"{context}: operation missing 'op' field") from None
+    duration = float(entry.get("duration", 1.0))
+    if op == "read":
+        return read(str(entry["item"]), duration)
+    if op == "write":
+        return write(str(entry["item"]), duration)
+    if op == "compute":
+        return compute(duration)
+    raise SpecificationError(f"{context}: unknown operation kind {op!r}")
+
+
+def _operation_to_dict(op: Operation) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"op": op.kind.value, "duration": op.duration}
+    if op.item is not None:
+        out["item"] = op.item
+    return out
+
+
+def taskset_from_dict(doc: Dict[str, Any]) -> TaskSet:
+    """Build a :class:`TaskSet` from a parsed JSON document."""
+    try:
+        entries: List[Dict[str, Any]] = doc["transactions"]
+    except (KeyError, TypeError):
+        raise SpecificationError("document must contain a 'transactions' list") from None
+    policy = doc.get("priority_policy", "explicit")
+    if policy not in _POLICIES:
+        raise SpecificationError(
+            f"unknown priority_policy {policy!r}; choose from {_POLICIES}"
+        )
+
+    specs = []
+    for entry in entries:
+        name = str(entry.get("name", ""))
+        context = f"transaction {name or '<unnamed>'}"
+        ops = tuple(
+            _operation_from_dict(op_entry, context)
+            for op_entry in entry.get("operations", ())
+        )
+        priority = entry.get("priority")
+        if policy != "explicit" and priority is not None:
+            raise SpecificationError(
+                f"{context}: explicit priority conflicts with "
+                f"priority_policy={policy!r}"
+            )
+        specs.append(
+            TransactionSpec(
+                name=name,
+                operations=ops,
+                priority=int(priority) if priority is not None else None,
+                period=(
+                    float(entry["period"]) if entry.get("period") is not None else None
+                ),
+                offset=float(entry.get("offset", 0.0)),
+                deadline=(
+                    float(entry["deadline"])
+                    if entry.get("deadline") is not None
+                    else None
+                ),
+            )
+        )
+
+    if policy == "by-order":
+        return assign_by_order(specs)
+    taskset = TaskSet(specs)
+    if policy == "rate-monotonic":
+        return assign_rate_monotonic(taskset)
+    if not taskset.has_priorities:
+        raise SpecificationError(
+            "priority_policy='explicit' requires a priority on every transaction"
+        )
+    return taskset
+
+
+def taskset_to_dict(taskset: TaskSet) -> Dict[str, Any]:
+    """Serialise a task set (always with explicit priorities)."""
+    return {
+        "priority_policy": "explicit",
+        "transactions": [
+            {
+                "name": spec.name,
+                "priority": spec.priority,
+                "period": spec.period,
+                "offset": spec.offset,
+                "deadline": spec.deadline,
+                "operations": [_operation_to_dict(op) for op in spec.operations],
+            }
+            for spec in taskset
+        ],
+    }
+
+
+def load_taskset(path: str) -> TaskSet:
+    """Load a task set from a JSON file."""
+    with open(path) as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SpecificationError(f"{path}: invalid JSON ({exc})") from exc
+    return taskset_from_dict(doc)
+
+
+def dump_taskset(taskset: TaskSet, path: str) -> None:
+    """Write a task set to a JSON file (round-trips with :func:`load_taskset`)."""
+    with open(path, "w") as handle:
+        json.dump(taskset_to_dict(taskset), handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,92 @@
+"""Canonical micro-scenarios: named access patterns for tests and docs.
+
+Each scenario is a small task-set builder exhibiting one qualitative
+locking situation.  The protocol conformance kit runs all of them against
+every protocol; they are exported here so users developing a new protocol
+can smoke-test it against the same patterns
+(``for name, build in all_scenarios().items(): simulate(build(), ...)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TaskSet, TransactionSpec, compute, read, write
+
+
+def upgrade_scenario() -> TaskSet:
+    """Two transactions that each read-then-write the same item (lock
+    upgrades under contention)."""
+    return assign_by_order([
+        TransactionSpec("H", (read("z", 1.0), write("z", 1.0)), offset=1.0),
+        TransactionSpec("L", (read("z", 1.0), write("z", 1.0)), offset=0.0),
+    ])
+
+
+def zero_duration_scenario() -> TaskSet:
+    """Zero-length data operations (lock/unlock without CPU demand)."""
+    return assign_by_order([
+        TransactionSpec("H", (read("a", 0.0), compute(1.0)), offset=0.5),
+        TransactionSpec("L", (write("a", 0.0), compute(2.0)), offset=0.0),
+    ])
+
+
+def same_item_storm_scenario() -> TaskSet:
+    """Three transactions hammering one item in mixed modes."""
+    return assign_by_order([
+        TransactionSpec("T1", (read("a", 1.0), write("a", 1.0)), offset=2.0),
+        TransactionSpec("T2", (write("a", 1.0), read("a", 1.0)), offset=1.0),
+        TransactionSpec("T3", (read("a", 2.0),), offset=0.0),
+    ])
+
+
+def disjoint_items_scenario() -> TaskSet:
+    """No sharing at all: a protocol must add zero blocking here."""
+    return assign_by_order([
+        TransactionSpec("T1", (read("a", 1.0), write("b", 1.0)), offset=0.0),
+        TransactionSpec("T2", (read("c", 1.0), write("d", 1.0)), offset=0.5),
+    ])
+
+
+def crossed_pattern_scenario() -> TaskSet:
+    """The Example 5 shape: H reads what L writes and vice versa — the
+    classic deadlock seed."""
+    return assign_by_order([
+        TransactionSpec("H", (read("y", 1.0), write("x", 1.0)), offset=1.0),
+        TransactionSpec("L", (read("x", 2.0), write("y", 1.0)), offset=0.0),
+    ])
+
+
+def chain_scenario() -> TaskSet:
+    """A four-link read-write chain (chained-blocking bait for PIP-2PL)."""
+    return assign_by_order([
+        TransactionSpec("T1", (read("a", 1.0),), offset=3.0),
+        TransactionSpec("T2", (read("a", 1.0), write("b", 1.0)), offset=2.0),
+        TransactionSpec("T3", (read("b", 1.0), write("c", 1.0)), offset=1.0),
+        TransactionSpec("T4", (read("c", 1.0), write("a", 1.0)), offset=0.0),
+    ])
+
+
+def convoy_scenario() -> TaskSet:
+    """Many readers of one hot item released back to back."""
+    return assign_by_order([
+        TransactionSpec(f"R{i}", (read("hot", 1.0), compute(0.5)),
+                        offset=float(i) * 0.5)
+        for i in range(5)
+    ] + [
+        TransactionSpec("W", (write("hot", 1.0),), offset=2.25),
+    ])
+
+
+def all_scenarios() -> Dict[str, Callable[[], TaskSet]]:
+    """Name -> builder for every canonical scenario."""
+    return {
+        "upgrade": upgrade_scenario,
+        "zero_duration": zero_duration_scenario,
+        "same_item_storm": same_item_storm_scenario,
+        "disjoint_items": disjoint_items_scenario,
+        "crossed_pattern": crossed_pattern_scenario,
+        "chain": chain_scenario,
+        "convoy": convoy_scenario,
+    }

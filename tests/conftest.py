@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+from repro.workloads.examples import (
+    example1_taskset,
+    example3_taskset,
+    example4_taskset,
+    example5_taskset,
+)
+
+
+@pytest.fixture
+def ex1():
+    return example1_taskset()
+
+
+@pytest.fixture
+def ex3():
+    return example3_taskset()
+
+
+@pytest.fixture
+def ex4():
+    return example4_taskset()
+
+
+@pytest.fixture
+def ex5():
+    return example5_taskset()
+
+
+def run(taskset, protocol_name, config=None, **protocol_kwargs):
+    """Simulate ``taskset`` under the named protocol; returns the result."""
+    protocol = make_protocol(protocol_name, **protocol_kwargs)
+    return Simulator(taskset, protocol, config).run()
+
+
+def finish(result, job_name):
+    """Finish time of a job, asserting it committed."""
+    job = result.job(job_name)
+    assert job.finish_time is not None, f"{job_name} never finished"
+    return job.finish_time
+
+
+def blocking(result, job_name):
+    return result.job(job_name).total_blocking_time()

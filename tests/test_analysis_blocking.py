@@ -1,0 +1,100 @@
+"""Unit tests for BTS_i / B_i (repro.analysis.blocking) — Section 9."""
+
+import pytest
+
+from repro.analysis.blocking import (
+    blocking_term,
+    blocking_terms,
+    bts,
+    bts_original_pcp,
+    bts_pcp_da,
+    bts_rw_pcp,
+)
+from repro.exceptions import AnalysisError
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.workloads.examples import example3_taskset, example4_taskset
+
+
+class TestBTSExample4:
+    """Hand-checked blocking sets for Example 4's access pattern."""
+
+    @pytest.fixture
+    def ts(self):
+        return example4_taskset()
+
+    def test_pcp_da_bts(self, ts):
+        # T4 reads y with Wceil(y) = P2: it can block T1? Wceil(y)=3 < P1=4
+        # -> no.  It blocks T2 (Wceil(y) >= P2) and T3 (>= P3).
+        assert bts_pcp_da(ts, "T1") == frozenset()
+        assert bts_pcp_da(ts, "T2") == frozenset({"T4"})
+        assert bts_pcp_da(ts, "T3") == frozenset({"T4"})
+        assert bts_pcp_da(ts, "T4") == frozenset()
+
+    def test_rw_pcp_bts_is_superset(self, ts):
+        # T4 also *writes* x with Aceil(x) = P1: under RW-PCP T4 can block
+        # even T1.  T3 writes z (Aceil(z) = P3): it can block nobody above
+        # P3; T3 reads z too, same ceiling.
+        assert bts_rw_pcp(ts, "T1") == frozenset({"T4"})
+        assert bts_rw_pcp(ts, "T2") == frozenset({"T4"})
+        assert bts_rw_pcp(ts, "T3") == frozenset({"T4"})
+        for name in ts.names:
+            assert bts_pcp_da(ts, name) <= bts_rw_pcp(ts, name)
+
+    def test_original_pcp_bts_is_largest(self, ts):
+        for name in ts.names:
+            assert bts_rw_pcp(ts, name) <= bts_original_pcp(ts, name)
+        # Only T4 touches items with Aceil >= P2 (x: Aceil=P1, y: Aceil=P2);
+        # T3's z has Aceil = P3 < P2 and drops out.
+        assert bts_original_pcp(ts, "T2") == frozenset({"T4"})
+        # At T3's level, T4's y (Aceil = P2 >= P3) still counts.
+        assert bts_original_pcp(ts, "T3") == frozenset({"T4"})
+
+    def test_blocking_terms_example4(self, ts):
+        # C_3 = 2, C_4 = 5.
+        b_da = blocking_terms(ts, "pcp-da")
+        b_rw = blocking_terms(ts, "rw-pcp")
+        assert b_da == {"T1": 0.0, "T2": 5.0, "T3": 5.0, "T4": 0.0}
+        assert b_rw == {"T1": 5.0, "T2": 5.0, "T3": 5.0, "T4": 0.0}
+
+
+class TestBTSExample3:
+    def test_paper_claim_write_only_blocker_drops_out(self):
+        """Example 3: T2 only *writes* x and y.  Under RW-PCP it can block
+        T1 (Aceil >= P1); under PCP-DA it cannot block anyone — exactly
+        the B_i reduction Section 9 highlights."""
+        ts = example3_taskset()
+        assert bts_rw_pcp(ts, "T1") == frozenset({"T2"})
+        assert bts_pcp_da(ts, "T1") == frozenset()
+        assert blocking_term(ts, "T1", "rw-pcp") == 5.0
+        assert blocking_term(ts, "T1", "pcp-da") == 0.0
+
+
+class TestBTSGeneric:
+    def test_dispatcher_and_unknown_protocol(self):
+        ts = example4_taskset()
+        assert bts(ts, "T2", "pcp-da") == bts_pcp_da(ts, "T2")
+        with pytest.raises(AnalysisError):
+            bts(ts, "T2", "nonsense")
+
+    def test_lowest_priority_transaction_never_blocked(self):
+        ts = example4_taskset()
+        for protocol in ("pcp-da", "rw-pcp", "pcp"):
+            assert bts(ts, "T4", protocol) == frozenset()
+
+    def test_subset_property_on_random_sets(self):
+        from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+        for seed in range(20):
+            ts = generate_taskset(
+                WorkloadConfig(n_transactions=6, n_items=8, seed=seed,
+                               write_probability=0.4)
+            )
+            for name in ts.names:
+                da = bts_pcp_da(ts, name)
+                rw = bts_rw_pcp(ts, name)
+                pcp = bts_original_pcp(ts, name)
+                assert da <= rw <= pcp
+                assert blocking_term(ts, name, "pcp-da") <= blocking_term(
+                    ts, name, "rw-pcp"
+                )

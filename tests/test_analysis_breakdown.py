@@ -1,0 +1,61 @@
+"""Unit tests for breakdown utilisation (repro.analysis.breakdown)."""
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_utilization
+from repro.analysis.rm_bound import liu_layland_bound
+from repro.exceptions import AnalysisError
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+
+
+class TestBreakdownUtilization:
+    def test_independent_set_reaches_liu_layland(self):
+        """Without blocking, the RM-bound breakdown equals the bound at the
+        binding level (non-harmonic periods, n=2: 0.828...)."""
+        ts = assign_by_order([
+            TransactionSpec("A", (compute(1.0),), period=10.0),
+            TransactionSpec("B", (compute(1.4),), period=14.0),
+        ])
+        breakdown = breakdown_utilization(ts, "pcp-da", "rm-bound")
+        assert breakdown == pytest.approx(liu_llound2(), abs=1e-3)
+
+    def test_rta_breakdown_at_least_rm_bound(self):
+        ts = assign_by_order([
+            TransactionSpec("A", (compute(1.0),), period=10.0),
+            TransactionSpec("B", (compute(1.4),), period=14.0),
+        ])
+        rm = breakdown_utilization(ts, "pcp-da", "rm-bound")
+        rta = breakdown_utilization(ts, "pcp-da", "rta")
+        assert rta >= rm - 1e-6
+
+    def test_pcp_da_breakdown_beats_rw_pcp_under_write_contention(self):
+        """The paper's headline: a lower B_i buys real utilisation."""
+        t1 = TransactionSpec("T1", (read("a", 1.0), read("b", 1.0)), period=10.0)
+        t2 = TransactionSpec(
+            "T2", (write("a", 2.0), write("b", 2.0)), period=40.0
+        )
+        ts = assign_by_order([t1, t2])
+        da = breakdown_utilization(ts, "pcp-da", "rm-bound")
+        rw = breakdown_utilization(ts, "rw-pcp", "rm-bound")
+        assert da > rw
+
+    def test_scale_clamped_by_period(self):
+        """Breakdown never scales C_i past its period."""
+        ts = assign_by_order([
+            TransactionSpec("A", (compute(9.0),), period=10.0),
+        ])
+        breakdown = breakdown_utilization(ts, "pcp-da", "rm-bound")
+        assert breakdown <= 1.0 + 1e-6
+
+    def test_unknown_test_rejected(self):
+        ts = assign_by_order([
+            TransactionSpec("A", (compute(1.0),), period=10.0),
+        ])
+        with pytest.raises(AnalysisError):
+            breakdown_utilization(ts, "pcp-da", "magic")
+
+
+def liu_llound2():
+    """The n=2 Liu & Layland bound (helper keeps the test line short)."""
+    return liu_layland_bound(2)

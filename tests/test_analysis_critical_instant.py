@@ -1,0 +1,81 @@
+"""Tests for critical-instant simulation (repro.analysis.critical_instant)."""
+
+import pytest
+
+from repro.analysis.critical_instant import (
+    critical_instant_phasings,
+    simulate_worst_responses,
+)
+from repro.analysis.response_time import response_times, rta_schedulable
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+
+class TestPhasings:
+    def test_includes_synchronous_release(self):
+        ts = assign_by_order([
+            TransactionSpec("A", (compute(1.0),), period=4.0),
+            TransactionSpec("B", (read("x", 1.0),), period=8.0),
+        ])
+        phasings = critical_instant_phasings(ts)
+        assert phasings[0] == {}
+
+    def test_one_phasing_per_lock_window(self):
+        ts = assign_by_order([
+            TransactionSpec("A", (compute(1.0),), period=4.0),
+            TransactionSpec("B", (read("x", 1.0), write("y", 1.0)), period=8.0),
+        ])
+        phasings = critical_instant_phasings(ts)
+        # synchronous + 2 windows of B + 0 of A (compute only).
+        assert len(phasings) == 3
+
+    def test_phasing_shifts_everyone_but_the_holder(self):
+        ts = assign_by_order([
+            TransactionSpec("A", (compute(1.0),), period=4.0),
+            TransactionSpec("B", (compute(1.0), read("x", 1.0)), period=8.0),
+        ])
+        phasings = critical_instant_phasings(ts)
+        lock_phasing = phasings[1]
+        assert lock_phasing["B"] == 0.0
+        assert lock_phasing["A"] == pytest.approx(1.001)
+
+
+class TestWorstResponses:
+    def test_never_exceeds_rta_bound(self):
+        for seed in range(8):
+            taskset = generate_taskset(
+                WorkloadConfig(
+                    n_transactions=4, n_items=5, write_probability=0.4,
+                    hot_access_probability=0.8, target_utilization=0.55,
+                    seed=seed,
+                )
+            )
+            if not rta_schedulable(taskset, "pcp-da"):
+                continue
+            bounds = response_times(taskset, "pcp-da")
+            observed = simulate_worst_responses(taskset, "pcp-da")
+            for name, worst in observed.items():
+                assert worst <= bounds[name] + 1e-6, (
+                    f"seed={seed} {name}: observed {worst} > bound {bounds[name]}"
+                )
+
+    def test_finds_blocking_the_synchronous_release_misses(self):
+        """With all offsets zero, the low-priority writer never gets to
+        grab its lock before the high-priority reader runs; the shifted
+        phasing exposes the Case-2 blocking."""
+        ts = assign_by_order([
+            TransactionSpec("H", (write("x", 1.0),), period=10.0),
+            TransactionSpec("L", (read("x", 3.0),), period=30.0),
+        ])
+        observed = simulate_worst_responses(ts, "pcp-da")
+        # Synchronous: H runs first, response 1.  Adversarial: L holds the
+        # read lock when H arrives -> H waits for L's commit.
+        assert observed["H"] > 1.0
+        bounds = response_times(ts, "pcp-da")
+        assert observed["H"] <= bounds["H"] + 1e-6
+
+    def test_requires_horizon_for_aperiodic(self):
+        ts = assign_by_order([TransactionSpec("A", (compute(1.0),))])
+        with pytest.raises(ValueError):
+            simulate_worst_responses(ts)

@@ -1,0 +1,113 @@
+"""Tests for the refined (critical-section) blocking terms."""
+
+import pytest
+
+from repro.analysis.blocking import blocking_terms
+from repro.analysis.critical_instant import simulate_worst_responses
+from repro.analysis.refined_blocking import (
+    refined_blocking_term,
+    refined_blocking_terms,
+)
+from repro.analysis.response_time import response_times, rta_schedulable
+from repro.exceptions import AnalysisError
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.workloads.examples import example4_taskset
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+
+class TestRefinedTerms:
+    def test_never_exceeds_whole_c_bound(self):
+        for seed in range(15):
+            ts = generate_taskset(
+                WorkloadConfig(n_transactions=6, n_items=6, seed=seed,
+                               write_probability=0.4)
+            )
+            for protocol in ("pcp-da", "rw-pcp", "pcp"):
+                classic = blocking_terms(ts, protocol)
+                refined = refined_blocking_terms(ts, protocol)
+                for name in ts.names:
+                    assert refined[name] <= classic[name] + 1e-9
+
+    def test_late_critical_section_shrinks_the_bound(self):
+        """A blocker whose offending read comes after a long prefix blocks
+        for only the tail, not its whole C."""
+        high = TransactionSpec("H", (write("x", 1.0),), period=10.0)
+        low = TransactionSpec(
+            "L", (compute(6.0), read("x", 2.0)), period=40.0
+        )
+        ts = assign_by_order([high, low])
+        classic = blocking_terms(ts, "pcp-da")["H"]
+        refined = refined_blocking_term(ts, "H", "pcp-da")
+        assert classic == 8.0      # whole C_L
+        assert refined == 2.0      # just the read-to-commit tail
+
+    def test_early_critical_section_keeps_full_bound(self):
+        high = TransactionSpec("H", (write("x", 1.0),), period=10.0)
+        low = TransactionSpec(
+            "L", (read("x", 2.0), compute(6.0)), period=40.0
+        )
+        ts = assign_by_order([high, low])
+        assert refined_blocking_term(ts, "H", "pcp-da") == 8.0
+
+    def test_zero_when_nothing_offends(self):
+        high = TransactionSpec("H", (read("x", 1.0),), period=10.0)
+        low = TransactionSpec("L", (read("y", 3.0),), period=40.0)
+        ts = assign_by_order([high, low])
+        assert refined_blocking_term(ts, "H", "pcp-da") == 0.0
+
+    def test_rw_pcp_counts_writes_too(self):
+        """Example 4: T4's write of x offends T1 under RW-PCP but not
+        under PCP-DA."""
+        ts = example4_taskset()
+        assert refined_blocking_term(ts, "T1", "pcp-da") == 0.0
+        rw = refined_blocking_term(ts, "T1", "rw-pcp")
+        # T4: Read(y,1), Write(x,1), Compute(3): the write starts at
+        # offset 1, so the critical section is C-1 = 4.
+        assert rw == 4.0
+
+    def test_unknown_protocol_rejected(self):
+        ts = example4_taskset()
+        with pytest.raises(AnalysisError):
+            refined_blocking_terms(ts, "magic")
+
+
+class TestRefinedRTASoundness:
+    def test_refined_rta_still_upper_bounds_simulation(self):
+        """RTA with refined B_i must still dominate the critical-instant
+        simulated worst responses."""
+        checked = 0
+        for seed in range(8):
+            ts = generate_taskset(
+                WorkloadConfig(
+                    n_transactions=4, n_items=5, write_probability=0.4,
+                    hot_access_probability=0.8, target_utilization=0.55,
+                    seed=seed,
+                )
+            )
+            refined = refined_blocking_terms(ts, "pcp-da")
+            if not rta_schedulable(ts, "pcp-da", blocking=refined):
+                continue
+            bounds = response_times(ts, "pcp-da", blocking=refined)
+            observed = simulate_worst_responses(ts, "pcp-da")
+            checked += 1
+            for name, worst in observed.items():
+                assert worst <= bounds[name] + 1e-6, (
+                    f"seed={seed} {name}: {worst} > refined bound {bounds[name]}"
+                )
+        assert checked >= 4
+
+    def test_refined_terms_accept_more_sets(self):
+        """On a set engineered around a late critical section, the refined
+        analysis accepts what the whole-C analysis rejects."""
+        high = TransactionSpec("H", (write("x", 2.5),), period=10.0)
+        low = TransactionSpec(
+            "L", (compute(7.5), read("x", 0.5)), period=40.0
+        )
+        ts = assign_by_order([high, low])
+        classic = blocking_terms(ts, "pcp-da")
+        refined = refined_blocking_terms(ts, "pcp-da")
+        from repro.analysis.rm_bound import rm_schedulable
+
+        assert not rm_schedulable(ts, blocking=classic)
+        assert rm_schedulable(ts, blocking=refined)

@@ -1,0 +1,59 @@
+"""Unit tests for the schedulability report (repro.analysis.report)."""
+
+import pytest
+
+from repro.analysis.report import schedulability_report
+from repro.workloads.examples import example4_taskset
+
+
+class TestSchedulabilityReport:
+    @pytest.fixture
+    def report(self):
+        # Example 4's transactions given periods for the analysis.
+        ts = example4_taskset()
+        from repro.model.spec import TaskSet, TransactionSpec
+
+        periodic = TaskSet([
+            TransactionSpec(
+                name=s.name, operations=s.operations, priority=s.priority,
+                period=20.0 * (5 - (s.priority or 0)),
+            )
+            for s in ts
+        ])
+        return schedulability_report(periodic)
+
+    def test_covers_all_transactions_and_protocols(self, report):
+        assert set(report.taskset_names) == {"T1", "T2", "T3", "T4"}
+        assert set(report.blocking_by_protocol) == {"pcp-da", "rw-pcp", "pcp"}
+
+    def test_bts_members_sorted(self, report):
+        for per_txn in report.bts_by_protocol.values():
+            for members in per_txn.values():
+                assert list(members) == sorted(members)
+
+    def test_blocking_ordering_across_protocols(self, report):
+        for name in report.taskset_names:
+            assert (
+                report.blocking_by_protocol["pcp-da"][name]
+                <= report.blocking_by_protocol["rw-pcp"][name]
+                <= report.blocking_by_protocol["pcp"][name]
+            )
+
+    def test_breakdown_ordering(self, report):
+        assert (
+            report.breakdown_by_protocol["pcp-da"]
+            >= report.breakdown_by_protocol["rw-pcp"] - 1e-6
+        )
+
+    def test_render_is_complete(self, report):
+        text = report.render()
+        for name in report.taskset_names:
+            assert name in text
+        assert "breakdown utilisation" in text
+        assert "rm-bound schedulable" in text
+        assert "critical-section refinement" in text
+
+    def test_refined_terms_never_exceed_classic(self, report):
+        for protocol, per_txn in report.refined_blocking_by_protocol.items():
+            for name, refined in per_txn.items():
+                assert refined <= report.blocking_by_protocol[protocol][name] + 1e-9

@@ -1,0 +1,69 @@
+"""Unit tests for response-time analysis (repro.analysis.response_time)."""
+
+import pytest
+
+from repro.analysis.response_time import response_times, rta_schedulable
+from repro.analysis.rm_bound import rm_schedulable
+from repro.exceptions import AnalysisError
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+
+
+def _periodic(name, c, period):
+    return TransactionSpec(name, (compute(c),), period=period)
+
+
+class TestResponseTimes:
+    def test_highest_priority_is_c_plus_b(self):
+        ts = assign_by_order([_periodic("A", 2.0, 10.0), _periodic("B", 3.0, 20.0)])
+        times = response_times(ts)
+        assert times["A"] == 2.0
+        # B: 3 + one preemption by A = 5.
+        assert times["B"] == 5.0
+
+    def test_multiple_preemptions_counted(self):
+        ts = assign_by_order([_periodic("A", 2.0, 5.0), _periodic("B", 5.0, 20.0)])
+        times = response_times(ts)
+        # R_B: 5 + ceil(R/5)*2 -> R=5+2*2=9 -> ceil(9/5)=2 -> 9. fixpoint 9.
+        assert times["B"] == 9.0
+
+    def test_blocking_term_added(self):
+        high = TransactionSpec("H", (write("x", 1.0),), period=10.0)
+        low = TransactionSpec("L", (read("x", 4.0),), period=40.0)
+        ts = assign_by_order([high, low])
+        times = response_times(ts, "pcp-da")
+        assert times["H"] == 1.0 + 4.0  # B_H = C_L
+
+    def test_unschedulable_reports_inf_or_overrun(self):
+        ts = assign_by_order([_periodic("A", 6.0, 10.0), _periodic("B", 6.0, 12.0)])
+        assert not rta_schedulable(ts)
+
+    def test_exact_fit_is_schedulable(self):
+        ts = assign_by_order([_periodic("A", 5.0, 10.0), _periodic("B", 5.0, 20.0)])
+        # R_B = 5 + ceil(R/10)*5: R=10 -> ceil(10/10)=1 -> 10. Fixpoint 10...
+        # interference: ceil((10-eps)/10)=1 -> R=10 <= 20.
+        assert rta_schedulable(ts)
+        assert response_times(ts)["B"] == 10.0
+
+    def test_requires_periods(self):
+        ts = assign_by_order([TransactionSpec("A", (compute(1.0),))])
+        with pytest.raises(AnalysisError):
+            response_times(ts)
+
+    def test_rta_dominates_rm_bound(self):
+        """Everything the utilisation bound accepts, RTA accepts too."""
+        from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+        for seed in range(15):
+            ts = generate_taskset(
+                WorkloadConfig(
+                    n_transactions=5, n_items=6, seed=seed,
+                    target_utilization=0.65, write_probability=0.4,
+                )
+            )
+            for protocol in ("pcp-da", "rw-pcp"):
+                if rm_schedulable(ts, protocol):
+                    assert rta_schedulable(ts, protocol), (
+                        f"seed={seed} protocol={protocol}: RM bound accepted "
+                        "but RTA rejected - RTA must dominate"
+                    )

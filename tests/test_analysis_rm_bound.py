@@ -1,0 +1,120 @@
+"""Unit tests for the RM utilisation-bound condition (repro.analysis.rm_bound)."""
+
+import math
+
+import pytest
+
+from repro.analysis.rm_bound import (
+    liu_layland_bound,
+    rm_schedulable,
+    rm_schedulable_detail,
+)
+from repro.exceptions import AnalysisError
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+
+
+def _periodic(name, c, period, ops=None, offset=0.0):
+    operations = ops if ops is not None else (compute(c),)
+    return TransactionSpec(name, operations, period=period, offset=offset)
+
+
+class TestLiuLaylandBound:
+    def test_known_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(2 * (math.sqrt(2) - 1))
+        assert liu_layland_bound(3) == pytest.approx(3 * (2 ** (1 / 3) - 1))
+
+    def test_monotonically_decreasing_to_ln2(self):
+        values = [liu_layland_bound(i) for i in range(1, 50)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+        assert values[-1] > math.log(2)
+
+    def test_invalid_index(self):
+        with pytest.raises(AnalysisError):
+            liu_layland_bound(0)
+
+
+class TestRMSchedulable:
+    def test_independent_set_below_bound_passes(self):
+        ts = assign_by_order([
+            _periodic("A", 1.0, 10.0),
+            _periodic("B", 2.0, 20.0),
+        ])
+        assert rm_schedulable(ts, "pcp-da")
+
+    def test_overloaded_set_fails(self):
+        ts = assign_by_order([
+            _periodic("A", 9.0, 10.0),
+            _periodic("B", 5.0, 20.0),
+        ])
+        assert not rm_schedulable(ts, "pcp-da")
+
+    def test_blocking_term_included(self):
+        """A set that fits without blocking fails once B_i is added."""
+        high = TransactionSpec(
+            "H", (write("x", 1.0),), period=4.0  # U = 0.25
+        )
+        low = TransactionSpec(
+            "L", (read("x", 3.0),), period=12.0  # U = 0.25, C = 3
+        )
+        ts = assign_by_order([high, low])
+        # Under RW-PCP (and PCP-DA - L *reads* x with Wceil(x) = P_H):
+        # B_H = C_L = 3, so level 1 requires 1/4 + 3/4 <= 1.0: exactly 1.0.
+        detail = rm_schedulable_detail(ts, "pcp-da")
+        assert detail.levels[0].blocking_term == 3.0
+        assert detail.schedulable  # exactly at the bound
+        # Stretch L a little and it fails.
+        stretched = assign_by_order([
+            high, TransactionSpec("L", (read("x", 3.1),), period=12.0)
+        ])
+        assert not rm_schedulable(stretched, "pcp-da")
+
+    def test_pcp_da_accepts_where_rw_pcp_rejects(self):
+        """Example 3's pattern: the write-only blocker drops out of
+        PCP-DA's BTS, flipping the verdict."""
+        t1 = TransactionSpec(
+            "T1", (read("x", 1.0), read("y", 1.0)), period=5.0
+        )
+        t2 = TransactionSpec(
+            "T2", (write("x", 1.0), compute(1.0), write("y", 1.0)), period=20.0
+        )
+        ts = assign_by_order([t1, t2])
+        # Level 1 under RW-PCP: 2/5 + 3/5 = 1.0 > 1.0? == 1.0 passes...
+        # use the detail to compare the blocking terms directly.
+        rw = rm_schedulable_detail(ts, "rw-pcp")
+        da = rm_schedulable_detail(ts, "pcp-da")
+        assert rw.levels[0].blocking_term == 3.0
+        assert da.levels[0].blocking_term == 0.0
+        assert da.levels[0].cumulative_utilization < rw.levels[0].bound
+
+    def test_explicit_blocking_override(self):
+        ts = assign_by_order([_periodic("A", 1.0, 10.0)])
+        assert rm_schedulable(ts, blocking={"A": 0.0})
+        assert not rm_schedulable(ts, blocking={"A": 9.5})
+
+    def test_requires_periods(self):
+        ts = assign_by_order([TransactionSpec("A", (compute(1.0),))])
+        with pytest.raises(AnalysisError):
+            rm_schedulable(ts)
+
+    def test_detail_levels_ordered_by_priority(self):
+        ts = assign_by_order([
+            _periodic("A", 1.0, 5.0),
+            _periodic("B", 1.0, 10.0),
+            _periodic("C", 1.0, 20.0),
+        ])
+        detail = rm_schedulable_detail(ts)
+        assert [l.transaction for l in detail.levels] == ["A", "B", "C"]
+        assert [l.level for l in detail.levels] == [1, 2, 3]
+        utils = [l.cumulative_utilization for l in detail.levels]
+        assert utils == sorted(utils)
+
+    def test_failing_levels_reported(self):
+        ts = assign_by_order([
+            _periodic("A", 5.0, 10.0),
+            _periodic("B", 5.0, 10.1),
+        ])
+        detail = rm_schedulable_detail(ts)
+        assert not detail.schedulable
+        assert [l.transaction for l in detail.failing_levels()] == ["B"]

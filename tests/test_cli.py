@@ -1,0 +1,98 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_protocols_lists_everything(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pcp-da", "rw-pcp", "ccp", "2pl-hp"):
+            assert name in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "NOK" in out and "T_L holds" in out
+
+    def test_examples_prints_figures_and_deadlock(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "Example 1 (Figure 1) under rw-pcp" in out
+        assert "Example 4 (Figures 4/5) under pcp-da" in out
+        assert "deadlock at t=3" in out
+        assert "#=executing" in out
+
+    def test_schedulability(self, capsys):
+        assert main(["schedulability", "--seed", "1", "--transactions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "breakdown utilisation" in out
+        assert "BTS_i" in out
+
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "--seed", "1", "--transactions", "4", "--utilization", "0.4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pcp-da" in out and "2pl-hp" in out
+        assert "maxceil" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_export_writes_files(self, tmp_path, capsys):
+        assert main([
+            "export", "example4", "--protocol", "rw-pcp",
+            "--output-dir", str(tmp_path),
+        ]) == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {
+            "example4_rw-pcp.json",
+            "example4_rw-pcp.svg",
+            "example4_rw-pcp_segments.csv",
+            "example4_rw-pcp_sysceil.csv",
+            "example4_rw-pcp_metrics.csv",
+        }
+        import json
+
+        doc = json.loads((tmp_path / "example4_rw-pcp.json").read_text())
+        assert doc["protocol"] == "rw-pcp"
+
+    def test_compare_includes_new_protocols(self, capsys):
+        assert main([
+            "compare", "--seed", "2", "--transactions", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "occ-bc" in out and "rw-pcp-abort" in out
+
+    def test_export_rejects_unknown_example(self):
+        with pytest.raises(SystemExit):
+            main(["export", "example9"])
+
+    def test_simulate_with_horizon_flag(self, tmp_path, capsys):
+        from repro.workloads.examples import example3_taskset
+        from repro.workloads.io import dump_taskset
+
+        path = tmp_path / "ts.json"
+        dump_taskset(example3_taskset(), str(path))
+        assert main([
+            "simulate", str(path), "--horizon", "11", "--protocol", "rw-pcp",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MISSED" in out  # Figure 3's deadline miss
+
+    def test_simulate_reports_bad_file(self, tmp_path):
+        from repro.exceptions import SpecificationError
+
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(SpecificationError):
+            main(["simulate", str(path)])
+
+    def test_schedulability_shows_refined_terms(self, capsys):
+        assert main(["schedulability", "--seed", "4", "--transactions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "critical-section refinement" in out

@@ -1,0 +1,72 @@
+"""Unit tests for static ceiling tables (repro.core.ceilings)."""
+
+import pytest
+
+from repro.core.ceilings import CeilingTable
+from repro.exceptions import SpecificationError
+from repro.model.priorities import assign_by_order
+from repro.model.spec import DUMMY_PRIORITY, TaskSet, TransactionSpec, read, write
+from repro.workloads.examples import example1_taskset, example4_taskset
+
+
+class TestCeilingTable:
+    def test_example1_ceilings(self):
+        """Example 1: Aceil(x) = P1 (T1 reads, T3 writes); y only read."""
+        ceilings = CeilingTable(example1_taskset())
+        p1, p3 = 3, 1
+        assert ceilings.aceil("x") == p1
+        assert ceilings.wceil("x") == p3  # only T3 writes x
+        assert ceilings.wceil("y") == DUMMY_PRIORITY  # nobody writes y
+        assert ceilings.aceil("y") == 2  # P2 reads y
+
+    def test_example4_write_ceilings(self):
+        """Example 4's ceilings, derived from the declared write sets.
+
+        The OCR'd paper text lists "Wceil(x) = P1", which contradicts the
+        paper's own definition (only T4 writes x, so Wceil(x) = P4) *and*
+        the narrated execution: with Wceil(x) = P1 in effect while T1
+        read-locks x at t=4-6, Max_Sysceil would reach P1 under PCP-DA,
+        but Section 6 says it stays at P2.  We therefore derive Wceil
+        strictly from the write sets (DESIGN.md §2), which reproduces
+        Figure 4 exactly.
+        """
+        ceilings = CeilingTable(example4_taskset())
+        p1, p2, p3, p4 = 4, 3, 2, 1
+        assert ceilings.wceil("x") == p4  # written by T4
+        assert ceilings.wceil("y") == p2  # written by T2
+        assert ceilings.wceil("z") == p3  # written by T3
+
+    def test_unknown_item_gets_dummy(self):
+        ceilings = CeilingTable(example1_taskset())
+        assert ceilings.wceil("nope") == DUMMY_PRIORITY
+        assert ceilings.aceil("nope") == DUMMY_PRIORITY
+
+    def test_hpw_is_wceil(self):
+        ceilings = CeilingTable(example4_taskset())
+        for item in ("x", "y", "z"):
+            assert ceilings.hpw(item) == ceilings.wceil(item)
+
+    def test_requires_priorities(self):
+        ts = TaskSet([TransactionSpec("T", (read("x"),))])
+        with pytest.raises(SpecificationError):
+            CeilingTable(ts)
+
+    def test_max_over_writers(self):
+        ts = assign_by_order([
+            TransactionSpec("H", (write("x"),)),
+            TransactionSpec("L", (write("x"),)),
+        ])
+        ceilings = CeilingTable(ts)
+        assert ceilings.wceil("x") == ts.priority_of("H")
+
+    def test_as_mapping_and_describe(self):
+        ceilings = CeilingTable(example4_taskset())
+        mapping = ceilings.as_mapping()
+        assert set(mapping) == {"x", "y", "z"}
+        assert mapping["y"] == (3, 3)
+        text = ceilings.describe()
+        assert "Wceil" in text and "z" in text
+
+    def test_items_property(self):
+        ceilings = CeilingTable(example1_taskset())
+        assert ceilings.items == frozenset({"x", "y"})

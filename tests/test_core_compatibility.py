@@ -1,0 +1,72 @@
+"""Unit tests for Table 1 (repro.core.compatibility)."""
+
+from repro.core.compatibility import (
+    compatibility_table,
+    lock_compatible,
+    render_compatibility_table,
+)
+from repro.model.spec import LockMode
+
+
+class TestLockCompatible:
+    def test_read_read_ok(self):
+        d = lock_compatible(LockMode.READ, LockMode.READ)
+        assert d.compatible and not d.conditional
+
+    def test_read_write_nok(self):
+        """Case 2: a read blocks later conflicting writes."""
+        d = lock_compatible(LockMode.READ, LockMode.WRITE)
+        assert not d.compatible
+        assert "Case 2" in d.rationale
+
+    def test_write_write_ok(self):
+        """Case 3: blind writes are non-conflicting."""
+        d = lock_compatible(LockMode.WRITE, LockMode.WRITE)
+        assert d.compatible
+        assert "Case 3" in d.rationale
+
+    def test_write_read_ok_when_condition_holds(self):
+        """Case 1 with DataRead(T_L) ∩ WriteSet(T_H) = ∅."""
+        d = lock_compatible(
+            LockMode.WRITE, LockMode.READ,
+            holder_data_read={"a"}, requester_write_set={"b"},
+        )
+        assert d.compatible and d.conditional
+
+    def test_write_read_nok_when_condition_fails(self):
+        d = lock_compatible(
+            LockMode.WRITE, LockMode.READ,
+            holder_data_read={"a", "y"}, requester_write_set={"y"},
+        )
+        assert not d.compatible and d.conditional
+        assert "['y']" in d.rationale
+
+    def test_condition_irrelevant_for_other_cells(self):
+        """Only the write-held/read-requested cell consults the sets."""
+        d = lock_compatible(
+            LockMode.READ, LockMode.READ,
+            holder_data_read={"y"}, requester_write_set={"y"},
+        )
+        assert d.compatible
+
+
+class TestTableRendering:
+    def test_table_has_five_rows(self):
+        rows = compatibility_table()
+        assert len(rows) == 5
+
+    def test_table_outcomes_match_paper(self):
+        outcomes = {
+            (held, req, cond): ok
+            for held, req, cond, ok in compatibility_table()
+        }
+        assert outcomes[("read", "read", "-")] is True
+        assert outcomes[("read", "write", "-")] is False
+        assert outcomes[("write", "write", "-")] is True
+        assert outcomes[("write", "read", "DataRead(T_L) ∩ WriteSet(T_H) = ∅")] is True
+        assert outcomes[("write", "read", "DataRead(T_L) ∩ WriteSet(T_H) ≠ ∅")] is False
+
+    def test_render_mentions_all_outcomes(self):
+        text = render_compatibility_table()
+        assert "NOK" in text and "OK" in text
+        assert text.count("\n") >= 6

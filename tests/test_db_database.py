@@ -1,0 +1,62 @@
+"""Unit tests for the database substrate (repro.db.database)."""
+
+import pytest
+
+from repro.db.database import Database, DataItem
+from repro.exceptions import SimulationError
+
+
+class TestDataItem:
+    def test_initial_version(self):
+        item = DataItem("x", initial_value=42)
+        assert item.current.value == 42
+        assert item.current.writer is None
+        assert item.current.seq == 0
+
+    def test_install_appends_version(self):
+        item = DataItem("x")
+        v = item.install("v1", "T1#0", 3.0, 1)
+        assert item.current is v
+        assert len(item.versions) == 2
+
+    def test_install_in_the_past_rejected(self):
+        item = DataItem("x")
+        item.install("v1", "T1#0", 5.0, 1)
+        with pytest.raises(SimulationError):
+            item.install("v2", "T2#0", 4.0, 2)
+
+
+class TestDatabase:
+    def test_declared_items(self):
+        db = Database(["x", "y"])
+        assert db.item_names == ("x", "y")
+        assert "x" in db and "z" not in db
+
+    def test_lazy_creation(self):
+        db = Database()
+        version = db.read_committed("fresh")
+        assert version.seq == 0
+        assert "fresh" in db
+
+    def test_install_assigns_global_sequence(self):
+        db = Database(["x", "y"])
+        v1 = db.install("x", "a", "T1#0", 1.0)
+        v2 = db.install("y", "b", "T1#0", 1.0)
+        assert v2.seq == v1.seq + 1
+
+    def test_install_many_is_sorted_and_atomic(self):
+        db = Database(["b", "a"])
+        versions = db.install_many({"b": 2, "a": 1}, "T1#0", 5.0)
+        assert set(versions) == {"a", "b"}
+        assert versions["a"].seq < versions["b"].seq  # sorted item order
+        assert all(v.time == 5.0 for v in versions.values())
+
+    def test_read_committed_sees_latest(self):
+        db = Database(["x"])
+        db.install("x", "new", "T1#0", 1.0)
+        assert db.read_committed("x").value == "new"
+
+    def test_snapshot(self):
+        db = Database(["x"])
+        db.install("x", "v", "T1#0", 1.0)
+        assert db.snapshot() == {"x": "v"}

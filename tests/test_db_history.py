@@ -1,0 +1,54 @@
+"""Unit tests for history recording (repro.db.history)."""
+
+from repro.db.history import History, HistoryEventKind
+
+
+class TestHistory:
+    def test_commit_order(self):
+        h = History()
+        h.record_commit("T2#0", 1.0)
+        h.record_commit("T1#0", 2.0)
+        assert h.commit_order() == ("T2#0", "T1#0")
+
+    def test_events_get_monotonic_seq(self):
+        h = History()
+        h.record_read("T1#0", "x", 0, 1.0)
+        h.record_install("T1#0", "x", 1, 2.0)
+        h.record_commit("T1#0", 2.0)
+        seqs = [e.seq for e in h.events]
+        assert seqs == sorted(seqs) == [0, 1, 2]
+
+    def test_committed_reads_excludes_uncommitted_jobs(self):
+        h = History()
+        h.record_read("T1#0", "x", 0, 1.0)
+        h.record_read("T2#0", "x", 0, 1.5)
+        h.record_commit("T1#0", 2.0)
+        assert [e.job for e in h.committed_reads()] == ["T1#0"]
+
+    def test_committed_reads_excludes_pre_abort_reads(self):
+        h = History()
+        h.record_read("T1#0", "x", 0, 1.0)   # first execution
+        h.record_abort("T1#0", 2.0)          # restarted by 2PL-HP
+        h.record_read("T1#0", "x", 3, 3.0)   # surviving execution
+        h.record_commit("T1#0", 4.0)
+        reads = h.committed_reads()
+        assert len(reads) == 1
+        assert reads[0].version_seq == 3
+
+    def test_installs_in_order(self):
+        h = History()
+        h.record_install("T1#0", "x", 1, 1.0)
+        h.record_install("T2#0", "x", 2, 2.0)
+        assert [e.version_seq for e in h.installs()] == [1, 2]
+
+    def test_aborted_jobs_tracked(self):
+        h = History()
+        h.record_abort("T3#0", 1.0)
+        h.record_abort("T3#0", 2.0)
+        assert h.aborted_jobs == ("T3#0", "T3#0")
+
+    def test_len_and_iter(self):
+        h = History()
+        h.record_commit("T1#0", 1.0)
+        assert len(h) == 1
+        assert [e.kind for e in h] == [HistoryEventKind.COMMIT]

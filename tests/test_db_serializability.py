@@ -1,0 +1,102 @@
+"""Unit tests for the conflict-serializability checker (repro.db.serializability)."""
+
+import pytest
+
+from repro.db.history import History
+from repro.db.serializability import (
+    build_serialization_graph,
+    check_serializable,
+    serialization_order,
+)
+from repro.exceptions import SerializationViolation
+
+
+def _serial_history():
+    """T1 reads x then T2 overwrites x: plain wr/rw order T1 -> ... -> T2."""
+    h = History()
+    h.record_read("T1#0", "x", 0, 1.0)
+    h.record_commit("T1#0", 2.0)
+    h.record_install("T2#0", "x", 1, 3.0)
+    h.record_commit("T2#0", 3.0)
+    return h
+
+
+class TestBuildGraph:
+    def test_rw_edge(self):
+        g = build_serialization_graph(_serial_history())
+        assert g.has_edge("T1#0", "T2#0")
+        assert "rw" in g.edge_labels("T1#0", "T2#0")
+
+    def test_wr_edge(self):
+        h = History()
+        h.record_install("T1#0", "x", 1, 1.0)
+        h.record_commit("T1#0", 1.0)
+        h.record_read("T2#0", "x", 1, 2.0)
+        h.record_commit("T2#0", 3.0)
+        g = build_serialization_graph(h)
+        assert g.edge_labels("T1#0", "T2#0") == ("wr",)
+
+    def test_ww_edges_follow_install_order(self):
+        h = History()
+        h.record_install("T1#0", "x", 1, 1.0)
+        h.record_commit("T1#0", 1.0)
+        h.record_install("T2#0", "x", 2, 2.0)
+        h.record_commit("T2#0", 2.0)
+        g = build_serialization_graph(h)
+        assert g.edge_labels("T1#0", "T2#0") == ("ww",)
+
+    def test_uncommitted_writers_ignored(self):
+        h = History()
+        h.record_read("T1#0", "x", 0, 1.0)
+        h.record_commit("T1#0", 2.0)
+        h.record_install("ghost#0", "x", 1, 3.0)  # never commits
+        g = build_serialization_graph(h)
+        assert "ghost#0" not in g.nodes or not g.has_edge("T1#0", "ghost#0")
+
+    def test_own_write_read_makes_no_self_edge(self):
+        h = History()
+        h.record_install("T1#0", "x", 1, 1.0)
+        h.record_read("T1#0", "x", 1, 1.5)
+        h.record_commit("T1#0", 2.0)
+        g = build_serialization_graph(h)
+        assert g.edges == ()
+
+
+class TestCheckSerializable:
+    def test_serializable_history_passes(self):
+        graph = check_serializable(_serial_history())
+        assert graph.is_acyclic()
+
+    def test_nonserializable_history_raises_with_cycle(self):
+        # T1 reads x before T2's write of x (rw: T1 -> T2), and T2 reads y
+        # before T1's write of y (rw: T2 -> T1): classic write skew cycle.
+        h = History()
+        h.record_read("T1#0", "x", 0, 1.0)
+        h.record_read("T2#0", "y", 0, 1.5)
+        h.record_install("T2#0", "x", 1, 2.0)
+        h.record_commit("T2#0", 2.0)
+        h.record_install("T1#0", "y", 2, 3.0)
+        h.record_commit("T1#0", 3.0)
+        with pytest.raises(SerializationViolation) as exc:
+            check_serializable(h)
+        assert set(exc.value.cycle) == {"T1#0", "T2#0"}
+
+    def test_serialization_order_respects_edges(self):
+        order = serialization_order(_serial_history())
+        assert order.index("T1#0") < order.index("T2#0")
+
+    def test_empty_history_serializable(self):
+        assert serialization_order(History()) == ()
+
+    def test_blind_writes_never_cycle(self):
+        """ww edges alone follow the global install order: acyclic by
+        construction (the paper's Case 3 argument)."""
+        h = History()
+        h.record_install("T1#0", "x", 1, 1.0)
+        h.record_install("T1#0", "y", 2, 1.0)
+        h.record_commit("T1#0", 1.0)
+        h.record_install("T2#0", "y", 3, 2.0)
+        h.record_install("T2#0", "x", 4, 2.0)
+        h.record_commit("T2#0", 2.0)
+        order = serialization_order(h)
+        assert order == ("T1#0", "T2#0")

@@ -1,0 +1,82 @@
+"""Unit tests for SG(H) and cycle detection (repro.db.serialization_graph)."""
+
+from repro.db.serialization_graph import SerializationGraph
+
+
+class TestSerializationGraph:
+    def test_empty_graph_is_acyclic(self):
+        g = SerializationGraph()
+        assert g.is_acyclic()
+        assert g.topological_order() == ()
+        assert g.find_cycle() is None
+
+    def test_self_loop_ignored(self):
+        g = SerializationGraph()
+        g.add_edge("A", "A")
+        assert g.edges == ()
+        assert g.is_acyclic()
+
+    def test_chain_topological_order(self):
+        g = SerializationGraph()
+        g.add_edge("A", "B")
+        g.add_edge("B", "C")
+        assert g.topological_order() == ("A", "B", "C")
+
+    def test_lexicographically_smallest_order(self):
+        g = SerializationGraph(["C", "A", "B"])  # no edges
+        assert g.topological_order() == ("A", "B", "C")
+
+    def test_two_cycle_detected(self):
+        g = SerializationGraph()
+        g.add_edge("A", "B")
+        g.add_edge("B", "A")
+        assert not g.is_acyclic()
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"A", "B"}
+
+    def test_long_cycle_detected(self):
+        g = SerializationGraph()
+        for src, dst in [("A", "B"), ("B", "C"), ("C", "D"), ("D", "B")]:
+            g.add_edge(src, dst)
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"B", "C", "D"}
+
+    def test_cycle_is_closed(self):
+        g = SerializationGraph()
+        g.add_edge("A", "B")
+        g.add_edge("B", "C")
+        g.add_edge("C", "A")
+        cycle = list(g.find_cycle())
+        for i, node in enumerate(cycle):
+            assert g.has_edge(node, cycle[(i + 1) % len(cycle)])
+
+    def test_diamond_is_acyclic(self):
+        g = SerializationGraph()
+        g.add_edge("A", "B")
+        g.add_edge("A", "C")
+        g.add_edge("B", "D")
+        g.add_edge("C", "D")
+        order = g.topological_order()
+        assert order is not None
+        assert order.index("A") < order.index("D")
+
+    def test_edge_labels_accumulate(self):
+        g = SerializationGraph()
+        g.add_edge("A", "B", "wr")
+        g.add_edge("A", "B", "rw")
+        assert g.edge_labels("A", "B") == ("rw", "wr")
+        assert g.edge_labels("B", "A") == ()
+
+    def test_isolated_nodes_kept(self):
+        g = SerializationGraph(["X"])
+        g.add_edge("A", "B")
+        assert "X" in g.nodes
+        assert len(g) == 3
+
+    def test_successors_sorted(self):
+        g = SerializationGraph()
+        g.add_edge("A", "C")
+        g.add_edge("A", "B")
+        assert g.successors("A") == ("B", "C")

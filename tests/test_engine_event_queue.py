@@ -1,0 +1,70 @@
+"""Unit tests for the event calendar (repro.engine.event_queue)."""
+
+import pytest
+
+from repro.engine.event_queue import EventQueue
+from repro.exceptions import SimulationError
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, "arrival", "c")
+        q.push(1.0, "arrival", "a")
+        q.push(2.0, "arrival", "b")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_same_time_same_kind_pops_in_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, "arrival", "first")
+        q.push(1.0, "arrival", "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_op_done_precedes_arrival_at_same_time(self):
+        q = EventQueue()
+        q.push(5.0, "arrival", "arr")     # inserted first...
+        q.push(5.0, "op_done", "done")    # ...but completions fire first
+        assert q.pop().kind == "op_done"
+        assert q.pop().kind == "arrival"
+
+    def test_clock_advances_on_pop(self):
+        q = EventQueue()
+        q.push(4.0, "arrival", None)
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 4.0
+
+    def test_push_in_past_rejected(self):
+        q = EventQueue()
+        q.push(5.0, "arrival", None)
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.push(4.0, "arrival", None)
+
+    def test_push_at_now_allowed(self):
+        q = EventQueue()
+        q.push(5.0, "arrival", None)
+        q.pop()
+        q.push(5.0, "op_done", None)
+        assert q.pop().time == 5.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0, "arrival", None)
+        assert q.peek_time() == 7.0
+        assert len(q) == 1
+
+    def test_bool_and_drain(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, "arrival", 1)
+        q.push(2.0, "arrival", 2)
+        assert q
+        assert [e.payload for e in q.drain()] == [1, 2]
+        assert not q

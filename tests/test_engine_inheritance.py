@@ -1,0 +1,108 @@
+"""Unit tests for priority inheritance and the wait-for graph."""
+
+from repro.engine.inheritance import WaitForGraph
+from repro.engine.job import Job
+from repro.model.spec import TransactionSpec, read
+
+
+def _job(name, priority):
+    spec = TransactionSpec(name, (read("x"),), priority=priority)
+    return Job(spec, 0, 0.0)
+
+
+class TestInheritance:
+    def test_direct_inheritance(self):
+        high, low = _job("H", 3), _job("L", 1)
+        g = WaitForGraph()
+        g.block(high, [low])
+        g.recompute_priorities([high, low])
+        assert low.running_priority == 3
+        assert high.running_priority == 3
+
+    def test_transitive_inheritance(self):
+        a, b, c = _job("A", 5), _job("B", 3), _job("C", 1)
+        g = WaitForGraph()
+        g.block(a, [b])
+        g.block(b, [c])
+        g.recompute_priorities([a, b, c])
+        assert c.running_priority == 5
+        assert b.running_priority == 5
+
+    def test_inheritance_reverts_on_unblock(self):
+        high, low = _job("H", 3), _job("L", 1)
+        g = WaitForGraph()
+        g.block(high, [low])
+        g.recompute_priorities([high, low])
+        g.unblock(high)
+        g.recompute_priorities([high, low])
+        assert low.running_priority == 1
+
+    def test_max_of_multiple_waiters(self):
+        h1, h2, low = _job("H1", 5), _job("H2", 4), _job("L", 1)
+        g = WaitForGraph()
+        g.block(h1, [low])
+        g.block(h2, [low])
+        g.recompute_priorities([h1, h2, low])
+        assert low.running_priority == 5
+
+    def test_no_inherit_edges_do_not_boost(self):
+        high, low = _job("H", 3), _job("L", 1)
+        g = WaitForGraph()
+        g.block(high, [low], inherit=False)
+        g.recompute_priorities([high, low])
+        assert low.running_priority == 1
+        # ...but still participate in cycle detection.
+        g.block(low, [high], inherit=False)
+        assert g.find_cycle() is not None
+
+    def test_forget_removes_as_blocker_and_waiter(self):
+        a, b, c = _job("A", 3), _job("B", 2), _job("C", 1)
+        g = WaitForGraph()
+        g.block(a, [b, c])
+        g.block(b, [c])
+        g.forget(c)
+        assert g.blockers_of(a) == (b,)
+        assert not g.is_blocked(b)
+
+    def test_waiters_on(self):
+        a, b = _job("A", 2), _job("B", 1)
+        g = WaitForGraph()
+        g.block(a, [b])
+        assert g.waiters_on(b) == (a,)
+        assert g.waiters_on(a) == ()
+
+
+class TestCycleDetection:
+    def test_no_cycle(self):
+        a, b, c = _job("A", 3), _job("B", 2), _job("C", 1)
+        g = WaitForGraph()
+        g.block(a, [b])
+        g.block(b, [c])
+        assert g.find_cycle() is None
+
+    def test_two_cycle(self):
+        a, b = _job("A", 2), _job("B", 1)
+        g = WaitForGraph()
+        g.block(a, [b])
+        g.block(b, [a])
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert {j.name for j in cycle} == {"A#0", "B#0"}
+
+    def test_three_cycle_with_branch(self):
+        a, b, c, d = _job("A", 4), _job("B", 3), _job("C", 2), _job("D", 1)
+        g = WaitForGraph()
+        g.block(a, [b])
+        g.block(b, [c, d])
+        g.block(d, [b])
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert {j.name for j in cycle} == {"B#0", "D#0"}
+
+    def test_cycle_removed_after_forget(self):
+        a, b = _job("A", 2), _job("B", 1)
+        g = WaitForGraph()
+        g.block(a, [b])
+        g.block(b, [a])
+        g.forget(b)
+        assert g.find_cycle() is None

@@ -1,0 +1,118 @@
+"""Unit tests for job runtime state (repro.engine.job)."""
+
+import pytest
+
+from repro.engine.job import Job, JobState
+from repro.exceptions import SimulationError
+from repro.model.spec import LockMode, TransactionSpec, compute, read, write
+
+
+def _spec(**kwargs):
+    defaults = dict(priority=2, period=10.0)
+    defaults.update(kwargs)
+    return TransactionSpec("T", (read("x"), write("y"), compute(2.0)), **defaults)
+
+
+class TestJobBasics:
+    def test_naming_and_initial_state(self):
+        job = Job(_spec(), 3, arrival=30.0)
+        assert job.name == "T#3"
+        assert job.state is JobState.READY
+        assert job.pc == 0
+        assert job.op_remaining == 1.0
+        assert job.running_priority == job.base_priority == 2
+
+    def test_requires_priority(self):
+        spec = TransactionSpec("T", (read("x"),))
+        with pytest.raises(SimulationError):
+            Job(spec, 0, 0.0)
+
+    def test_current_op_progression(self):
+        job = Job(_spec(), 0, 0.0)
+        assert job.current_op.item == "x"
+        job.pc = 3
+        assert job.current_op is None
+        assert job.finished_program
+
+    def test_absolute_deadline_and_miss(self):
+        job = Job(_spec(period=10.0), 0, arrival=5.0)
+        assert job.absolute_deadline == 15.0
+        job.finish_time = 15.0
+        assert not job.missed_deadline  # finishing exactly on time is a meet
+        job.finish_time = 15.5
+        assert job.missed_deadline
+
+    def test_unfinished_periodic_job_counts_as_miss(self):
+        job = Job(_spec(period=10.0), 0, 0.0)
+        assert job.missed_deadline
+
+    def test_aperiodic_job_never_misses(self):
+        spec = TransactionSpec("T", (read("x"),), priority=1)
+        job = Job(spec, 0, 0.0)
+        assert job.absolute_deadline is None
+        assert not job.missed_deadline
+
+    def test_response_time(self):
+        job = Job(_spec(), 0, arrival=2.0)
+        assert job.response_time is None
+        job.finish_time = 9.0
+        assert job.response_time == 7.0
+
+
+class TestBlockingBookkeeping:
+    def test_block_interval_lifecycle(self):
+        job = Job(_spec(), 0, 0.0)
+        job.begin_block(1.0, "x", LockMode.READ, ("L#0",), "ceiling")
+        job.end_block(4.0)
+        assert job.total_blocking_time() == 3.0
+        assert job.distinct_blockers() == frozenset({"L"})
+
+    def test_end_block_without_open_interval_rejected(self):
+        job = Job(_spec(), 0, 0.0)
+        with pytest.raises(SimulationError):
+            job.end_block(1.0)
+
+    def test_open_interval_excluded_from_total(self):
+        job = Job(_spec(), 0, 0.0)
+        job.begin_block(1.0, "x", LockMode.READ, ("L#0",), "r")
+        assert job.total_blocking_time() == 0.0
+
+    def test_distinct_blockers_collapse_instances(self):
+        job = Job(_spec(), 0, 0.0)
+        job.begin_block(1.0, "x", LockMode.READ, ("L#0",), "r")
+        job.end_block(2.0)
+        job.begin_block(3.0, "y", LockMode.WRITE, ("L#1",), "r")
+        job.end_block(4.0)
+        assert job.distinct_blockers() == frozenset({"L"})
+
+
+class TestRestart:
+    def test_restart_resets_execution_state(self):
+        job = Job(_spec(), 0, 0.0)
+        job.pc = 2
+        job.op_remaining = 0.5
+        job.op_started = True
+        job.data_read.add("x")
+        job.workspace.buffer_write("y", "v")
+        job.running_priority = 9
+        job.restart()
+        assert job.pc == 0
+        assert job.op_remaining == 1.0
+        assert not job.op_started
+        assert job.data_read == set()
+        assert not job.workspace.has_write("y")
+        assert job.running_priority == job.base_priority
+        assert job.restarts == 1
+        assert job.state is JobState.READY
+
+
+class TestDispatchKey:
+    def test_priority_dominates(self):
+        high = Job(_spec(priority=5), 0, 10.0)
+        low = Job(_spec(priority=1), 0, 0.0)
+        assert high.dispatch_key() < low.dispatch_key()
+
+    def test_fifo_within_priority(self):
+        first = Job(_spec(), 0, 0.0)
+        second = Job(_spec(), 1, 5.0)
+        assert first.dispatch_key() < second.dispatch_key()

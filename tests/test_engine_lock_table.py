@@ -1,0 +1,98 @@
+"""Unit tests for the lock table (repro.engine.lock_table)."""
+
+import pytest
+
+from repro.engine.job import Job
+from repro.engine.lock_table import LockTable
+from repro.exceptions import ProtocolError
+from repro.model.spec import LockMode, TransactionSpec, read
+
+
+def _job(name, priority=1, arrival=0.0):
+    spec = TransactionSpec(name, (read("x"),), priority=priority)
+    return Job(spec, 0, arrival)
+
+
+class TestLockTable:
+    def test_grant_and_holds(self):
+        table = LockTable()
+        job = _job("A")
+        table.grant(job, "x", LockMode.READ)
+        assert table.holds(job, "x", LockMode.READ)
+        assert not table.holds(job, "x", LockMode.WRITE)
+        assert table.holds_any(job, "x")
+
+    def test_double_grant_rejected(self):
+        table = LockTable()
+        job = _job("A")
+        table.grant(job, "x", LockMode.READ)
+        with pytest.raises(ProtocolError):
+            table.grant(job, "x", LockMode.READ)
+
+    def test_read_and_write_by_same_job(self):
+        """Lock upgrade: both modes held simultaneously."""
+        table = LockTable()
+        job = _job("A")
+        table.grant(job, "x", LockMode.READ)
+        table.grant(job, "x", LockMode.WRITE)
+        assert table.items_held_by(job) == {
+            "x": frozenset({LockMode.READ, LockMode.WRITE})
+        }
+
+    def test_concurrent_write_locks_allowed(self):
+        """PCP-DA's Case 3: the table must accept co-existing writers."""
+        table = LockTable()
+        a, b = _job("A"), _job("B", priority=2)
+        table.grant(a, "x", LockMode.WRITE)
+        table.grant(b, "x", LockMode.WRITE)
+        assert table.writers_of("x") == frozenset({a, b})
+
+    def test_reader_alongside_writer(self):
+        """PCP-DA's Case 1: a reader co-existing with a writer."""
+        table = LockTable()
+        writer, reader = _job("W"), _job("R", priority=2)
+        table.grant(writer, "x", LockMode.WRITE)
+        table.grant(reader, "x", LockMode.READ)
+        assert table.readers_of("x") == frozenset({reader})
+        assert table.writers_of("x") == frozenset({writer})
+
+    def test_release_specific_lock(self):
+        table = LockTable()
+        job = _job("A")
+        table.grant(job, "x", LockMode.READ)
+        table.release(job, "x", LockMode.READ)
+        assert not table.holds_any(job, "x")
+        assert table.holders_of("x") == frozenset()
+
+    def test_release_unheld_rejected(self):
+        table = LockTable()
+        with pytest.raises(ProtocolError):
+            table.release(_job("A"), "x", LockMode.READ)
+
+    def test_release_all(self):
+        table = LockTable()
+        job = _job("A")
+        table.grant(job, "x", LockMode.READ)
+        table.grant(job, "y", LockMode.WRITE)
+        released = table.release_all(job)
+        assert set(released) == {("x", LockMode.READ), ("y", LockMode.WRITE)}
+        assert table.items_held_by(job) == {}
+
+    def test_release_all_idempotent_for_unknown_job(self):
+        assert LockTable().release_all(_job("A")) == ()
+
+    def test_read_locked_items_excludes_job(self):
+        table = LockTable()
+        a, b = _job("A"), _job("B", priority=2)
+        table.grant(a, "x", LockMode.READ)
+        table.grant(b, "y", LockMode.READ)
+        assert table.read_locked_items() == ("x", "y")
+        assert table.read_locked_items(exclude=a) == ("y",)
+
+    def test_locked_items_any_mode(self):
+        table = LockTable()
+        a = _job("A")
+        table.grant(a, "x", LockMode.WRITE)
+        assert table.locked_items() == ("x",)
+        assert table.locked_items(exclude=a) == ()
+        assert table.read_locked_items() == ()

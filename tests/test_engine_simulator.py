@@ -1,0 +1,191 @@
+"""Behavioural tests of the discrete-event simulator itself.
+
+These tests use PCP-DA or PIP-2PL as convenient protocols but target
+*engine* semantics: preemption, charging, periodic releases, horizons,
+commit-time write-back, deadline accounting, and determinism.
+"""
+
+import pytest
+
+from repro.core.pcp_da import PCPDA
+from repro.engine.job import JobState
+from repro.engine.simulator import SimConfig, Simulator
+from repro.exceptions import SpecificationError
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TaskSet, TransactionSpec, compute, read, write
+from repro.protocols import make_protocol
+from repro.trace.recorder import SchedEventKind
+
+
+def _oneshot(name, ops, offset=0.0):
+    return TransactionSpec(name, ops, offset=offset)
+
+
+class TestBasicExecution:
+    def test_single_transaction_runs_to_commit(self):
+        ts = assign_by_order([_oneshot("T", (read("x"), compute(2.0)))])
+        result = Simulator(ts, PCPDA()).run()
+        job = result.job("T#0")
+        assert job.state is JobState.COMMITTED
+        assert job.finish_time == 3.0
+        assert result.history.commit_order() == ("T#0",)
+
+    def test_preemption_by_higher_priority_arrival(self):
+        high = _oneshot("H", (compute(1.0),), offset=1.0)
+        low = _oneshot("L", (compute(4.0),), offset=0.0)
+        ts = assign_by_order([high, low])
+        result = Simulator(ts, PCPDA()).run()
+        assert result.job("H#0").finish_time == 2.0
+        assert result.job("L#0").finish_time == 5.0
+        assert result.job("L#0").preemptions == 1
+        preempts = [
+            e for e in result.trace.sched_events
+            if e.kind is SchedEventKind.PREEMPT
+        ]
+        assert preempts and preempts[0].job == "L#0" and preempts[0].other == "H#0"
+
+    def test_deferred_writes_install_only_at_commit(self):
+        writer = _oneshot("W", (write("x", 1.0), compute(2.0)))
+        ts = assign_by_order([writer])
+        sim = Simulator(ts, PCPDA())
+        result = sim.run()
+        installs = result.history.installs()
+        assert len(installs) == 1
+        assert installs[0].time == 3.0  # at commit, not at t=1
+
+    def test_in_place_writes_install_at_operation(self):
+        writer = _oneshot("W", (write("x", 1.0), compute(2.0)))
+        ts = assign_by_order([writer])
+        result = Simulator(ts, make_protocol("rw-pcp")).run()
+        installs = result.history.installs()
+        assert len(installs) == 1
+        assert installs[0].time == 1.0  # at the write operation
+
+    def test_read_binds_to_committed_version(self):
+        # L write-locks x and is preempted; H reads x and must see the
+        # initial version, not L's workspace value.
+        low = _oneshot("L", (write("x", 1.0), compute(3.0)), offset=0.0)
+        high = _oneshot("H", (read("x", 1.0),), offset=2.0)
+        ts = assign_by_order([high, low])
+        result = Simulator(ts, PCPDA()).run()
+        reads = [e for e in result.history.committed_reads() if e.job == "H#0"]
+        assert reads[0].version_seq == 0  # the initial version
+
+    def test_own_write_then_read_uses_workspace(self):
+        t = _oneshot("T", (write("x", 1.0), read("x", 1.0)))
+        ts = assign_by_order([t])
+        result = Simulator(ts, PCPDA()).run()
+        # The read of its own deferred write is not a history event.
+        assert result.history.committed_reads() == []
+        assert result.job("T#0").data_read == set()
+
+    def test_zero_duration_operation(self):
+        t = _oneshot("T", (read("x", 0.0), compute(1.0)))
+        ts = assign_by_order([t])
+        result = Simulator(ts, PCPDA()).run()
+        assert result.job("T#0").finish_time == 1.0
+
+
+class TestPeriodicExecution:
+    def test_hyperperiod_default_horizon(self):
+        a = TransactionSpec("A", (compute(1.0),), period=4.0)
+        b = TransactionSpec("B", (compute(1.0),), period=6.0)
+        ts = assign_by_order([a, b])
+        result = Simulator(ts, PCPDA()).run()
+        assert result.end_time <= 12.0 + 1e-9
+        assert len(result.jobs_of("A")) == 3
+        assert len(result.jobs_of("B")) == 2
+
+    def test_max_instances_caps_releases(self):
+        a = TransactionSpec("A", (compute(1.0),), period=4.0)
+        ts = assign_by_order([a])
+        result = Simulator(
+            ts, PCPDA(), SimConfig(horizon=100.0, max_instances=3)
+        ).run()
+        assert len(result.jobs_of("A")) == 3
+
+    def test_fractional_period_requires_horizon(self):
+        a = TransactionSpec("A", (compute(1.0),), period=2.5)
+        ts = assign_by_order([a])
+        with pytest.raises(SpecificationError):
+            Simulator(ts, PCPDA())
+        Simulator(ts, PCPDA(), SimConfig(horizon=5.0))  # fine with horizon
+
+    def test_deadline_miss_recorded(self):
+        # B's first job is delayed past its deadline by A's load.
+        a = TransactionSpec("A", (compute(3.0),), period=4.0)
+        b = TransactionSpec("B", (compute(2.0),), period=4.0, deadline=3.0)
+        ts = assign_by_order([a, b])
+        result = Simulator(ts, PCPDA(), SimConfig(horizon=8.0)).run()
+        b0 = result.job("B#0")
+        assert b0.missed_deadline
+        assert b0.finish_time == 8.0  # A#0 0-3, B#0 3-4, A#1 4-7, B#0 7-8
+        misses = [
+            e for e in result.trace.sched_events if e.kind is SchedEventKind.MISS
+        ]
+        assert any(e.job == "B#0" for e in misses)
+
+    def test_unfinished_job_counts_as_miss_without_trace_event(self):
+        a = TransactionSpec("A", (compute(3.0),), period=4.0, deadline=2.0)
+        ts = assign_by_order([a])
+        result = Simulator(ts, PCPDA(), SimConfig(horizon=2.0)).run()
+        a0 = result.job("A#0")
+        assert a0.state is not JobState.COMMITTED
+        assert a0.missed_deadline  # never finished: a miss by definition
+
+    def test_overrunning_job_continues_past_deadline(self):
+        a = TransactionSpec("A", (compute(3.5),), period=4.0, deadline=3.0)
+        ts = assign_by_order([a])
+        result = Simulator(ts, PCPDA(), SimConfig(horizon=4.0)).run()
+        a0 = result.job("A#0")
+        assert a0.missed_deadline
+        assert a0.state is JobState.COMMITTED  # record-and-continue policy
+        assert a0.finish_time == 3.5
+
+
+class TestHorizon:
+    def test_unfinished_jobs_survive_the_horizon(self):
+        a = TransactionSpec("A", (compute(10.0),), period=20.0)
+        ts = assign_by_order([a])
+        result = Simulator(ts, PCPDA(), SimConfig(horizon=5.0)).run()
+        assert result.job("A#0").state is not JobState.COMMITTED
+        assert result.end_time == 5.0
+
+    def test_arrivals_at_horizon_suppressed(self):
+        a = TransactionSpec("A", (compute(1.0),), period=5.0)
+        ts = assign_by_order([a])
+        result = Simulator(ts, PCPDA(), SimConfig(horizon=10.0)).run()
+        assert len(result.jobs_of("A")) == 2  # t=0 and t=5; not t=10
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+        ts = generate_taskset(WorkloadConfig(n_transactions=4, seed=7))
+        config = SimConfig(horizon=200.0)
+        r1 = Simulator(ts, PCPDA(), config).run()
+        r2 = Simulator(ts, PCPDA(), config).run()
+        events1 = [(e.time, e.kind, e.job) for e in r1.trace.sched_events]
+        events2 = [(e.time, e.kind, e.job) for e in r2.trace.sched_events]
+        assert events1 == events2
+        assert [
+            (e.time, e.job, e.item, e.outcome) for e in r1.trace.lock_events
+        ] == [
+            (e.time, e.job, e.item, e.outcome) for e in r2.trace.lock_events
+        ]
+
+
+class TestResultAccessors:
+    def test_job_lookup_and_missing(self):
+        ts = assign_by_order([_oneshot("T", (compute(1.0),))])
+        result = Simulator(ts, PCPDA()).run()
+        assert result.job("T#0").spec.name == "T"
+        with pytest.raises(KeyError):
+            result.job("nope#0")
+
+    def test_committed_and_missed_views(self):
+        ts = assign_by_order([_oneshot("T", (compute(1.0),))])
+        result = Simulator(ts, PCPDA()).run()
+        assert [j.name for j in result.committed_jobs] == ["T#0"]
+        assert result.missed_jobs == ()

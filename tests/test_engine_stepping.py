@@ -1,0 +1,132 @@
+"""Tests for the stepping API (start / advance / finalize)."""
+
+import pytest
+
+from repro.core.pcp_da import PCPDA
+from repro.engine.job import JobState
+from repro.engine.simulator import SimConfig, Simulator
+from repro.exceptions import SimulationError
+from repro.model.spec import LockMode
+from repro.protocols import make_protocol
+from repro.workloads.examples import example4_taskset
+
+
+class TestSteppingAPI:
+    def test_stepwise_matches_one_shot(self):
+        one_shot = Simulator(example4_taskset(), PCPDA()).run()
+
+        stepped_sim = Simulator(example4_taskset(), PCPDA())
+        stepped_sim.start()
+        for t in (1.0, 3.0, 5.0, 8.0):
+            stepped_sim.advance(until=t)
+        stepped_sim.advance()
+        stepped = stepped_sim.finalize()
+
+        assert [
+            (e.time, e.kind, e.job) for e in stepped.trace.sched_events
+        ] == [(e.time, e.kind, e.job) for e in one_shot.trace.sched_events]
+        assert stepped.end_time == one_shot.end_time
+
+    def test_intermediate_state_is_inspectable(self):
+        """At t=2 of Example 4, T4 read-locks y and T3 read+write-locks z
+        — the mid-run lock table the paper's narration describes."""
+        sim = Simulator(example4_taskset(), PCPDA())
+        sim.start()
+        sim.advance(until=2.0)
+        t4 = next(j for j in sim.jobs if j.name == "T4#0")
+        t3 = next(j for j in sim.jobs if j.name == "T3#0")
+        assert sim.table.holds(t4, "y", LockMode.READ)
+        assert sim.table.holds(t3, "z", LockMode.READ)
+        assert sim.table.holds(t3, "z", LockMode.WRITE)
+        assert t3.state is JobState.RUNNING
+
+    def test_advance_returns_current_time(self):
+        sim = Simulator(example4_taskset(), PCPDA())
+        sim.start()
+        now = sim.advance(until=4.0)
+        assert now <= 4.0 + 1e-9
+        assert now >= 3.0  # events at 3 were processed
+
+    def test_advance_is_idempotent_when_no_events_due(self):
+        sim = Simulator(example4_taskset(), PCPDA())
+        sim.start()
+        sim.advance(until=2.0)
+        events_before = len(sim.trace.sched_events)
+        sim.advance(until=2.0)
+        assert len(sim.trace.sched_events) == events_before
+
+    def test_lifecycle_errors(self):
+        sim = Simulator(example4_taskset(), PCPDA())
+        with pytest.raises(SimulationError, match="before start"):
+            sim.advance()
+        sim.start()
+        with pytest.raises(SimulationError, match="already started"):
+            sim.start()
+        sim.advance()
+        sim.finalize()
+        with pytest.raises(SimulationError, match="already finalized"):
+            sim.finalize()
+        with pytest.raises(SimulationError, match="already finalized"):
+            sim.advance()
+
+    def test_run_after_start_rejected(self):
+        sim = Simulator(example4_taskset(), PCPDA())
+        sim.start()
+        with pytest.raises(SimulationError, match="already started"):
+            sim.run()
+
+    def test_partial_run_then_completion(self):
+        sim = Simulator(example4_taskset(), PCPDA())
+        sim.start()
+        sim.advance(until=5.0)
+        committed_midway = {
+            j.name for j in sim.jobs if j.state is JobState.COMMITTED
+        }
+        assert committed_midway == {"T3#0"}
+        sim.advance()
+        result = sim.finalize()
+        assert len(result.committed_jobs) == 4
+
+
+class TestSteppingEquivalenceProperty:
+    def test_stepwise_equals_one_shot_on_random_workloads(self):
+        """Property: for any workload, protocol, and set of pause points,
+        stepping produces the identical trace to a one-shot run."""
+        import random
+
+        from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+        rng = random.Random(17)
+        for seed in range(10):
+            config = WorkloadConfig(
+                n_transactions=5, n_items=5, write_probability=0.5,
+                hot_access_probability=0.9, target_utilization=0.6,
+                seed=seed,
+            )
+            protocol_name = rng.choice(["pcp-da", "rw-pcp", "2pl-hp"])
+            from repro.protocols import make_protocol
+
+            one_shot = Simulator(
+                generate_taskset(config),
+                make_protocol(protocol_name),
+                SimConfig(deadlock_action="abort_lowest"),
+            ).run()
+
+            stepped_sim = Simulator(
+                generate_taskset(config),
+                make_protocol(protocol_name),
+                SimConfig(deadlock_action="abort_lowest"),
+            )
+            stepped_sim.start()
+            cursor = 0.0
+            for __ in range(rng.randint(1, 6)):
+                cursor += rng.uniform(1.0, 40.0)
+                stepped_sim.advance(until=cursor)
+            stepped_sim.advance()
+            stepped = stepped_sim.finalize()
+
+            assert [
+                (e.time, e.kind, e.job) for e in stepped.trace.sched_events
+            ] == [
+                (e.time, e.kind, e.job) for e in one_shot.trace.sched_events
+            ], f"seed={seed} protocol={protocol_name}"

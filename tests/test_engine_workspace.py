@@ -1,0 +1,45 @@
+"""Unit tests for private workspaces (repro.engine.workspace)."""
+
+from repro.engine.workspace import Workspace
+
+
+class TestWorkspace:
+    def test_buffer_write_and_lookup(self):
+        ws = Workspace()
+        ws.buffer_write("x", "v1")
+        assert ws.has_write("x")
+        assert ws.written_value("x") == "v1"
+
+    def test_latest_write_wins(self):
+        ws = Workspace()
+        ws.buffer_write("x", "v1")
+        ws.buffer_write("x", "v2")
+        assert ws.pending_writes == {"x": "v2"}
+
+    def test_pending_writes_is_a_copy(self):
+        ws = Workspace()
+        ws.buffer_write("x", "v")
+        snapshot = ws.pending_writes
+        snapshot["x"] = "mutated"
+        assert ws.written_value("x") == "v"
+
+    def test_note_read_first_version_sticks(self):
+        ws = Workspace()
+        ws.note_read("x", 3, 1.0)
+        ws.note_read("x", 9, 2.0)  # re-read under the same lock
+        assert len(ws.reads) == 1
+        assert ws.reads[0].version_seq == 3
+
+    def test_own_write_read_recorded_with_none_version(self):
+        ws = Workspace()
+        ws.note_read("x", None, 1.0)
+        assert ws.reads[0].version_seq is None
+
+    def test_discard_clears_everything(self):
+        ws = Workspace()
+        ws.buffer_write("x", "v")
+        ws.note_read("y", 0, 1.0)
+        ws.discard()
+        assert not ws.has_write("x")
+        assert ws.reads == ()
+        assert ws.read_items() == ()

@@ -1,0 +1,303 @@
+"""Exact reproduction of the paper's worked examples (Figures 1-5).
+
+Every assertion in this file corresponds to a sentence of the paper's
+Section 3 / Section 6 / Section 7 narration or a feature of its figures:
+grant instants, the locking condition that fired, blocking intervals with
+their classification, completion times, deadline outcomes, and the
+``Max_Sysceil`` dotted-line traces.
+"""
+
+import pytest
+
+from repro.engine.simulator import SimConfig
+from repro.model.spec import DUMMY_PRIORITY, LockMode
+from repro.trace.recorder import LockOutcome
+from repro.trace.sysceil import SysceilTrace
+from repro.verify import verify_pcp_da_run
+from tests.conftest import blocking, finish, run
+
+
+class TestExample1RWPCP:
+    """Figure 1: unnecessary blockings under RW-PCP."""
+
+    @pytest.fixture
+    def result(self, ex1):
+        return run(ex1, "rw-pcp")
+
+    def test_t3_write_locks_x_at_0_and_completes_at_3(self, result):
+        grants = result.trace.grants_for("T3#0")
+        assert grants[0].time == 0.0 and grants[0].item == "x"
+        assert finish(result, "T3#0") == 3.0
+
+    def test_t2_suffers_ceiling_blocking_though_y_is_free(self, result):
+        denials = result.trace.denials_for("T2#0")
+        assert denials[0].time == 1.0
+        assert denials[0].item == "y"
+        assert "ceiling" in denials[0].rule
+        assert blocking(result, "T2#0") == 2.0  # blocked t=1..3
+
+    def test_t1_suffers_conflict_blocking_on_x(self, result):
+        denials = result.trace.denials_for("T1#0")
+        assert denials[0].time == 2.0
+        assert denials[0].item == "x"
+        assert "conflict" in denials[0].rule
+        assert blocking(result, "T1#0") == 1.0  # blocked t=2..3
+
+    def test_t3_inherits_waiters_priorities(self, result):
+        """T3 inherits P2 at t=1 and then P1 at t=2 (paper narration)."""
+        denials_t2 = result.trace.denials_for("T2#0")
+        denials_t1 = result.trace.denials_for("T1#0")
+        assert denials_t2[0].blockers == ("T3#0",)
+        assert denials_t1[0].blockers == ("T3#0",)
+
+    def test_wakeup_order_after_t3_commits(self, result):
+        """T1 (higher priority) is awakened first, completes at 4; then T2
+        completes at 5."""
+        assert finish(result, "T1#0") == 4.0
+        assert finish(result, "T2#0") == 5.0
+
+    def test_history_serializable(self, result):
+        result.check_serializable()
+
+
+class TestExample1PCPDA:
+    """PCP-DA avoids both of Example 1's blockings (Section 3's point)."""
+
+    @pytest.fixture
+    def result(self, ex1):
+        return run(ex1, "pcp-da")
+
+    def test_nobody_blocks(self, result):
+        for job in result.jobs:
+            assert job.total_blocking_time() == 0.0
+
+    def test_t1_and_t2_preempt_t3(self, result):
+        assert finish(result, "T1#0") == 3.0
+        assert finish(result, "T2#0") == 2.0
+        assert finish(result, "T3#0") == 5.0
+
+    def test_t1_reads_write_locked_x_via_lc2(self, result):
+        grants = result.trace.grants_for("T1#0")
+        assert grants[0].item == "x" and grants[0].rule == "LC2"
+
+    def test_invariants(self, result):
+        verify_pcp_da_run(result)
+
+
+class TestExample3PCPDA:
+    """Figure 2: T1 is never blocked; completions at 3, 8 (T1) and 9 (T2)."""
+
+    @pytest.fixture
+    def result(self, ex3):
+        return run(ex3, "pcp-da", SimConfig(horizon=11.0, max_instances=2))
+
+    def test_t2_write_locks_x_at_0_via_lc1(self, result):
+        grants = result.trace.grants_for("T2#0")
+        assert grants[0].time == 0.0
+        assert grants[0].item == "x" and grants[0].rule == "LC1"
+
+    def test_t1_first_instance_reads_locked_items_and_finishes_at_3(self, result):
+        grants = result.trace.grants_for("T1#0")
+        assert [(g.time, g.item, g.rule) for g in grants] == [
+            (1.0, "x", "LC2"),
+            (2.0, "y", "LC2"),
+        ]
+        assert finish(result, "T1#0") == 3.0
+
+    def test_t2_write_locks_y_at_5(self, result):
+        grants = result.trace.grants_for("T2#0")
+        assert (grants[1].time, grants[1].item, grants[1].rule) == (5.0, "y", "LC1")
+
+    def test_t1_second_instance_finishes_at_8(self, result):
+        grants = result.trace.grants_for("T1#1")
+        assert [(g.time, g.item) for g in grants] == [(6.0, "x"), (7.0, "y")]
+        assert finish(result, "T1#1") == 8.0
+
+    def test_t2_completes_at_9(self, result):
+        assert finish(result, "T2#0") == 9.0
+
+    def test_no_blocking_and_no_misses(self, result):
+        assert all(j.total_blocking_time() == 0.0 for j in result.jobs)
+        assert result.missed_jobs == ()
+
+    def test_invariants(self, result):
+        verify_pcp_da_run(result)
+
+
+class TestExample3RWPCP:
+    """Figure 3: T1's first instance is blocked t=1..5 and misses at 6."""
+
+    @pytest.fixture
+    def result(self, ex3):
+        return run(ex3, "rw-pcp", SimConfig(horizon=11.0, max_instances=2))
+
+    def test_t1_blocked_from_1_to_5(self, result):
+        t1 = result.job("T1#0")
+        assert t1.block_intervals[0].start == 1.0
+        assert t1.block_intervals[0].end == 5.0
+        assert blocking(result, "T1#0") == 4.0
+
+    def test_t1_first_instance_misses_deadline_at_6(self, result):
+        t1 = result.job("T1#0")
+        assert t1.absolute_deadline == 6.0
+        assert finish(result, "T1#0") == 7.0
+        assert t1.missed_deadline
+
+    def test_t2_runs_continuously_and_finishes_at_5(self, result):
+        assert finish(result, "T2#0") == 5.0
+
+    def test_conflict_blocking_classification(self, result):
+        denials = result.trace.denials_for("T1#0")
+        assert denials[0].item == "x"
+        assert "conflict" in denials[0].rule
+
+    def test_second_instance_meets_its_deadline(self, result):
+        t1b = result.job("T1#1")
+        assert finish(result, "T1#1") == 9.0
+        assert not t1b.missed_deadline
+
+    def test_history_serializable(self, result):
+        result.check_serializable()
+
+
+class TestExample4PCPDA:
+    """Figure 4: LC4 at t=1, LC2 at t=4, Max_Sysceil <= P2."""
+
+    @pytest.fixture
+    def result(self, ex4):
+        return run(ex4, "pcp-da")
+
+    def test_t4_read_locks_y_at_0(self, result):
+        grants = result.trace.grants_for("T4#0")
+        assert (grants[0].time, grants[0].item) == (0.0, "y")
+
+    def test_t3_read_locks_z_at_1_via_lc4(self, result):
+        grants = result.trace.grants_for("T3#0")
+        assert (grants[0].time, grants[0].item, grants[0].rule) == (1.0, "z", "LC4")
+
+    def test_t3_write_locks_z_at_2_via_lc1(self, result):
+        grants = result.trace.grants_for("T3#0")
+        assert (grants[1].time, grants[1].item, grants[1].rule) == (2.0, "z", "LC1")
+
+    def test_t4_write_locks_x_at_3_via_lc1(self, result):
+        grants = result.trace.grants_for("T4#0")
+        assert (grants[1].time, grants[1].item, grants[1].rule) == (3.0, "x", "LC1")
+
+    def test_t1_reads_write_locked_x_at_4_via_lc2(self, result):
+        grants = result.trace.grants_for("T1#0")
+        assert (grants[0].time, grants[0].item, grants[0].rule) == (4.0, "x", "LC2")
+
+    def test_completion_times(self, result):
+        assert finish(result, "T3#0") == 3.0
+        assert finish(result, "T1#0") == 6.0
+        assert finish(result, "T4#0") == 9.0
+        assert finish(result, "T2#0") == 11.0
+
+    def test_nobody_blocks(self, result):
+        assert all(j.total_blocking_time() == 0.0 for j in result.jobs)
+
+    def test_max_sysceil_is_p2_and_dummy_after_9(self, result):
+        trace = SysceilTrace.from_result(result)
+        p2 = 3
+        assert trace.max_level == p2
+        assert trace.level_at(5.0) == p2
+        assert trace.level_at(9.5) == DUMMY_PRIORITY
+
+    def test_invariants(self, result):
+        verify_pcp_da_run(result)
+
+
+class TestExample4RWPCP:
+    """Figure 5: T3 ceiling-blocked 4 units, T1 conflict-blocked 1 unit;
+    Max_Sysceil reaches P1."""
+
+    @pytest.fixture
+    def result(self, ex4):
+        return run(ex4, "rw-pcp")
+
+    def test_t3_ceiling_blocked_for_4_units(self, result):
+        t3 = result.job("T3#0")
+        assert t3.block_intervals[0].start == 1.0
+        assert t3.block_intervals[0].end == 5.0
+        assert blocking(result, "T3#0") == 4.0
+        denial = result.trace.denials_for("T3#0")[0]
+        assert "ceiling" in denial.rule  # z itself is free!
+
+    def test_t1_conflict_blocked_for_1_unit(self, result):
+        assert blocking(result, "T1#0") == 1.0
+        denial = result.trace.denials_for("T1#0")[0]
+        assert denial.item == "x"
+        assert "conflict" in denial.rule
+
+    def test_completion_times(self, result):
+        assert finish(result, "T4#0") == 5.0
+        assert finish(result, "T1#0") == 7.0
+        assert finish(result, "T3#0") == 9.0
+        assert finish(result, "T2#0") == 11.0
+
+    def test_max_sysceil_reaches_p1(self, result):
+        trace = SysceilTrace.from_result(result)
+        p1 = 4
+        assert trace.max_level == p1
+
+    def test_effective_blocking_matches_paper(self, result):
+        """Paper: 'the effective blocking times of T1 and T3 blocked by T4
+        are 1 and 4 time units respectively'."""
+        t1_blockers = result.job("T1#0").block_intervals[0].blockers
+        t3_blockers = result.job("T3#0").block_intervals[0].blockers
+        assert t1_blockers == ("T4#0",)
+        assert t3_blockers == ("T4#0",)
+
+    def test_history_serializable(self, result):
+        result.check_serializable()
+
+
+class TestExample4CrossProtocol:
+    """Section 6's comparison claims, quantified."""
+
+    def test_pcp_da_blocking_is_subset_of_rw_pcp(self, ex4):
+        da = run(ex4, "pcp-da")
+        rw = run(ex4, "rw-pcp")
+        da_blocked = {j.name for j in da.jobs if j.total_blocking_time() > 0}
+        rw_blocked = {j.name for j in rw.jobs if j.total_blocking_time() > 0}
+        assert da_blocked <= rw_blocked
+        assert da_blocked == set()
+
+    def test_max_sysceil_pushdown(self, ex4):
+        """'The push-down of Max_Sysceil is one of the main advantages of
+        PCP-DA over RW-PCP.'"""
+        da = SysceilTrace.from_result(run(ex4, "pcp-da"))
+        rw = SysceilTrace.from_result(run(ex4, "rw-pcp"))
+        assert da.max_level < rw.max_level
+
+
+class TestExample5:
+    """Section 7: conditions (1)/(2) deadlock; LC3/LC4 do not."""
+
+    def test_weak_protocol_deadlocks(self, ex5):
+        result = run(ex5, "weak-pcp-da", SimConfig(deadlock_action="halt"))
+        assert result.deadlock is not None
+        assert set(result.deadlock.cycle) == {"TH#0", "TL#0"}
+
+    def test_weak_protocol_grant_sequence_matches_paper(self, ex5):
+        """TL read-locks x via condition (1); TH read-locks y via (2)."""
+        result = run(ex5, "weak-pcp-da", SimConfig(deadlock_action="halt"))
+        tl_grant = result.trace.grants_for("TL#0")[0]
+        th_grant = result.trace.grants_for("TH#0")[0]
+        assert tl_grant.item == "x" and "cond(1)" in tl_grant.rule
+        assert th_grant.item == "y" and "cond(2)" in th_grant.rule
+
+    def test_real_pcp_da_blocks_th_instead(self, ex5):
+        result = run(ex5, "pcp-da")
+        assert result.deadlock is None
+        th = result.job("TH#0")
+        denial = result.trace.denials_for("TH#0")[0]
+        assert denial.item == "y"
+        assert finish(result, "TL#0") == 3.0
+        assert finish(result, "TH#0") == 5.0
+        verify_pcp_da_run(result)
+
+    def test_raise_mode_raises(self, ex5):
+        from repro.exceptions import DeadlockError
+        with pytest.raises(DeadlockError):
+            run(ex5, "weak-pcp-da")

@@ -1,0 +1,100 @@
+"""Scale / soak integration tests: bigger sets, longer horizons.
+
+The unit suite exercises small scenarios; these runs push the engine to
+hundreds of jobs and thousands of events per simulation and re-assert the
+full invariant battery, the conservation laws, and the analysis bounds on
+the same run.  Kept to a handful of configurations so the whole file stays
+under a few seconds.
+"""
+
+import pytest
+
+from repro.analysis.blocking import blocking_terms
+from repro.engine.job import JobState
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+from repro.trace.metrics import compute_metrics
+from repro.verify import (
+    assert_deadlock_free,
+    assert_serializable,
+    assert_single_blocking,
+    verify_pcp_da_run,
+)
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+_CONFIG = WorkloadConfig(
+    n_transactions=10,
+    n_items=12,
+    ops_per_txn=(2, 6),
+    write_probability=0.4,
+    rmw_probability=0.3,
+    hot_access_probability=0.7,
+    target_utilization=0.75,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="module")
+def big_taskset():
+    return generate_taskset(_CONFIG)
+
+
+class TestSoak:
+    def test_pcp_da_ten_hyperperiods(self, big_taskset):
+        hp = big_taskset.hyperperiod()
+        assert hp is not None
+        result = Simulator(
+            big_taskset, make_protocol("pcp-da"),
+            SimConfig(horizon=10 * hp),
+        ).run()
+        assert len(result.jobs) > 100
+        verify_pcp_da_run(result)
+        metrics = compute_metrics(result)
+        assert metrics.committed_jobs >= len(result.jobs) - len(big_taskset)
+
+    def test_lemma_monitors_at_scale(self, big_taskset):
+        hp = big_taskset.hyperperiod()
+        protocol = make_protocol("pcp-da-checked")
+        Simulator(big_taskset, protocol, SimConfig(horizon=3 * hp)).run()
+        assert protocol.checks_performed > 200
+
+    @pytest.mark.parametrize("protocol", ["rw-pcp", "ccp", "pcp", "ipcp"])
+    def test_baselines_at_scale(self, big_taskset, protocol):
+        hp = big_taskset.hyperperiod()
+        result = Simulator(
+            big_taskset, make_protocol(protocol), SimConfig(horizon=3 * hp)
+        ).run()
+        assert_deadlock_free(result)
+        assert_serializable(result)
+        if protocol in ("rw-pcp", "pcp"):
+            assert_single_blocking(result)
+
+    def test_analysis_bound_holds_at_scale(self, big_taskset):
+        hp = big_taskset.hyperperiod()
+        terms = blocking_terms(big_taskset, "pcp-da")
+        result = Simulator(
+            big_taskset, make_protocol("pcp-da"), SimConfig(horizon=5 * hp)
+        ).run()
+        for job in result.jobs:
+            assert job.total_blocking_time() <= terms[job.spec.name] + 1e-6
+
+    def test_abort_protocols_at_scale(self, big_taskset):
+        hp = big_taskset.hyperperiod()
+        for protocol in ("2pl-hp", "occ-bc", "rw-pcp-abort"):
+            result = Simulator(
+                big_taskset, make_protocol(protocol),
+                SimConfig(horizon=3 * hp),
+            ).run()
+            assert_deadlock_free(result)
+            assert_serializable(result)
+
+    def test_cpu_never_oversubscribed_at_scale(self, big_taskset):
+        hp = big_taskset.hyperperiod()
+        result = Simulator(
+            big_taskset, make_protocol("pcp-da"), SimConfig(horizon=3 * hp)
+        ).run()
+        segments = sorted(result.trace.segments, key=lambda s: s.start)
+        for a, b in zip(segments, segments[1:]):
+            assert a.end <= b.start + 1e-9
+        total_executed = sum(s.end - s.start for s in segments)
+        assert total_executed <= result.end_time + 1e-6

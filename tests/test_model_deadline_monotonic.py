@@ -1,0 +1,79 @@
+"""Tests for deadline-monotonic priority assignment."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model.priorities import (
+    assign_deadline_monotonic,
+    assign_rate_monotonic,
+)
+from repro.model.spec import TaskSet, TransactionSpec, read
+
+
+def _spec(name, period=None, deadline=None):
+    return TransactionSpec(
+        name, (read("x"),), period=period, deadline=deadline
+    )
+
+
+class TestDeadlineMonotonic:
+    def test_shorter_deadline_gets_higher_priority(self):
+        ts = TaskSet([
+            _spec("loose", period=10.0, deadline=9.0),
+            _spec("tight", period=10.0, deadline=3.0),
+        ])
+        assigned = assign_deadline_monotonic(ts)
+        assert assigned.priority_of("tight") > assigned.priority_of("loose")
+
+    def test_deadline_defaults_to_period(self):
+        ts = TaskSet([_spec("slow", period=20.0), _spec("fast", period=5.0)])
+        assigned = assign_deadline_monotonic(ts)
+        assert assigned.priority_of("fast") > assigned.priority_of("slow")
+
+    def test_coincides_with_rm_when_deadline_equals_period(self):
+        ts = TaskSet([
+            _spec("a", period=8.0), _spec("b", period=16.0), _spec("c", period=4.0),
+        ])
+        dm = assign_deadline_monotonic(ts)
+        rm = assign_rate_monotonic(ts)
+        for name in ts.names:
+            assert dm.priority_of(name) == rm.priority_of(name)
+
+    def test_diverges_from_rm_with_constrained_deadlines(self):
+        ts = TaskSet([
+            _spec("long_period_tight", period=20.0, deadline=2.0),
+            _spec("short_period_loose", period=5.0, deadline=5.0),
+        ])
+        dm = assign_deadline_monotonic(ts)
+        rm = assign_rate_monotonic(ts)
+        assert dm.priority_of("long_period_tight") > dm.priority_of(
+            "short_period_loose"
+        )
+        assert rm.priority_of("short_period_loose") > rm.priority_of(
+            "long_period_tight"
+        )
+
+    def test_requires_deadlines(self):
+        ts = TaskSet([TransactionSpec("A", (read("x"),))])
+        with pytest.raises(SpecificationError):
+            assign_deadline_monotonic(ts)
+
+    def test_tie_broken_by_name(self):
+        ts = TaskSet([
+            _spec("B", period=10.0), _spec("A", period=10.0),
+        ])
+        assigned = assign_deadline_monotonic(ts)
+        assert assigned.priority_of("A") > assigned.priority_of("B")
+
+    def test_usable_end_to_end_with_pcp_da(self):
+        from repro.engine.simulator import SimConfig, Simulator
+        from repro.protocols import make_protocol
+
+        ts = assign_deadline_monotonic(TaskSet([
+            _spec("tight", period=20.0, deadline=4.0),
+            _spec("loose", period=10.0, deadline=10.0),
+        ]))
+        result = Simulator(
+            ts, make_protocol("pcp-da"), SimConfig(horizon=20.0)
+        ).run()
+        assert result.missed_jobs == ()

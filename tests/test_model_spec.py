@@ -1,0 +1,205 @@
+"""Unit tests for the transaction/task-set model (repro.model.spec)."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model.spec import (
+    DUMMY_PRIORITY,
+    LockMode,
+    OpKind,
+    Operation,
+    TaskSet,
+    TransactionSpec,
+    compute,
+    read,
+    write,
+)
+
+
+class TestOperation:
+    def test_read_constructor(self):
+        op = read("x", 2.5)
+        assert op.kind is OpKind.READ
+        assert op.item == "x"
+        assert op.duration == 2.5
+        assert op.lock_mode is LockMode.READ
+
+    def test_write_constructor(self):
+        op = write("y")
+        assert op.kind is OpKind.WRITE
+        assert op.duration == 1.0
+        assert op.lock_mode is LockMode.WRITE
+
+    def test_compute_constructor(self):
+        op = compute(3.0)
+        assert op.kind is OpKind.COMPUTE
+        assert op.item is None
+        assert op.lock_mode is None
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SpecificationError):
+            read("x", -1.0)
+
+    def test_zero_duration_allowed(self):
+        assert read("x", 0.0).duration == 0.0
+
+    def test_compute_with_item_rejected(self):
+        with pytest.raises(SpecificationError):
+            Operation(OpKind.COMPUTE, "x", 1.0)
+
+    def test_data_op_without_item_rejected(self):
+        with pytest.raises(SpecificationError):
+            Operation(OpKind.READ, None, 1.0)
+        with pytest.raises(SpecificationError):
+            Operation(OpKind.WRITE, "", 1.0)
+
+    def test_describe(self):
+        assert read("x", 1.0).describe() == "Read(x, 1)"
+        assert write("y", 2.0).describe() == "Write(y, 2)"
+        assert compute(0.5).describe() == "Compute(0.5)"
+
+
+class TestTransactionSpec:
+    def test_basic_properties(self):
+        spec = TransactionSpec(
+            "T1", (read("x"), write("y", 2.0), compute(1.0)), priority=3,
+            period=10.0,
+        )
+        assert spec.execution_time == 4.0
+        assert spec.read_set == frozenset({"x"})
+        assert spec.write_set == frozenset({"y"})
+        assert spec.access_set == frozenset({"x", "y"})
+        assert spec.utilization == pytest.approx(0.4)
+        assert spec.relative_deadline == 10.0
+
+    def test_read_write_same_item(self):
+        spec = TransactionSpec("T", (read("z"), write("z")))
+        assert spec.read_set == frozenset({"z"})
+        assert spec.write_set == frozenset({"z"})
+
+    def test_empty_operations_rejected(self):
+        with pytest.raises(SpecificationError):
+            TransactionSpec("T", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            TransactionSpec("", (read("x"),))
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(SpecificationError):
+            TransactionSpec("T", (read("x"),), period=0.0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(SpecificationError):
+            TransactionSpec("T", (read("x"),), offset=-1.0)
+
+    def test_dummy_priority_rejected(self):
+        with pytest.raises(SpecificationError):
+            TransactionSpec("T", (read("x"),), priority=DUMMY_PRIORITY)
+
+    def test_aperiodic_has_no_deadline_or_utilization(self):
+        spec = TransactionSpec("T", (read("x"),))
+        assert spec.relative_deadline is None
+        assert spec.utilization == 0.0
+
+    def test_explicit_deadline_overrides_period(self):
+        spec = TransactionSpec("T", (read("x"),), period=10.0, deadline=7.0)
+        assert spec.relative_deadline == 7.0
+
+    def test_with_priority_copies(self):
+        spec = TransactionSpec("T", (read("x"),), period=5.0)
+        copy = spec.with_priority(4)
+        assert copy.priority == 4
+        assert spec.priority is None
+        assert copy.operations == spec.operations
+        assert copy.period == spec.period
+
+    def test_describe_mentions_ops_and_c(self):
+        spec = TransactionSpec("T9", (read("x"),), priority=1)
+        text = spec.describe()
+        assert "T9" in text and "Read(x" in text and "C=1" in text
+
+
+class TestTaskSet:
+    def _specs(self):
+        return [
+            TransactionSpec("A", (read("x"),), priority=2, period=5.0),
+            TransactionSpec("B", (write("x"),), priority=1, period=10.0),
+        ]
+
+    def test_sorted_by_descending_priority(self):
+        ts = TaskSet(reversed(self._specs()))
+        assert ts.names == ("A", "B")
+
+    def test_lookup_and_contains(self):
+        ts = TaskSet(self._specs())
+        assert "A" in ts
+        assert ts["A"].priority == 2
+        with pytest.raises(SpecificationError):
+            ts["missing"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskSet([
+                TransactionSpec("A", (read("x"),), priority=1),
+                TransactionSpec("A", (read("y"),), priority=2),
+            ])
+
+    def test_duplicate_priorities_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskSet([
+                TransactionSpec("A", (read("x"),), priority=1),
+                TransactionSpec("B", (read("y"),), priority=1),
+            ])
+
+    def test_mixed_priority_presence_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskSet([
+                TransactionSpec("A", (read("x"),), priority=1),
+                TransactionSpec("B", (read("y"),)),
+            ])
+
+    def test_empty_taskset_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskSet([])
+
+    def test_items_union(self):
+        ts = TaskSet(self._specs())
+        assert ts.items == frozenset({"x"})
+
+    def test_readers_and_writers(self):
+        ts = TaskSet(self._specs())
+        assert [s.name for s in ts.readers_of("x")] == ["A"]
+        assert [s.name for s in ts.writers_of("x")] == ["B"]
+        assert ts.readers_of("nothing") == ()
+
+    def test_total_utilization(self):
+        ts = TaskSet(self._specs())
+        assert ts.total_utilization() == pytest.approx(1 / 5 + 1 / 10)
+
+    def test_hyperperiod(self):
+        ts = TaskSet(self._specs())
+        assert ts.hyperperiod() == 10.0
+
+    def test_hyperperiod_none_for_aperiodic(self):
+        ts = TaskSet([TransactionSpec("A", (read("x"),), priority=1)])
+        assert ts.hyperperiod() is None
+
+    def test_hyperperiod_none_for_fractional_period(self):
+        ts = TaskSet(
+            [TransactionSpec("A", (read("x"),), priority=1, period=2.5)]
+        )
+        assert ts.hyperperiod() is None
+
+    def test_scaled(self):
+        ts = TaskSet(self._specs()).scaled(2.0)
+        assert ts["A"].execution_time == 2.0
+        assert ts["A"].period == 5.0  # periods unchanged
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(SpecificationError):
+            TaskSet(self._specs()).scaled(0.0)
+
+    def test_priority_of(self):
+        ts = TaskSet(self._specs())
+        assert ts.priority_of("B") == 1

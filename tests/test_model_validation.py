@@ -1,0 +1,64 @@
+"""Unit tests for task-set validation (repro.model.validation)."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model.spec import TaskSet, TransactionSpec, read
+from repro.model.validation import validate_taskset
+
+
+def _ts(**kwargs):
+    defaults = dict(priority=1, period=10.0)
+    defaults.update(kwargs)
+    return TaskSet([TransactionSpec("T", (read("x"),), **defaults)])
+
+
+class TestValidateTaskset:
+    def test_valid_set_passes(self):
+        validate_taskset(_ts())
+
+    def test_missing_priorities_flagged(self):
+        ts = TaskSet([TransactionSpec("T", (read("x"),), period=10.0)])
+        with pytest.raises(SpecificationError, match="without a priority"):
+            validate_taskset(ts)
+
+    def test_priorities_not_required_when_disabled(self):
+        ts = TaskSet([TransactionSpec("T", (read("x"),), period=10.0)])
+        validate_taskset(ts, require_priorities=False)
+
+    def test_aperiodic_flagged_when_periods_required(self):
+        ts = TaskSet([TransactionSpec("T", (read("x"),), priority=1)])
+        with pytest.raises(SpecificationError, match="aperiodic"):
+            validate_taskset(ts, require_periods=True)
+
+    def test_aperiodic_ok_by_default(self):
+        ts = TaskSet([TransactionSpec("T", (read("x"),), priority=1)])
+        validate_taskset(ts)
+
+    def test_deadline_beyond_period_flagged(self):
+        ts = _ts(deadline=None)
+        validate_taskset(ts)
+        bad = TaskSet([
+            TransactionSpec(
+                "T", (read("x"),), priority=1, period=10.0, deadline=12.0
+            )
+        ])
+        with pytest.raises(SpecificationError, match="deadline"):
+            validate_taskset(bad)
+
+    def test_execution_beyond_period_flagged(self):
+        bad = TaskSet([
+            TransactionSpec("T", (read("x", 11.0),), priority=1, period=10.0)
+        ])
+        with pytest.raises(SpecificationError, match="never be schedulable"):
+            validate_taskset(bad)
+
+    def test_multiple_problems_reported_together(self):
+        bad = TaskSet([
+            TransactionSpec("A", (read("x", 11.0),), priority=2, period=10.0),
+            TransactionSpec("B", (read("y", 99.0),), priority=1, period=10.0),
+        ])
+        with pytest.raises(SpecificationError) as exc:
+            validate_taskset(bad)
+        message = str(exc.value)
+        assert "A:" in message and "B:" in message

@@ -1,0 +1,76 @@
+"""Tests for the priority-inversion metric — the paper's Section 1 problem.
+
+"Unfortunately, the duration of priority inversion can be indefinitely
+long because some other intermediate priority transactions can repeatedly
+preempt T_L."  These tests quantify exactly that on the classic
+three-transaction scenario, and verify the ceiling protocols' bound.
+"""
+
+import pytest
+
+from repro.engine.simulator import SimConfig
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.trace.metrics import priority_inversion_time
+from tests.conftest import run
+
+
+def _inversion_scenario(n_middlemen=1, middle_len=5.0):
+    """H blocks on x held by L while middle transactions interpose."""
+    specs = [TransactionSpec("H", (read("x", 1.0),), offset=1.0)]
+    for i in range(n_middlemen):
+        specs.append(
+            TransactionSpec(
+                f"M{i + 1}", (compute(middle_len),), offset=2.0 + i
+            )
+        )
+    specs.append(TransactionSpec("L", (write("x", 3.0),), offset=0.0))
+    return assign_by_order(specs)
+
+
+class TestInversionMetric:
+    def test_plain_2pl_unbounded_inversion(self):
+        """Without inheritance, every middleman extends H's inversion."""
+        one = run(_inversion_scenario(1), "2pl",
+                  SimConfig(deadlock_action="abort_lowest"))
+        two = run(_inversion_scenario(2), "2pl",
+                  SimConfig(deadlock_action="abort_lowest"))
+        inv_one = priority_inversion_time(one, "H#0")
+        inv_two = priority_inversion_time(two, "H#0")
+        assert inv_one == pytest.approx(7.0)   # M1 (5) + L's tail (2)
+        assert inv_two > inv_one               # grows with middlemen
+
+    def test_inheritance_bounds_inversion_to_the_critical_section(self):
+        for protocol in ("pip-2pl", "rw-pcp"):
+            result = run(_inversion_scenario(2), protocol,
+                         SimConfig(deadlock_action="abort_lowest"))
+            inversion = priority_inversion_time(result, "H#0")
+            # L inherits P_H at t=1 and finishes its remaining 2 units:
+            # inversion is exactly the critical-section tail.
+            assert inversion == pytest.approx(2.0), protocol
+
+    def test_pcp_da_eliminates_this_inversion_entirely(self):
+        """H only *reads* x, which L write-locks: PCP-DA's Case 1 lets H
+        preempt — zero inversion where RW-PCP still pays the tail."""
+        result = run(_inversion_scenario(2), "pcp-da")
+        assert priority_inversion_time(result, "H#0") == 0.0
+
+    def test_inversion_counts_boosted_blockers(self):
+        """A blocker running at inherited priority still counts as
+        inversion (base priorities decide)."""
+        result = run(_inversion_scenario(1), "pip-2pl",
+                     SimConfig(deadlock_action="abort_lowest"))
+        # During [1, 3) L runs boosted to P_H; H is blocked: inversion.
+        assert priority_inversion_time(result, "H#0") == pytest.approx(2.0)
+
+    def test_zero_for_unblocked_jobs(self, ex4):
+        result = run(ex4, "pcp-da")
+        for job in result.jobs:
+            assert priority_inversion_time(result, job.name) == 0.0
+
+    def test_example4_rw_pcp_inversions(self, ex4):
+        result = run(ex4, "rw-pcp")
+        # T3 blocked 1..5 while T4 (lower) runs: 4 units of inversion.
+        assert priority_inversion_time(result, "T3#0") == pytest.approx(4.0)
+        # T1 blocked 4..5 while T4 runs: 1 unit.
+        assert priority_inversion_time(result, "T1#0") == pytest.approx(1.0)

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.serialization_graph import SerializationGraph
+from repro.engine.event_queue import EventQueue
+from repro.model.priorities import assign_rate_monotonic
+from repro.model.spec import DUMMY_PRIORITY, TaskSet, TransactionSpec, read, write
+from repro.core.ceilings import CeilingTable
+
+
+# ---------------------------------------------------------------------------
+# Event queue
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            st.sampled_from(["arrival", "op_done"]),
+        ),
+        max_size=200,
+    )
+)
+def test_event_queue_pops_sorted_by_time(entries):
+    q = EventQueue()
+    for time, kind in entries:
+        q.push(time, kind, None)
+    popped = [q.pop().time for _ in range(len(entries))]
+    assert popped == sorted(popped)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1, max_size=100,
+    )
+)
+def test_event_queue_same_time_fifo_within_kind(times):
+    q = EventQueue()
+    t = max(times)
+    for i in range(len(times)):
+        q.push(t, "arrival", i)
+    payloads = [q.pop().payload for _ in range(len(times))]
+    assert payloads == list(range(len(times)))
+
+
+# ---------------------------------------------------------------------------
+# Serialization graph
+# ---------------------------------------------------------------------------
+_nodes = st.integers(min_value=0, max_value=15).map(lambda i: f"T{i}")
+
+
+@given(st.lists(st.tuples(_nodes, _nodes), max_size=60))
+def test_graph_topological_order_respects_every_edge(edges):
+    g = SerializationGraph()
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    order = g.topological_order()
+    if order is None:
+        assert g.find_cycle() is not None
+    else:
+        position = {node: i for i, node in enumerate(order)}
+        for src, dst in edges:
+            if src != dst:
+                assert position[src] < position[dst]
+
+
+@given(st.lists(st.tuples(_nodes, _nodes), max_size=60))
+def test_graph_cycle_witness_is_a_real_cycle(edges):
+    g = SerializationGraph()
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    cycle = g.find_cycle()
+    if cycle is None:
+        assert g.is_acyclic()
+    else:
+        for i, node in enumerate(cycle):
+            assert g.has_edge(node, cycle[(i + 1) % len(cycle)])
+
+
+@given(
+    st.lists(st.tuples(_nodes, _nodes), max_size=40),
+    st.tuples(_nodes, _nodes),
+)
+def test_graph_adding_edges_never_unbreaks_a_cycle(edges, extra):
+    g = SerializationGraph()
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    had_cycle = g.find_cycle() is not None
+    g.add_edge(*extra)
+    if had_cycle:
+        assert g.find_cycle() is not None
+
+
+# ---------------------------------------------------------------------------
+# Ceilings
+# ---------------------------------------------------------------------------
+_item_names = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+@st.composite
+def _tasksets(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    specs = []
+    for i in range(n):
+        ops = []
+        for __ in range(draw(st.integers(min_value=1, max_value=4))):
+            item = draw(_item_names)
+            if draw(st.booleans()):
+                ops.append(read(item, 1.0))
+            else:
+                ops.append(write(item, 1.0))
+        specs.append(
+            TransactionSpec(
+                f"T{i}", tuple(ops),
+                period=float(draw(st.sampled_from([4, 8, 16, 32])) * (i + 1)),
+            )
+        )
+    return assign_rate_monotonic(TaskSet(specs))
+
+
+@given(_tasksets())
+def test_wceil_never_exceeds_aceil(taskset):
+    ceilings = CeilingTable(taskset)
+    for item in taskset.items:
+        assert DUMMY_PRIORITY <= ceilings.wceil(item) <= ceilings.aceil(item)
+
+
+@given(_tasksets())
+def test_ceilings_cover_exactly_the_accessed_items(taskset):
+    ceilings = CeilingTable(taskset)
+    assert ceilings.items == taskset.items
+    for item in taskset.items:
+        readers = taskset.readers_of(item)
+        writers = taskset.writers_of(item)
+        expected_aceil = max(
+            (s.priority for s in (*readers, *writers)), default=DUMMY_PRIORITY
+        )
+        expected_wceil = max(
+            (s.priority for s in writers), default=DUMMY_PRIORITY
+        )
+        assert ceilings.aceil(item) == expected_aceil
+        assert ceilings.wceil(item) == expected_wceil
+
+
+@given(_tasksets())
+def test_blocking_sets_monotone_across_protocols(taskset):
+    from repro.analysis.blocking import (
+        bts_original_pcp,
+        bts_pcp_da,
+        bts_rw_pcp,
+    )
+
+    for name in taskset.names:
+        assert bts_pcp_da(taskset, name) <= bts_rw_pcp(taskset, name)
+        assert bts_rw_pcp(taskset, name) <= bts_original_pcp(taskset, name)

@@ -1,0 +1,149 @@
+"""Behavioural tests for the abort-based protocols: OCC-BC and RW-PCP-A."""
+
+import pytest
+
+from repro.engine.job import JobState
+from repro.engine.simulator import SimConfig, Simulator
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.protocols import make_protocol
+from repro.verify import assert_deadlock_free, assert_serializable
+from tests.conftest import run
+
+
+def _ts(*specs):
+    return assign_by_order(list(specs))
+
+
+class TestOCCBroadcastCommit:
+    def test_nothing_ever_blocks(self):
+        ts = _ts(
+            TransactionSpec("H", (read("x", 1.0), write("y", 1.0)), offset=1.0),
+            TransactionSpec("L", (write("x", 1.0), read("y", 2.0)), offset=0.0),
+        )
+        result = run(ts, "occ-bc")
+        assert all(not j.block_intervals for j in result.jobs)
+
+    def test_committing_writer_restarts_conflicting_reader(self):
+        # L reads x early; H writes x and commits while L is still active:
+        # broadcast commit restarts L.
+        ts = _ts(
+            TransactionSpec("H", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("L", (read("x", 1.0), compute(3.0)), offset=0.0),
+        )
+        result = run(ts, "occ-bc")
+        l_job = result.job("L#0")
+        assert l_job.restarts == 1
+        # L re-executes from scratch after H's commit at 2: 4 more units.
+        assert l_job.finish_time == 6.0
+        assert_serializable(result)
+
+    def test_reader_that_committed_first_is_safe(self):
+        ts = _ts(
+            TransactionSpec("H", (write("x", 1.0),), offset=2.0),
+            TransactionSpec("L", (read("x", 1.0),), offset=0.0),
+        )
+        result = run(ts, "occ-bc")
+        assert result.job("L#0").restarts == 0
+        assert result.aborted_restarts == 0
+
+    def test_restarted_reader_sees_new_version(self):
+        ts = _ts(
+            TransactionSpec("H", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("L", (read("x", 1.0), compute(2.0)), offset=0.0),
+        )
+        result = run(ts, "occ-bc")
+        reads = [e for e in result.history.committed_reads() if e.job == "L#0"]
+        assert len(reads) == 1
+        assert reads[0].version_seq > 0  # H's installed version
+
+    def test_blind_writers_never_conflict(self):
+        ts = _ts(
+            TransactionSpec("H", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("L", (write("x", 1.0), compute(2.0)), offset=0.0),
+        )
+        result = run(ts, "occ-bc")
+        assert result.aborted_restarts == 0
+        assert_serializable(result)
+
+    def test_priority_inversion_free_but_wasteful(self):
+        """The paper's Section 2 trade-off: a low-priority transaction can
+        be restarted again and again by committing writers."""
+        ts = _ts(
+            TransactionSpec(
+                "H", (write("x", 1.0),), period=4.0, offset=1.0
+            ),
+            TransactionSpec("L", (read("x", 1.0), compute(4.0)), offset=0.0),
+        )
+        result = run(ts, "occ-bc", SimConfig(horizon=16.0))
+        assert result.job("L#0").restarts >= 2
+        assert_serializable(result)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_workloads_serializable(self, seed):
+        from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+        ts = generate_taskset(
+            WorkloadConfig(n_transactions=5, n_items=5, seed=seed,
+                           write_probability=0.5, hot_access_probability=0.9)
+        )
+        result = Simulator(
+            ts, make_protocol("occ-bc"), SimConfig(horizon=600.0)
+        ).run()
+        assert_deadlock_free(result)
+        assert_serializable(result)
+
+
+class TestRWPCPAbort:
+    def test_high_priority_never_waits_for_lower(self):
+        """Example 3's pattern: under RW-PCP T1 blocks 4 units; under the
+        abort variant T2 is restarted instead and T1 meets its deadline."""
+        from repro.workloads.examples import example3_taskset
+
+        result = run(
+            example3_taskset(), "rw-pcp-abort",
+            SimConfig(horizon=11.0, max_instances=2),
+        )
+        t1 = result.job("T1#0")
+        assert t1.total_blocking_time() == 0.0
+        assert not t1.missed_deadline
+        assert result.job("T2#0").restarts >= 1
+
+    def test_waits_when_holder_outranks(self):
+        """Equal base priority (two instances of one transaction) must
+        wait, not abort: the rule requires *strictly* lower holders."""
+        ts = _ts(
+            TransactionSpec("T", (write("a", 1.5), read("b", 0.4)), period=2.0),
+        )
+        result = run(ts, "rw-pcp-abort", SimConfig(horizon=8.0))
+        assert result.aborted_restarts == 0
+
+    def test_ceiling_abort_rule_label(self):
+        from repro.workloads.examples import example3_taskset
+
+        result = run(
+            example3_taskset(), "rw-pcp-abort",
+            SimConfig(horizon=11.0, max_instances=2),
+        )
+        from repro.trace.recorder import LockOutcome
+
+        abort_grants = [
+            e for e in result.trace.lock_events
+            if e.outcome is LockOutcome.ABORT_GRANTED
+        ]
+        assert abort_grants
+        assert "ceiling abort" in abort_grants[0].rule
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_workloads_keep_guarantees(self, seed):
+        from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+        ts = generate_taskset(
+            WorkloadConfig(n_transactions=5, n_items=5, seed=seed,
+                           write_probability=0.5, hot_access_probability=0.9)
+        )
+        result = Simulator(
+            ts, make_protocol("rw-pcp-abort"), SimConfig(horizon=600.0)
+        ).run()
+        assert_deadlock_free(result)
+        assert_serializable(result)

@@ -1,0 +1,196 @@
+"""Behavioural tests for the non-ceiling baselines: the original PCP,
+PIP-2PL, plain 2PL, and 2PL-HP."""
+
+import pytest
+
+from repro.engine.simulator import SimConfig, Simulator
+from repro.exceptions import DeadlockError
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.protocols import make_protocol
+from repro.verify import (
+    assert_deadlock_free,
+    assert_serializable,
+    assert_single_blocking,
+)
+from tests.conftest import run
+
+
+def _ts(*specs):
+    return assign_by_order(list(specs))
+
+
+def _deadlock_prone_ts(read_len=2.0):
+    """Classic crossed access pattern: H: R(y),W(x); L: R(x),W(y)."""
+    return _ts(
+        TransactionSpec("H", (read("y", 1.0), write("x", 1.0)), offset=1.0),
+        TransactionSpec("L", (read("x", read_len), write("y", 1.0)), offset=0.0),
+    )
+
+
+class TestOriginalPCP:
+    def test_no_concurrent_readers(self):
+        """Exclusive access: even read/read is serialized."""
+        ts = _ts(
+            TransactionSpec("H", (read("x", 1.0),), offset=1.0),
+            TransactionSpec("L", (read("x", 3.0),), offset=0.0),
+        )
+        result = run(ts, "pcp")
+        assert result.job("H#0").total_blocking_time() == 2.0
+
+    def test_deadlock_free_on_crossed_pattern(self):
+        result = run(_deadlock_prone_ts(), "pcp")
+        assert_deadlock_free(result)
+        assert_serializable(result)
+
+    def test_single_blocking_holds(self):
+        result = run(_deadlock_prone_ts(), "pcp")
+        assert_single_blocking(result)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_workloads(self, seed):
+        from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+        ts = generate_taskset(
+            WorkloadConfig(n_transactions=5, n_items=5, seed=seed,
+                           write_probability=0.5, hot_access_probability=0.9)
+        )
+        result = Simulator(ts, make_protocol("pcp"), SimConfig(horizon=600.0)).run()
+        assert_deadlock_free(result)
+        assert_single_blocking(result)
+        assert_serializable(result)
+
+
+class TestPIP2PL:
+    def test_inheritance_bounds_each_inversion(self):
+        ts = _ts(
+            TransactionSpec("H", (read("x", 1.0),), offset=1.0),
+            TransactionSpec("M", (compute(5.0),), offset=2.0),
+            TransactionSpec("L", (write("x", 3.0),), offset=0.0),
+        )
+        result = run(ts, "pip-2pl")
+        # L inherits P_H at t=1, so M cannot interpose: H done at 4.
+        assert result.job("H#0").finish_time == 4.0
+
+    def test_deadlocks_on_crossed_pattern(self):
+        with pytest.raises(DeadlockError):
+            run(_deadlock_prone_ts(), "pip-2pl")
+
+    def test_deadlock_resolved_by_abort(self):
+        result = run(
+            _deadlock_prone_ts(), "pip-2pl",
+            SimConfig(deadlock_action="abort_lowest"),
+        )
+        assert result.aborted_restarts >= 1
+        assert result.job("L#0").restarts >= 1
+        assert_serializable(result)  # post-abort history is still CSR
+
+    def test_chained_blocking_possible(self):
+        """The defect PCP fixes: H blocked by TWO lower transactions in
+        sequence (no single-blocking guarantee)."""
+        ts = _ts(
+            TransactionSpec("H", (read("x", 1.0), read("y", 1.0)), offset=2.0),
+            TransactionSpec("L2", (write("y", 2.5),), offset=1.0),
+            TransactionSpec("L1", (write("x", 2.0),), offset=0.0),
+        )
+        result = run(ts, "pip-2pl")
+        blockers = result.job("H#0").distinct_blockers()
+        assert blockers == {"L1", "L2"}
+
+
+class TestPlain2PL:
+    def test_unbounded_inversion_without_inheritance(self):
+        ts = _ts(
+            TransactionSpec("H", (read("x", 1.0),), offset=1.0),
+            TransactionSpec("M", (compute(5.0),), offset=2.0),
+            TransactionSpec("L", (write("x", 3.0),), offset=0.0),
+        )
+        result = run(ts, "2pl", SimConfig(deadlock_action="abort_lowest"))
+        # M (priority between H and L) runs before L can finish: H's wait
+        # stretches to 7 time units.
+        assert result.job("H#0").total_blocking_time() == 7.0
+
+    def test_deadlock_detected(self):
+        with pytest.raises(DeadlockError):
+            run(_deadlock_prone_ts(), "2pl")
+
+
+class TestTwoPLHP:
+    def test_high_priority_aborts_lower_holder(self):
+        ts = _ts(
+            TransactionSpec("H", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("L", (read("x", 3.0),), offset=0.0),
+        )
+        result = run(ts, "2pl-hp")
+        assert result.job("H#0").total_blocking_time() == 0.0
+        assert result.job("H#0").finish_time == 2.0
+        assert result.job("L#0").restarts == 1
+        # L re-executes from scratch: 3 more units after H finishes.
+        assert result.job("L#0").finish_time == 5.0
+        assert_serializable(result)
+
+    def test_lower_priority_requester_waits(self):
+        ts = _ts(
+            TransactionSpec("H", (read("x", 3.0),), offset=0.0),
+            TransactionSpec("L", (write("x", 1.0),), offset=1.0),
+        )
+        result = run(ts, "2pl-hp")
+        # L can only request after H finishes (single CPU), so no wait is
+        # even observed; assert no aborts happened in either direction.
+        assert result.aborted_restarts == 0
+
+    def test_wait_when_holder_has_higher_priority(self):
+        """Protocol-level check of the Deny branch: a requester must wait
+        (without inheritance) when any conflicting holder outranks it.
+
+        On a single CPU this situation cannot arise organically — the
+        running job is always the highest-priority active one — so the
+        decision procedure is driven directly against a crafted lock-table
+        state.
+        """
+        from repro.engine.interfaces import Deny
+        from repro.engine.job import Job
+        from repro.engine.lock_table import LockTable
+        from repro.model.spec import LockMode
+
+        ts = _ts(
+            TransactionSpec("H", (read("x", 1.0),)),
+            TransactionSpec("M", (write("x", 1.0),)),
+        )
+        protocol = make_protocol("2pl-hp")
+        table = LockTable()
+        protocol.bind(ts, table)
+        holder = Job(ts["H"], 0, 0.0)
+        requester = Job(ts["M"], 0, 0.0)
+        table.grant(holder, "x", LockMode.READ)
+        decision = protocol.decide(requester, "x", LockMode.WRITE)
+        assert isinstance(decision, Deny)
+        assert decision.blockers == (holder,)
+        assert decision.inherit is False  # 2PL-HP has no inheritance
+
+    def test_restarted_job_reads_fresh_values(self):
+        """The aborted reader re-reads after the writer committed, keeping
+        the history serializable."""
+        ts = _ts(
+            TransactionSpec("H", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("L", (read("x", 2.0), write("y", 1.0)), offset=0.0),
+        )
+        result = run(ts, "2pl-hp")
+        reads = [e for e in result.history.committed_reads() if e.job == "L#0"]
+        assert len(reads) == 1
+        assert reads[0].version_seq > 0  # the version H installed
+        assert_serializable(result)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_workloads_stay_serializable(self, seed):
+        from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+        ts = generate_taskset(
+            WorkloadConfig(n_transactions=5, n_items=5, seed=seed,
+                           write_probability=0.5, hot_access_probability=0.9)
+        )
+        result = Simulator(
+            ts, make_protocol("2pl-hp"), SimConfig(horizon=600.0)
+        ).run()
+        assert_deadlock_free(result)
+        assert_serializable(result)

@@ -1,0 +1,129 @@
+"""Behavioural tests of the convex ceiling protocol (CCP)."""
+
+import pytest
+
+from repro.engine.simulator import SimConfig, Simulator
+from repro.model.priorities import assign_by_order
+from repro.model.spec import LockMode, TransactionSpec, compute, read, write
+from repro.protocols.ccp import CCP
+from repro.verify import (
+    assert_deadlock_free,
+    assert_serializable,
+    assert_single_blocking,
+)
+from tests.conftest import run
+
+
+def _ts(*specs):
+    return assign_by_order(list(specs))
+
+
+class TestEarlyUnlock:
+    def test_high_ceiling_item_released_before_commit(self):
+        """L's only lock (the high-ceiling item a) is released right after
+        its last use: L is past its lock point, so CCP unlocks a at t=1
+        instead of at commit t=5."""
+        ts = _ts(
+            TransactionSpec("H", (read("a", 1.0), write("a", 1.0)), offset=2.0),
+            TransactionSpec("L", (read("a", 1.0), compute(4.0)), offset=0.0),
+        )
+        result = run(ts, "ccp")
+        # Under strict 2PL (RW-PCP) H would block at t=2 until L commits
+        # at 5; under CCP, a was unlocked at t=1, so H runs 2..4 unblocked.
+        assert result.job("H#0").total_blocking_time() == 0.0
+        assert result.job("H#0").finish_time == 4.0
+
+    def test_rw_pcp_blocks_where_ccp_does_not(self):
+        ts = _ts(
+            TransactionSpec("H", (read("a", 1.0), write("a", 1.0)), offset=2.0),
+            TransactionSpec("L", (read("a", 1.0), compute(4.0)), offset=0.0),
+        )
+        rw = run(ts, "rw-pcp")
+        assert rw.job("H#0").total_blocking_time() > 0.0
+
+    def test_release_batch_at_lock_point(self):
+        """Both items release at the lock point (t=2), before the compute
+        tail; H write-locks b at 2 instead of waiting until L's commit."""
+        ts = _ts(
+            TransactionSpec("H", (write("b", 1.0),), offset=2.0),
+            TransactionSpec(
+                "L", (read("b", 1.0), read("a", 1.0), compute(2.0)), offset=0.0
+            ),
+        )
+        result = run(ts, "ccp")
+        assert result.job("H#0").total_blocking_time() == 0.0
+        assert result.job("H#0").finish_time == 3.0
+
+    def test_lock_kept_before_lock_point(self):
+        """The two-phase guard: nothing is released while a future
+        acquisition is still ahead, even if the held item is done."""
+        ts = _ts(
+            TransactionSpec("H", (write("b", 1.0),), offset=2.0),
+            TransactionSpec(
+                "L", (read("b", 1.0), compute(2.0), read("a", 1.0)), offset=0.0
+            ),
+        )
+        result = run(ts, "ccp")
+        # L's read lock on b must persist through the compute (the read of
+        # a at t=3 is still ahead), so H blocks at 2 until L commits at 4.
+        assert result.job("H#0").total_blocking_time() == 2.0
+
+    def test_future_read_under_held_write_lock_is_not_an_acquisition(self):
+        """A later read of an item the job already write-locks does not
+        postpone the lock point."""
+        ts = _ts(
+            TransactionSpec("H", (write("b", 1.0),), offset=2.0),
+            TransactionSpec(
+                "L",
+                (read("b", 1.0), write("a", 1.0), compute(1.0), read("a", 1.0)),
+                offset=0.0,
+            ),
+        )
+        result = run(ts, "ccp")
+        # Lock point is at the write of a (t=1): b releases at t=2 when
+        # the write-a operation completes.
+        assert result.job("H#0").total_blocking_time() == 0.0
+
+    def test_all_locks_released_at_commit_regardless(self):
+        ts = _ts(TransactionSpec("T", (read("a", 1.0), write("b", 1.0)),))
+        sim = Simulator(ts, CCP())
+        result = sim.run()
+        assert sim.table.items_held_by(result.job("T#0")) == {}
+
+
+class TestCCPInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_workloads_keep_guarantees(self, seed):
+        from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+        ts = generate_taskset(
+            WorkloadConfig(
+                n_transactions=5, n_items=6, write_probability=0.4,
+                hot_access_probability=0.8, seed=seed,
+            )
+        )
+        result = Simulator(ts, CCP(), SimConfig(horizon=600.0)).run()
+        assert_deadlock_free(result)
+        assert_serializable(result)
+        assert result.aborted_restarts == 0
+
+    def test_example4_under_ccp_serializable(self, ex4):
+        result = run(ex4, "ccp")
+        assert_serializable(result)
+        assert_deadlock_free(result)
+
+    def test_fuzzer_counterexample_now_serializable(self):
+        """The exact 4-transaction interleaving that broke the naive
+        (non-two-phase) early-unlock rule; pinned as a regression test."""
+        ts = _ts(
+            TransactionSpec("T1", (write("c", 2.0), compute(2.0)), offset=5.0),
+            TransactionSpec("T2", (read("a", 1.0), compute(1.0)), offset=6.0),
+            TransactionSpec(
+                "T3", (write("a", 2.0), read("c", 2.0), read("b", 2.0)), offset=4.0
+            ),
+            TransactionSpec(
+                "T4", (read("c", 2.0), write("b", 2.0), compute(1.0)), offset=2.0
+            ),
+        )
+        result = run(ts, "ccp")
+        assert_serializable(result)

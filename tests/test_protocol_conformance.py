@@ -1,0 +1,143 @@
+"""Protocol conformance kit: one scenario matrix, every protocol.
+
+Any registered protocol — including future ones — must survive these
+scenarios without corrupting engine state, deadlocking unexpectedly, or
+producing a non-serializable history.  The kit is deliberately protocol-
+agnostic: it asserts only universal contracts (commit-or-drop, history
+consistency, lock hygiene), not protocol-specific schedules.
+"""
+
+import pytest
+
+from repro.engine.interfaces import InstallPolicy
+from repro.engine.job import JobState
+from repro.engine.simulator import SimConfig, Simulator
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.protocols import available_protocols, make_protocol
+from repro.verify import assert_serializable
+from repro.workloads.scenarios import all_scenarios
+
+#: weak-pcp-da is excluded: it exists to deadlock.
+PROTOCOLS = tuple(p for p in available_protocols() if p != "weak-pcp-da")
+
+SCENARIOS = all_scenarios()
+
+
+def _run(protocol_name, taskset_or_builder, **config_kwargs):
+    taskset = (
+        taskset_or_builder()
+        if callable(taskset_or_builder)
+        else taskset_or_builder
+    )
+    config = SimConfig(deadlock_action="abort_lowest", **config_kwargs)
+    simulator = Simulator(taskset, make_protocol(protocol_name), config)
+    return simulator, simulator.run()
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+class TestConformanceMatrix:
+    def test_everyone_commits(self, protocol, scenario):
+        __, result = _run(protocol, SCENARIOS[scenario])
+        for job in result.jobs:
+            assert job.state is JobState.COMMITTED, (
+                f"{protocol}/{scenario}: {job.name} ended {job.state}"
+            )
+
+    def test_history_serializable(self, protocol, scenario):
+        __, result = _run(protocol, SCENARIOS[scenario])
+        assert_serializable(result)
+
+    def test_value_replay_for_deferred_protocols(self, protocol, scenario):
+        from repro.verify import assert_value_replay_consistent
+
+        if make_protocol(protocol).install_policy is not InstallPolicy.AT_COMMIT:
+            pytest.skip("value replay applies to deferred-update runs only")
+        __, result = _run(protocol, SCENARIOS[scenario])
+        assert_value_replay_consistent(result)
+
+    def test_all_locks_released_at_the_end(self, protocol, scenario):
+        simulator, result = _run(protocol, SCENARIOS[scenario])
+        for job in result.jobs:
+            assert simulator.table.items_held_by(job) == {}, (
+                f"{protocol}/{scenario}: {job.name} leaked locks"
+            )
+
+    def test_no_dangling_waits(self, protocol, scenario):
+        simulator, __ = _run(protocol, SCENARIOS[scenario])
+        assert simulator.waits.waiters() == ()
+
+    def test_writes_reach_the_database(self, protocol, scenario):
+        __, result = _run(protocol, SCENARIOS[scenario])
+        written_items = set()
+        for spec in result.taskset:
+            written_items |= spec.write_set
+        for item in written_items:
+            version = result.database.read_committed(item)
+            assert version.writer is not None, (
+                f"{protocol}/{scenario}: {item} never received a commit"
+            )
+
+    def test_final_value_matches_last_committed_writer(self, protocol, scenario):
+        __, result = _run(protocol, SCENARIOS[scenario])
+        commit_order = {
+            name: index
+            for index, name in enumerate(result.history.commit_order())
+        }
+        for item in result.database.item_names:
+            versions = result.database[item].versions
+            committed_writers = [
+                v.writer for v in versions
+                if v.writer is not None and v.writer in commit_order
+            ]
+            if not committed_writers:
+                continue
+            final = result.database.read_committed(item).writer
+            assert final == committed_writers[-1]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestConfigurationMatrix:
+    def test_with_lock_overhead(self, protocol):
+        __, result = _run(
+            protocol, SCENARIOS["same_item_storm"], lock_overhead=0.25
+        )
+        assert_serializable(result)
+        assert all(j.state is JobState.COMMITTED for j in result.jobs)
+
+    def test_with_context_switch_overhead(self, protocol):
+        __, result = _run(
+            protocol, SCENARIOS["crossed_pattern"],
+            context_switch_overhead=0.25,
+        )
+        assert_serializable(result)
+
+    def test_with_horizon_truncation(self, protocol):
+        simulator, result = _run(
+            protocol, SCENARIOS["chain"], horizon=2.0
+        )
+        # Truncated runs must still be internally consistent.
+        assert_serializable(result)
+        assert result.end_time == 2.0
+
+    def test_firm_deadlines_where_supported(self, protocol):
+        from repro.model.priorities import assign_by_order
+
+        instance = make_protocol(protocol)
+        specs = assign_by_order([
+            TransactionSpec(
+                "H", (read("a", 1.0),), offset=1.0, period=10.0, deadline=2.0
+            ),
+            TransactionSpec(
+                "L", (write("a", 1.0), compute(3.0)), offset=0.0,
+                period=10.0, deadline=3.0,
+            ),
+        ])
+        if instance.install_policy is InstallPolicy.AT_COMMIT:
+            __, result = _run(protocol, specs, on_miss="abort", horizon=10.0)
+            assert_serializable(result)
+        else:
+            from repro.exceptions import SpecificationError
+
+            with pytest.raises(SpecificationError):
+                _run(protocol, specs, on_miss="abort", horizon=10.0)

@@ -1,0 +1,79 @@
+"""Tests for the protocol registry and shared protocol contracts."""
+
+import pytest
+
+from repro.engine.interfaces import ConcurrencyControlProtocol, InstallPolicy
+from repro.exceptions import ProtocolError, UnknownProtocolError
+from repro.protocols import available_protocols, make_protocol, register_protocol
+
+
+EXPECTED = {
+    "2pl", "2pl-hp", "ccp", "ipcp", "occ-bc", "pcp", "pcp-da", "pcp-da-checked",
+    "pip-2pl", "rw-pcp", "rw-pcp-abort", "weak-pcp-da",
+}
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        assert set(available_protocols()) == EXPECTED
+
+    def test_make_protocol_returns_fresh_instances(self):
+        a = make_protocol("pcp-da")
+        b = make_protocol("pcp-da")
+        assert a is not b
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(UnknownProtocolError) as exc:
+            make_protocol("nope")
+        assert "pcp-da" in str(exc.value)
+
+    def test_kwargs_forwarded(self):
+        protocol = make_protocol("pcp-da", enable_lc3=False)
+        assert "LC3 off" in protocol.describe()
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(ConcurrencyControlProtocol):
+            name = "pcp-da"
+
+            def decide(self, job, item, mode):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ProtocolError):
+            register_protocol(Dup)
+
+    def test_unnamed_registration_rejected(self):
+        class NoName(ConcurrencyControlProtocol):
+            def decide(self, job, item, mode):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ProtocolError):
+            register_protocol(NoName)
+
+
+class TestProtocolContracts:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_describe_is_nonempty(self, name):
+        assert make_protocol(name).describe()
+
+    def test_install_policies(self):
+        assert make_protocol("pcp-da").install_policy is InstallPolicy.AT_COMMIT
+        assert make_protocol("rw-pcp").install_policy is InstallPolicy.AT_WRITE
+        assert make_protocol("ccp").install_policy is InstallPolicy.AT_WRITE
+        assert make_protocol("pcp").install_policy is InstallPolicy.AT_WRITE
+        assert make_protocol("2pl-hp").install_policy is InstallPolicy.AT_COMMIT
+
+    def test_deadlock_declarations(self):
+        assert not make_protocol("pcp-da").can_deadlock
+        assert not make_protocol("rw-pcp").can_deadlock
+        assert not make_protocol("ccp").can_deadlock
+        assert not make_protocol("2pl-hp").can_deadlock
+        assert not make_protocol("occ-bc").can_deadlock
+        assert not make_protocol("rw-pcp-abort").can_deadlock
+        assert make_protocol("pip-2pl").can_deadlock
+        assert make_protocol("2pl").can_deadlock
+        assert make_protocol("weak-pcp-da").can_deadlock
+
+    def test_protocol_requires_bind_before_use(self):
+        protocol = make_protocol("pcp-da")
+        with pytest.raises(AssertionError):
+            protocol.taskset

@@ -1,0 +1,138 @@
+"""Section 4.1 — the case analysis behind dynamic adjustment of
+serialization order, reproduced as executable scenarios.
+
+The paper derives PCP-DA from three conflict cases (plus Example 2's
+composition of write-write conflicts with the other types).  Each test
+builds the exact access pattern, simulates it under PCP-DA, and checks
+both the scheduling outcome (who preempts, who blocks) and the resulting
+serialization order of the committed history.
+"""
+
+import pytest
+
+from repro.db.serializability import serialization_order
+from repro.engine.simulator import SimConfig
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.verify import verify_pcp_da_run
+from tests.conftest import run
+
+
+def _ts(*specs):
+    return assign_by_order(list(specs))
+
+
+class TestCase1WriteThenRead:
+    """Case 1: Write_L(x) · Read_H(x) — T_H preempts, commits first, and
+    the serialization order is adjusted to T_H -> T_L."""
+
+    def test_preemption_and_order(self):
+        ts = _ts(
+            TransactionSpec("TH", (read("x", 1.0),), offset=1.0),
+            TransactionSpec("TL", (write("x", 1.0), compute(2.0)), offset=0.0),
+        )
+        result = run(ts, "pcp-da")
+        th, tl = result.job("TH#0"), result.job("TL#0")
+        assert th.total_blocking_time() == 0.0       # preempts, not blocked
+        assert th.finish_time < tl.finish_time       # T_H commits first
+        assert serialization_order(result.history) == ("TH#0", "TL#0")
+        # T_H read the *committed* version, not T_L's pending write.
+        read_event = result.history.committed_reads()[0]
+        assert read_event.version_seq == 0
+        verify_pcp_da_run(result)
+
+
+class TestCase2ReadThenWrite:
+    """Case 2: Read_L(x) · Write_H(x) — the serialization order is forced
+    to T_L -> T_H, so T_H must block (the one unavoidable blocking)."""
+
+    def test_blocking_and_order(self):
+        ts = _ts(
+            TransactionSpec("TH", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("TL", (read("x", 2.0), compute(1.0)), offset=0.0),
+        )
+        result = run(ts, "pcp-da")
+        th, tl = result.job("TH#0"), result.job("TL#0")
+        assert th.total_blocking_time() > 0.0
+        assert tl.finish_time < th.finish_time       # T_L commits first
+        assert serialization_order(result.history) == ("TL#0", "TH#0")
+        verify_pcp_da_run(result)
+
+
+class TestCase3WriteWrite:
+    """Case 3: Write_L(x) · Write_H(x) — blind writes never conflict; the
+    commit order decides the final value and no constraint is induced."""
+
+    def test_no_blocking_either_way(self):
+        ts = _ts(
+            TransactionSpec("TH", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("TL", (write("x", 1.0), compute(2.0)), offset=0.0),
+        )
+        result = run(ts, "pcp-da")
+        assert all(j.total_blocking_time() == 0.0 for j in result.jobs)
+        # T_H commits first but T_L commits later: last install wins.
+        assert result.database.read_committed("x").writer == "TL#0"
+        verify_pcp_da_run(result)
+
+
+class TestExample2Type1:
+    """Example 2, Type 1: a Write·Write conflict on y composed with a
+    Write(x)·Read(x) conflict.  Both orderings of the conflicts leave the
+    history serializable with T_H -> T_L."""
+
+    def test_write_read_preceding_write_write(self):
+        # Situation (1): T_L writes x; T_H reads x then writes y; T_L
+        # writes y afterwards.  T_H preempts and commits first.
+        ts = _ts(
+            TransactionSpec("TH", (read("x", 1.0), write("y", 1.0)), offset=1.0),
+            TransactionSpec(
+                "TL", (write("x", 1.0), compute(2.0), write("y", 1.0)), offset=0.0
+            ),
+        )
+        result = run(ts, "pcp-da")
+        assert result.job("TH#0").total_blocking_time() == 0.0
+        order = serialization_order(result.history)
+        assert order.index("TH#0") < order.index("TL#0")
+        # Final y is T_L's (it committed last).
+        assert result.database.read_committed("y").writer == "TL#0"
+        verify_pcp_da_run(result)
+
+    def test_write_write_preceding_write_read(self):
+        # Situation (2): T_L writes y first; T_H writes y then reads x,
+        # which T_L write-locks later.  Still serializable, T_H first.
+        ts = _ts(
+            TransactionSpec("TH", (write("y", 1.0), read("x", 1.0)), offset=1.0),
+            TransactionSpec(
+                "TL", (write("y", 1.0), write("x", 1.0), compute(1.0)), offset=0.0
+            ),
+        )
+        result = run(ts, "pcp-da")
+        assert result.job("TH#0").total_blocking_time() == 0.0
+        order = serialization_order(result.history)
+        assert order.index("TH#0") < order.index("TL#0")
+        verify_pcp_da_run(result)
+
+
+class TestExample2Type2:
+    """Example 2, Type 2: Write·Write composed with Read(x)·Write(x) —
+    T_H blocks on the read-locked item and T_L commits first."""
+
+    def test_read_write_conflict_forces_tl_first(self):
+        # T_L reads x and writes y; T_H writes both y and x.  When T_H
+        # requests the write lock on x (read-locked by T_L), it blocks;
+        # the committed history is serializable with T_L -> T_H.
+        ts = _ts(
+            TransactionSpec("TH", (write("y", 1.0), write("x", 1.0)), offset=1.0),
+            TransactionSpec(
+                "TL", (read("x", 2.0), write("y", 1.0)), offset=0.0
+            ),
+        )
+        result = run(ts, "pcp-da")
+        th = result.job("TH#0")
+        assert th.total_blocking_time() > 0.0
+        order = serialization_order(result.history)
+        assert order.index("TL#0") < order.index("TH#0")
+        # Final values are T_H's (committed last).
+        assert result.database.read_committed("x").writer == "TH#0"
+        assert result.database.read_committed("y").writer == "TH#0"
+        verify_pcp_da_run(result)

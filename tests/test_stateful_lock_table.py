@@ -1,0 +1,138 @@
+"""Stateful (rule-based) hypothesis testing of the lock table.
+
+The lock table is the one data structure every protocol mutates; a model
+mismatch here would corrupt every result.  The state machine below mirrors
+the table with plain dictionaries and checks full agreement after every
+operation, across arbitrary interleavings of grants, single releases, and
+release-alls.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.engine.job import Job
+from repro.engine.lock_table import LockTable
+from repro.model.spec import LockMode, TransactionSpec, read
+
+_ITEMS = ["a", "b", "c"]
+
+
+def _job(index: int) -> Job:
+    spec = TransactionSpec(f"T{index}", (read("a"),), priority=index + 1)
+    return Job(spec, 0, 0.0)
+
+
+class LockTableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = LockTable()
+        self.jobs = [_job(i) for i in range(4)]
+        # Model: {(job_index, item): set of modes}
+        self.model = {}
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(
+        job_index=st.integers(min_value=0, max_value=3),
+        item=st.sampled_from(_ITEMS),
+        mode=st.sampled_from([LockMode.READ, LockMode.WRITE]),
+    )
+    def grant(self, job_index, item, mode):
+        key = (job_index, item)
+        held = self.model.get(key, set())
+        if mode in held:
+            return  # engine never double-grants; skip
+        self.table.grant(self.jobs[job_index], item, mode)
+        self.model[key] = held | {mode}
+
+    @rule(
+        job_index=st.integers(min_value=0, max_value=3),
+        item=st.sampled_from(_ITEMS),
+        mode=st.sampled_from([LockMode.READ, LockMode.WRITE]),
+    )
+    def release(self, job_index, item, mode):
+        key = (job_index, item)
+        held = self.model.get(key, set())
+        if mode not in held:
+            return
+        self.table.release(self.jobs[job_index], item, mode)
+        held.discard(mode)
+        if not held:
+            del self.model[key]
+
+    @rule(job_index=st.integers(min_value=0, max_value=3))
+    def release_all(self, job_index):
+        released = self.table.release_all(self.jobs[job_index])
+        expected = {
+            (item, mode)
+            for (j, item), modes in self.model.items()
+            if j == job_index
+            for mode in modes
+        }
+        assert set(released) == expected
+        for key in [k for k in self.model if k[0] == job_index]:
+            del self.model[key]
+
+    # ------------------------------------------------------------------
+    # Invariants: table agrees with the model in every view
+    # ------------------------------------------------------------------
+    @invariant()
+    def holders_agree(self):
+        for item in _ITEMS:
+            expected_readers = {
+                self.jobs[j]
+                for (j, it), modes in self.model.items()
+                if it == item and LockMode.READ in modes
+            }
+            expected_writers = {
+                self.jobs[j]
+                for (j, it), modes in self.model.items()
+                if it == item and LockMode.WRITE in modes
+            }
+            assert self.table.readers_of(item) == frozenset(expected_readers)
+            assert self.table.writers_of(item) == frozenset(expected_writers)
+            assert self.table.holders_of(item) == frozenset(
+                expected_readers | expected_writers
+            )
+
+    @invariant()
+    def per_job_index_agrees(self):
+        for j, job in enumerate(self.jobs):
+            expected = {
+                item: frozenset(modes)
+                for (jj, item), modes in self.model.items()
+                if jj == j
+            }
+            assert self.table.items_held_by(job) == expected
+
+    @invariant()
+    def read_locked_items_agree(self):
+        expected = sorted({
+            item
+            for (j, item), modes in self.model.items()
+            if LockMode.READ in modes
+        })
+        assert list(self.table.read_locked_items()) == expected
+
+    @invariant()
+    def locked_items_exclude_works(self):
+        for j, job in enumerate(self.jobs):
+            expected = sorted({
+                item
+                for (jj, item), modes in self.model.items()
+                if jj != j and modes
+            })
+            assert list(self.table.locked_items(exclude=job)) == expected
+
+
+LockTableMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestLockTableStateful = LockTableMachine.TestCase

@@ -1,0 +1,87 @@
+"""Tests for the batch runner and summary statistics (repro.stats)."""
+
+import math
+
+import pytest
+
+from repro.stats import (
+    BatchRow,
+    Summary,
+    paired_difference,
+    run_batch,
+    summarize,
+    summarize_values,
+)
+from repro.workloads.generator import WorkloadConfig
+
+
+class TestSummaryStatistics:
+    def test_single_value(self):
+        s = summarize_values([3.0])
+        assert s.n == 1 and s.mean == 3.0
+        assert s.stdev == 0.0 and s.ci95_half_width == 0.0
+
+    def test_known_sample(self):
+        s = summarize_values([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.stdev == pytest.approx(1.2909944, rel=1e-6)
+        assert s.ci95_half_width == pytest.approx(
+            1.96 * 1.2909944 / math.sqrt(4), rel=1e-6
+        )
+        lo, hi = s.ci95
+        assert lo < 2.5 < hi
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_values([])
+
+    def test_render(self):
+        assert "n=2" in summarize_values([1.0, 2.0]).render()
+
+
+class TestRunBatch:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        workloads = [
+            WorkloadConfig(n_transactions=4, seed=s, target_utilization=0.5,
+                           hot_access_probability=0.9, write_probability=0.5)
+            for s in range(4)
+        ]
+        return run_batch(["pcp-da", "rw-pcp"], workloads)
+
+    def test_one_row_per_pair(self, rows):
+        assert len(rows) == 8
+        assert {r.protocol for r in rows} == {"pcp-da", "rw-pcp"}
+        assert {r.seed for r in rows} == {0, 1, 2, 3}
+
+    def test_paired_sets_share_utilization(self, rows):
+        per_seed = {}
+        for row in rows:
+            per_seed.setdefault(row.seed, set()).add(round(row.utilization, 9))
+        for values in per_seed.values():
+            assert len(values) == 1  # same generated task set per seed
+
+    def test_summarize_by_protocol(self, rows):
+        table = summarize(rows, metric="total_blocking_time")
+        assert set(table) == {("pcp-da",), ("rw-pcp",)}
+        assert all(s.n == 4 for s in table.values())
+
+    def test_paired_difference_direction(self, rows):
+        diff = paired_difference(
+            rows, metric="total_blocking_time",
+            baseline="rw-pcp", contender="pcp-da",
+        )
+        # PCP-DA blocks no more than RW-PCP in aggregate.
+        assert diff.mean >= -1e-9
+
+    def test_paired_difference_requires_both(self, rows):
+        with pytest.raises(ValueError):
+            paired_difference(
+                rows, metric="miss_ratio", baseline="rw-pcp", contender="ccp"
+            )
+
+    def test_metric_lookup_errors(self):
+        row = BatchRow("p", 0, 0.5, 1.0, 1.0, 0.0, 0, None)
+        with pytest.raises(KeyError):
+            row.metric("mean_response_time")
+        assert row.metric("total_blocking_time") == 1.0

@@ -1,0 +1,80 @@
+"""Tests for run comparison (repro.trace.compare)."""
+
+import pytest
+
+from repro.engine.simulator import SimConfig
+from repro.exceptions import SpecificationError
+from repro.trace.compare import compare_runs, render_comparison
+from tests.conftest import run
+
+
+class TestCompareRuns:
+    @pytest.fixture
+    def comparison(self, ex4):
+        rw = run(ex4, "rw-pcp")
+        da = run(ex4, "pcp-da")
+        return compare_runs(rw, da)
+
+    def test_protocol_names(self, comparison):
+        assert comparison.protocol_a == "rw-pcp"
+        assert comparison.protocol_b == "pcp-da"
+
+    def test_example4_blocking_deltas(self, comparison):
+        t3 = comparison.delta("T3")
+        assert t3.blocking_a == 4.0
+        assert t3.blocking_b == 0.0
+        assert t3.blocking_delta == -4.0
+        t1 = comparison.delta("T1")
+        assert t1.blocking_delta == -1.0
+
+    def test_example4_response_deltas(self, comparison):
+        t3 = comparison.delta("T3")
+        # T3: 9-1=8 under RW-PCP, 3-1=2 under PCP-DA.
+        assert t3.worst_response_a == 8.0
+        assert t3.worst_response_b == 2.0
+        assert t3.response_delta == -6.0
+
+    def test_totals(self, comparison):
+        assert comparison.total_blocking_a == 5.0
+        assert comparison.total_blocking_b == 0.0
+        assert comparison.restarts_a == comparison.restarts_b == 0
+
+    def test_missing_transaction_raises(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.delta("nope")
+
+    def test_different_tasksets_rejected(self, ex1, ex4):
+        a = run(ex1, "pcp-da")
+        b = run(ex4, "pcp-da")
+        with pytest.raises(SpecificationError):
+            compare_runs(a, b)
+
+    def test_miss_counting(self, ex3):
+        rw = run(ex3, "rw-pcp", SimConfig(horizon=11.0, max_instances=2))
+        da = run(ex3, "pcp-da", SimConfig(horizon=11.0, max_instances=2))
+        comparison = compare_runs(rw, da)
+        assert comparison.delta("T1").misses_a == 1
+        assert comparison.delta("T1").misses_b == 0
+
+    def test_restart_counting(self):
+        from repro.model.priorities import assign_by_order
+        from repro.model.spec import TransactionSpec, read, write
+
+        ts = assign_by_order([
+            TransactionSpec("H", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("L", (read("x", 3.0),), offset=0.0),
+        ])
+        hp = run(ts, "2pl-hp")
+        da = run(ts, "pcp-da")
+        comparison = compare_runs(hp, da)
+        assert comparison.delta("L").restarts_a == 1
+        assert comparison.delta("L").restarts_b == 0
+
+
+class TestRenderComparison:
+    def test_table_contains_everything(self, ex4):
+        comparison = compare_runs(run(ex4, "rw-pcp"), run(ex4, "pcp-da"))
+        text = render_comparison(comparison)
+        for name in ("T1", "T2", "T3", "T4"):
+            assert name in text
+        assert "total blocking: 5 (rw-pcp) vs 0 (pcp-da)" in text

@@ -1,0 +1,87 @@
+"""Unit tests for trace export (repro.trace.export)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.trace.export import (
+    metrics_to_csv,
+    result_to_dict,
+    result_to_json,
+    segments_to_csv,
+    sysceil_to_csv,
+)
+from tests.conftest import run
+
+
+@pytest.fixture
+def result(ex4):
+    return run(ex4, "rw-pcp")
+
+
+class TestResultToDict:
+    def test_top_level_shape(self, result):
+        doc = result_to_dict(result)
+        assert doc["protocol"] == "rw-pcp"
+        assert doc["deadlock"] is None
+        assert doc["end_time"] == 11.0
+        assert {t["name"] for t in doc["transactions"]} == {"T1", "T2", "T3", "T4"}
+
+    def test_jobs_carry_metrics(self, result):
+        doc = result_to_dict(result)
+        t3 = next(j for j in doc["jobs"] if j["job"] == "T3#0")
+        assert t3["blocking_time"] == 4.0
+        assert t3["blockers"] == ["T4"]
+        assert t3["missed_deadline"] is False
+
+    def test_segments_cover_all_jobs(self, result):
+        doc = result_to_dict(result)
+        jobs_with_segments = {s["job"] for s in doc["segments"]}
+        assert jobs_with_segments == {j["job"] for j in doc["jobs"]}
+        for seg in doc["segments"]:
+            assert seg["end"] > seg["start"]
+            assert seg["kind"] in ("executing", "blocked", "preempted")
+
+    def test_lock_events_preserved(self, result):
+        doc = result_to_dict(result)
+        denied = [e for e in doc["lock_events"] if e["outcome"] == "denied"]
+        assert len(denied) == 2  # T3's and T1's blockings
+
+    def test_json_round_trip(self, result):
+        text = result_to_json(result)
+        doc = json.loads(text)
+        assert doc["committed"][-1] == "T2#0"
+
+    def test_deadlock_serialised(self, ex5):
+        from repro.engine.simulator import SimConfig
+
+        weak = run(ex5, "weak-pcp-da", SimConfig(deadlock_action="halt"))
+        doc = result_to_dict(weak)
+        assert doc["deadlock"] == {"time": 3.0, "cycle": ["TL#0", "TH#0"]}
+
+
+class TestCSVExports:
+    def _parse(self, text):
+        return list(csv.DictReader(io.StringIO(text)))
+
+    def test_segments_csv(self, result):
+        rows = self._parse(segments_to_csv(result))
+        assert {"transaction", "job", "kind", "start", "end"} <= set(rows[0])
+        blocked = [r for r in rows if r["kind"] == "blocked" and r["job"] == "T3#0"]
+        assert len(blocked) == 1
+        assert float(blocked[0]["start"]) == 1.0
+        assert float(blocked[0]["end"]) == 5.0
+
+    def test_sysceil_csv(self, result):
+        rows = self._parse(sysceil_to_csv(result))
+        levels = [int(r["level"]) for r in rows]
+        assert max(levels) == 4  # P1, the Figure 5 peak
+
+    def test_metrics_csv(self, result):
+        rows = self._parse(metrics_to_csv(result))
+        assert len(rows) == len(result.jobs)
+        t1 = next(r for r in rows if r["job"] == "T1#0")
+        assert float(t1["blocking_time"]) == 1.0
+        assert t1["missed_deadline"] == "0"

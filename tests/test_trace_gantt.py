@@ -1,0 +1,80 @@
+"""Unit tests for the ASCII Gantt renderer (repro.trace.gantt)."""
+
+import pytest
+
+from repro.engine.simulator import SimConfig
+from repro.trace.gantt import render_gantt
+from tests.conftest import run
+
+
+class TestRenderGantt:
+    def test_rows_ordered_by_priority(self, ex1):
+        text = render_gantt(run(ex1, "rw-pcp"))
+        lines = text.splitlines()
+        t1_line = next(i for i, l in enumerate(lines) if l.startswith("T1"))
+        t3_line = next(i for i, l in enumerate(lines) if l.startswith("T3"))
+        assert t1_line < t3_line
+
+    def test_glyphs_for_example1(self, ex1):
+        text = render_gantt(run(ex1, "rw-pcp"), show_markers=False)
+        rows = {
+            line.split()[0]: line[3:]
+            for line in text.splitlines()
+            if line.startswith("T")
+        }
+        assert rows["T3"].startswith("###")
+        assert rows["T2"][1] == "b"  # blocked at t=1
+        assert rows["T1"][2] == "b"  # blocked at t=2
+
+    def test_markers_present(self, ex1):
+        text = render_gantt(run(ex1, "rw-pcp"))
+        assert "^" in text and "v" in text
+
+    def test_legend_always_present(self, ex1):
+        text = render_gantt(run(ex1, "pcp-da"))
+        assert "#=executing" in text
+
+    def test_truncation_note(self, ex3):
+        result = run(ex3, "pcp-da", SimConfig(horizon=11.0, max_instances=2))
+        text = render_gantt(result, width_limit=5)
+        assert "truncated" in text
+
+    def test_execution_glyph_wins_in_shared_cell(self, ex1):
+        """When a cell straddles blocked/executing boundaries, '#' wins."""
+        text = render_gantt(run(ex1, "rw-pcp"), show_markers=False)
+        t1_row = next(l for l in text.splitlines() if l.startswith("T1"))
+        assert t1_row[3 + 3] == "#"  # executes during [3,4)
+
+    def test_ruler_has_tens_row_for_long_runs(self, ex4):
+        text = render_gantt(run(ex4, "pcp-da"))
+        lines = text.splitlines()
+        # first two lines are the tens and units rulers
+        assert "1" in lines[0]
+        assert lines[1].lstrip().startswith("0123456789")
+
+
+class TestRenderGanttComparison:
+    def test_stacked_blocks(self, ex4):
+        from repro.trace.gantt import render_gantt_comparison
+
+        text = render_gantt_comparison([run(ex4, "pcp-da"), run(ex4, "rw-pcp")])
+        assert "--- pcp-da ---" in text
+        assert "--- rw-pcp ---" in text
+        # The RW-PCP block shows blocking; the PCP-DA block must not.
+        da_block, rw_block = text.split("--- rw-pcp ---")
+        assert "b" not in da_block.split("#=executing")[0].replace(
+            "--- pcp-da ---", ""
+        ).replace("blocked", "")
+        assert "b" in rw_block
+
+    def test_requires_two_runs(self, ex4):
+        from repro.trace.gantt import render_gantt_comparison
+
+        with pytest.raises(ValueError):
+            render_gantt_comparison([run(ex4, "pcp-da")])
+
+    def test_requires_same_taskset(self, ex1, ex4):
+        from repro.trace.gantt import render_gantt_comparison
+
+        with pytest.raises(ValueError, match="same task set"):
+            render_gantt_comparison([run(ex1, "pcp-da"), run(ex4, "pcp-da")])

@@ -1,0 +1,105 @@
+"""Unit tests for run metrics (repro.trace.metrics)."""
+
+import pytest
+
+from repro.engine.simulator import SimConfig
+from repro.trace.metrics import compute_metrics
+from tests.conftest import run
+
+
+class TestComputeMetrics:
+    def test_example1_rw_pcp_blocking_totals(self, ex1):
+        metrics = compute_metrics(run(ex1, "rw-pcp"))
+        assert metrics.total_blocking_time == pytest.approx(3.0)  # 2 + 1
+        assert metrics.max_blocking_time == pytest.approx(2.0)
+        assert metrics.mean_blocking_time == pytest.approx(1.0)
+
+    def test_example1_pcp_da_no_blocking(self, ex1):
+        metrics = compute_metrics(run(ex1, "pcp-da"))
+        assert metrics.total_blocking_time == 0.0
+        assert metrics.miss_ratio == 0.0
+        assert metrics.total_restarts == 0
+
+    def test_per_transaction_blocking_takes_max_over_instances(self, ex3):
+        metrics = compute_metrics(
+            run(ex3, "rw-pcp", SimConfig(horizon=11.0, max_instances=2))
+        )
+        per_txn = metrics.per_transaction_blocking()
+        assert per_txn["T1"] == pytest.approx(4.0)  # worst instance
+        assert metrics.blocking_of("T2") == 0.0
+        assert metrics.blocking_of("unknown") == 0.0
+
+    def test_miss_ratio(self, ex3):
+        metrics = compute_metrics(
+            run(ex3, "rw-pcp", SimConfig(horizon=11.0, max_instances=2))
+        )
+        # 3 jobs total (T1#0, T1#1, T2#0); T1#0 misses.
+        assert metrics.total_jobs == 3
+        assert metrics.missed_jobs == 1
+        assert metrics.miss_ratio == pytest.approx(1 / 3)
+
+    def test_job_metrics_fields(self, ex1):
+        metrics = compute_metrics(run(ex1, "rw-pcp"))
+        jm = next(m for m in metrics.jobs if m.job == "T2#0")
+        assert jm.transaction == "T2"
+        assert jm.arrival == 1.0
+        assert jm.finish == 5.0
+        assert jm.response_time == 4.0
+        assert jm.distinct_blockers == frozenset({"T3"})
+
+    def test_max_sysceil_recorded(self, ex4):
+        da = compute_metrics(run(ex4, "pcp-da"))
+        rw = compute_metrics(run(ex4, "rw-pcp"))
+        assert da.max_sysceil == 3   # P2
+        assert rw.max_sysceil == 4   # P1
+
+    def test_mean_response_time(self, ex1):
+        metrics = compute_metrics(run(ex1, "pcp-da"))
+        # finishes: T1 3-2=1, T2 2-1=1, T3 5-0=5
+        assert metrics.mean_response_time == pytest.approx((1 + 1 + 5) / 3)
+
+    def test_executed_time_equals_c_for_committed_jobs(self, ex4):
+        metrics = compute_metrics(run(ex4, "pcp-da"))
+        for jm in metrics.jobs:
+            spec = next(
+                s for s in run(ex4, "pcp-da").taskset if s.name == jm.transaction
+            )
+            assert jm.executed_time == pytest.approx(spec.execution_time)
+
+    def test_interference_decomposition(self, ex4):
+        """response = executed + blocking + interference, per job."""
+        metrics = compute_metrics(run(ex4, "rw-pcp"))
+        for jm in metrics.jobs:
+            assert jm.response_time == pytest.approx(
+                jm.executed_time + jm.blocking_time + jm.interference_time
+            )
+        # T3 under RW-PCP: blocked 4, executed 2, response 8 -> 2 interference.
+        t3 = next(m for m in metrics.jobs if m.job == "T3#0")
+        assert t3.interference_time == pytest.approx(2.0)
+
+    def test_ipcp_turns_blocking_into_interference(self):
+        """The IPCP signature: zero blocking, nonzero interference where
+        PCP would have blocked."""
+        from repro.model.priorities import assign_by_order
+        from repro.model.spec import TransactionSpec, compute, read
+
+        ts = assign_by_order([
+            TransactionSpec("H", (read("x", 1.0),), offset=9.0),
+            TransactionSpec("M", (compute(1.0),), offset=1.0),
+            TransactionSpec("L", (read("x", 3.0),), offset=0.0),
+        ])
+        metrics = compute_metrics(run(ts, "ipcp"))
+        m = next(jm for jm in metrics.jobs if jm.job == "M#0")
+        assert m.blocking_time == 0.0
+        assert m.interference_time == pytest.approx(2.0)  # waited for L
+
+    def test_restart_count_from_2pl_hp(self):
+        from repro.model.priorities import assign_by_order
+        from repro.model.spec import TransactionSpec, read, write
+
+        ts = assign_by_order([
+            TransactionSpec("H", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("L", (read("x", 3.0),), offset=0.0),
+        ])
+        metrics = compute_metrics(run(ts, "2pl-hp"))
+        assert metrics.total_restarts == 1

@@ -1,0 +1,89 @@
+"""Tests for the SVG Gantt renderer (repro.trace.svg)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.engine.simulator import SimConfig
+from repro.trace.svg import render_svg_gantt
+from tests.conftest import run
+
+_SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestRenderSvgGantt:
+    @pytest.fixture
+    def svg_root(self, ex4):
+        return _parse(render_svg_gantt(run(ex4, "rw-pcp"), title="Figure 5"))
+
+    def test_is_well_formed_svg(self, svg_root):
+        assert svg_root.tag == f"{_SVG_NS}svg"
+        assert float(svg_root.get("width")) > 0
+        assert float(svg_root.get("height")) > 0
+
+    def test_one_label_per_transaction(self, svg_root):
+        texts = {
+            element.text for element in svg_root.iter(f"{_SVG_NS}text")
+        }
+        assert {"T1", "T2", "T3", "T4"} <= texts
+
+    def test_title_rendered(self, svg_root):
+        texts = {e.text for e in svg_root.iter(f"{_SVG_NS}text")}
+        assert "Figure 5" in texts
+
+    @staticmethod
+    def _segment_bars(root, colour):
+        """Rects of the given colour that carry a tooltip (segment bars;
+        the legend swatches have no <title> child)."""
+        return [
+            r for r in root.iter(f"{_SVG_NS}rect")
+            if r.get("fill") == colour
+            and r.find(f"{_SVG_NS}title") is not None
+        ]
+
+    def test_blocked_bars_present_under_rw_pcp(self, svg_root):
+        assert self._segment_bars(svg_root, "#d65f5f")  # T3's and T1's bars
+
+    def test_no_blocked_bars_under_pcp_da(self, ex4):
+        root = _parse(render_svg_gantt(run(ex4, "pcp-da")))
+        assert self._segment_bars(root, "#d65f5f") == []
+
+    def test_sysceil_path_present(self, svg_root):
+        dashed = [
+            p for p in svg_root.iter(f"{_SVG_NS}path")
+            if p.get("stroke-dasharray")
+        ]
+        assert len(dashed) == 1
+
+    def test_sysceil_can_be_disabled(self, ex4):
+        root = _parse(
+            render_svg_gantt(run(ex4, "pcp-da"), include_sysceil=False)
+        )
+        dashed = [
+            p for p in root.iter(f"{_SVG_NS}path") if p.get("stroke-dasharray")
+        ]
+        assert dashed == []
+
+    def test_tooltips_carry_segment_info(self, svg_root):
+        titles = [t.text for t in svg_root.iter(f"{_SVG_NS}title")]
+        assert any("blocked" in t for t in titles)
+        assert any("T4#0 executing" in t for t in titles)
+
+    def test_periodic_run_renders(self, ex3):
+        result = run(ex3, "pcp-da", SimConfig(horizon=11.0, max_instances=2))
+        root = _parse(render_svg_gantt(result))
+        assert root.tag == f"{_SVG_NS}svg"
+
+    def test_cli_export_writes_svg(self, tmp_path):
+        from repro.cli import main
+
+        assert main([
+            "export", "example4", "--output-dir", str(tmp_path),
+        ]) == 0
+        svg_path = tmp_path / "example4_pcp-da.svg"
+        assert svg_path.exists()
+        _parse(svg_path.read_text())  # well-formed

@@ -1,0 +1,61 @@
+"""Unit tests for the Sysceil step function (repro.trace.sysceil)."""
+
+import pytest
+
+from repro.model.spec import DUMMY_PRIORITY
+from repro.trace.sysceil import SysceilTrace
+from tests.conftest import run
+
+
+class TestSysceilTrace:
+    @pytest.fixture
+    def da_trace(self, ex4):
+        return SysceilTrace.from_result(run(ex4, "pcp-da"))
+
+    @pytest.fixture
+    def rw_trace(self, ex4):
+        return SysceilTrace.from_result(run(ex4, "rw-pcp"))
+
+    def test_figure4_levels(self, da_trace):
+        p2 = 3
+        assert da_trace.level_at(0.0) == p2
+        assert da_trace.level_at(8.9) == p2
+        assert da_trace.level_at(9.5) == DUMMY_PRIORITY
+        assert da_trace.max_level == p2
+
+    def test_figure5_levels(self, rw_trace):
+        p1, p2, p3 = 4, 3, 2
+        # T4 read-locks y at 0: Wceil(y) = P2.
+        assert rw_trace.level_at(0.5) == p2
+        # T4 write-locks x at 1 (it runs 0..5 uninterrupted; T3 is blocked,
+        # not running): Aceil(x) = P1 dominates until T4 commits at 5.
+        assert rw_trace.level_at(1.0) == p1
+        assert rw_trace.level_at(3.0) == p1
+        assert rw_trace.max_level == p1
+        # At t=5 T4 commits; T1 (scheduled first) read-locks x
+        # (Wceil(x) = P4 = 1).  The awakened T3 only re-issues its request
+        # when it gets the CPU at t=7 (lock requests execute in the
+        # running transaction's context), raising the level to P3.
+        assert rw_trace.level_at(6.0) == 1
+        assert rw_trace.level_at(7.5) == p3
+        # T2 write-locks y at 9: Aceil(y) = P2 until its commit at 11.
+        assert rw_trace.level_at(9.5) == p2
+        assert rw_trace.level_at(11.0) == DUMMY_PRIORITY
+
+    def test_intervals_partition_the_run(self, da_trace):
+        intervals = da_trace.intervals()
+        assert intervals[0][0] == 0.0
+        for (s1, e1, _), (s2, e2, _) in zip(intervals, intervals[1:]):
+            assert e1 == pytest.approx(s2)
+        assert intervals[-1][1] == pytest.approx(da_trace.end_time)
+
+    def test_render_shows_levels_and_dummy(self, da_trace):
+        text = da_trace.render()
+        assert text.startswith("Sysceil: ")
+        assert "3" in text and "-" in text
+
+    def test_empty_trace(self):
+        trace = SysceilTrace(samples=(), end_time=5.0)
+        assert trace.max_level == DUMMY_PRIORITY
+        assert trace.level_at(2.0) == DUMMY_PRIORITY
+        assert trace.intervals() == ((0.0, 5.0, DUMMY_PRIORITY),)

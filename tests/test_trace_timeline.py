@@ -1,0 +1,65 @@
+"""Unit tests for timeline building (repro.trace.timeline)."""
+
+import pytest
+
+from repro.engine.simulator import SimConfig
+from repro.trace.timeline import SegmentKind, build_timeline
+from tests.conftest import run
+
+
+class TestTimelineExample1:
+    @pytest.fixture
+    def timeline(self, ex1):
+        return build_timeline(run(ex1, "rw-pcp"))
+
+    def test_t3_executes_continuously(self, timeline):
+        t3 = timeline.for_job("T3#0")
+        execs = t3.executing()
+        assert len(execs) == 1
+        assert (execs[0].start, execs[0].end) == (0.0, 3.0)
+
+    def test_t2_blocked_then_preempted_then_executes(self, timeline):
+        t2 = timeline.for_job("T2#0")
+        kinds = [s.kind for s in t2.segments]
+        assert kinds == [
+            SegmentKind.BLOCKED,
+            SegmentKind.PREEMPTED,
+            SegmentKind.EXECUTING,
+        ]
+        blocked = t2.blocked()[0]
+        assert (blocked.start, blocked.end) == (1.0, 3.0)
+
+    def test_t1_blocked_one_unit(self, timeline):
+        t1 = timeline.for_job("T1#0")
+        assert t1.blocked()[0].duration == 1.0
+
+    def test_segments_cover_lifetime_without_overlap(self, timeline):
+        for jt in timeline.jobs:
+            cursor = jt.arrival
+            for seg in jt.segments:
+                assert seg.start >= cursor - 1e-9
+                cursor = seg.end
+            assert jt.finish is not None
+            assert cursor == pytest.approx(jt.finish)
+
+
+class TestTimelineAccessors:
+    def test_for_transaction_groups_instances(self, ex3):
+        result = run(ex3, "pcp-da", SimConfig(horizon=11.0, max_instances=2))
+        timeline = build_timeline(result)
+        t1_instances = timeline.for_transaction("T1")
+        assert [jt.job for jt in t1_instances] == ["T1#0", "T1#1"]
+
+    def test_missing_job_raises(self, ex1):
+        timeline = build_timeline(run(ex1, "pcp-da"))
+        with pytest.raises(KeyError):
+            timeline.for_job("nope#0")
+
+    def test_preempted_segments_computed(self, ex1):
+        timeline = build_timeline(run(ex1, "pcp-da"))
+        t3 = timeline.for_job("T3#0")
+        # T3 runs 0-1, is preempted 1-3 (T2 then T1), resumes 3-5.
+        preempted = t3.preempted()
+        assert len(preempted) == 1
+        assert (preempted[0].start, preempted[0].end) == (1.0, 3.0)
+        assert sum(s.duration for s in t3.executing()) == pytest.approx(3.0)

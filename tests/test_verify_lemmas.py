@@ -1,0 +1,151 @@
+"""Tests for the lemma monitors (repro.verify.lemmas).
+
+Two directions: (1) the real protocol never trips a monitor, on the paper
+examples and on random workloads; (2) each monitor actually fires when fed
+a state that violates its lemma.
+"""
+
+import pytest
+
+from repro.engine.job import Job
+from repro.engine.lock_table import LockTable
+from repro.engine.simulator import SimConfig, Simulator
+from repro.exceptions import InvariantViolation
+from repro.model.priorities import assign_by_order
+from repro.model.spec import LockMode, TransactionSpec, read, write
+from repro.protocols import make_protocol
+from repro.verify import LemmaCheckingPCPDA
+from repro.workloads.examples import (
+    example1_taskset,
+    example3_taskset,
+    example4_taskset,
+    example5_taskset,
+)
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+
+class TestMonitorsStaySilent:
+    @pytest.mark.parametrize(
+        "build, config",
+        [
+            (example1_taskset, None),
+            (example3_taskset, SimConfig(horizon=11.0, max_instances=2)),
+            (example4_taskset, None),
+            (example5_taskset, None),
+        ],
+    )
+    def test_paper_examples_pass_all_lemmas(self, build, config):
+        protocol = LemmaCheckingPCPDA()
+        result = Simulator(build(), protocol, config).run()
+        assert protocol.checks_performed > 0
+        assert result.deadlock is None
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_workloads_pass_all_lemmas(self, seed):
+        taskset = generate_taskset(
+            WorkloadConfig(
+                n_transactions=6, n_items=5, write_probability=0.5,
+                hot_access_probability=0.9, target_utilization=0.7,
+                seed=seed,
+            )
+        )
+        protocol = LemmaCheckingPCPDA()
+        Simulator(taskset, protocol, SimConfig()).run()
+        assert protocol.checks_performed > 0
+
+    def test_constructible_by_name(self):
+        protocol = make_protocol("pcp-da-checked")
+        assert isinstance(protocol, LemmaCheckingPCPDA)
+
+    def test_checked_run_matches_unchecked_run(self):
+        """The monitors are pure observers: traces must be identical."""
+        taskset = example4_taskset()
+        checked = Simulator(taskset, LemmaCheckingPCPDA()).run()
+        plain = Simulator(example4_taskset(), make_protocol("pcp-da")).run()
+        assert [
+            (e.time, e.kind, e.job) for e in checked.trace.sched_events
+        ] == [(e.time, e.kind, e.job) for e in plain.trace.sched_events]
+
+
+class TestMonitorsFire:
+    """Feed each monitor a hand-built violating state."""
+
+    def _setup(self):
+        ts = assign_by_order([
+            TransactionSpec("H", (write("a", 1.0), read("b", 1.0))),
+            TransactionSpec("L", (read("a", 1.0), write("b", 1.0))),
+        ])
+        protocol = LemmaCheckingPCPDA()
+        table = LockTable()
+        protocol.bind(ts, table)
+        jobs = {name: Job(ts[name], 0, 0.0) for name in ts.names}
+        return ts, protocol, table, jobs
+
+    def test_lemma_3_fires_on_excess_inheritance(self):
+        ts, protocol, table, jobs = self._setup()
+        low = jobs["L"]
+        protocol._jobs_seen.add(low)
+        # L holds no read locks, yet runs at an inherited priority above
+        # its base: Lemma 3 forbids this (no write lock can inherit).
+        low.running_priority = 99
+        with pytest.raises(InvariantViolation, match="Lemma 3"):
+            protocol._check_lemma_3()
+
+    def test_lemma_3_allows_inheritance_up_to_read_ceiling(self):
+        ts, protocol, table, jobs = self._setup()
+        low = jobs["L"]
+        table.grant(low, "a", LockMode.READ)  # Wceil(a) = P_H
+        protocol._jobs_seen.add(low)
+        low.running_priority = ts.priority_of("H")
+        protocol._check_lemma_3()  # must not raise
+
+    def test_lemma_5_fires_on_two_low_priority_ceiling_holders(self):
+        ts, protocol, table, jobs = self._setup()
+        # Two artificial low-priority jobs both read-lock items whose
+        # Wceil >= P_H — the state Lemma 5 proves unreachable.
+        extra_spec = TransactionSpec("X", (read("b", 1.0),), priority=None)
+        ts2 = assign_by_order([
+            TransactionSpec("H", (write("a", 1.0), write("b", 1.0))),
+            TransactionSpec("L1", (read("a", 1.0),)),
+            TransactionSpec("L2", (read("b", 1.0),)),
+        ])
+        protocol = LemmaCheckingPCPDA()
+        table = LockTable()
+        protocol.bind(ts2, table)
+        h = Job(ts2["H"], 0, 0.0)
+        l1 = Job(ts2["L1"], 0, 0.0)
+        l2 = Job(ts2["L2"], 0, 0.0)
+        table.grant(l1, "a", LockMode.READ)   # Wceil(a) = P_H
+        table.grant(l2, "b", LockMode.READ)   # Wceil(b) = P_H
+        with pytest.raises(InvariantViolation, match="Lemma 5"):
+            protocol._check_lemma_5(h)
+
+    def test_lemma_1_2_fires_on_write_only_blocker(self):
+        from repro.engine.interfaces import Deny
+
+        ts, protocol, table, jobs = self._setup()
+        low, high = jobs["L"], jobs["H"]
+        table.grant(low, "b", LockMode.WRITE)  # write lock only
+        deny = Deny((low,), "synthetic")
+        with pytest.raises(InvariantViolation, match="Lemma 1/2"):
+            protocol._check_lemma_1_and_2(deny, high)
+
+    def test_lemma_4_fires_on_low_ceiling_blocker(self):
+        from repro.engine.interfaces import Deny
+
+        ts2 = assign_by_order([
+            TransactionSpec("H", (read("c", 1.0),)),
+            TransactionSpec("M", (write("c", 1.0),)),
+            TransactionSpec("L", (read("c", 1.0),)),
+        ])
+        protocol = LemmaCheckingPCPDA()
+        table = LockTable()
+        protocol.bind(ts2, table)
+        h = Job(ts2["H"], 0, 0.0)
+        l = Job(ts2["L"], 0, 0.0)
+        # L read-locks c whose Wceil = P_M < P_H: blaming L for blocking H
+        # violates Lemma 4.
+        table.grant(l, "c", LockMode.READ)
+        deny = Deny((l,), "synthetic")
+        with pytest.raises(InvariantViolation, match="Lemma 4"):
+            protocol._check_lemma_4(deny, h)

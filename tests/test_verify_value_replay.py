@@ -1,0 +1,104 @@
+"""Tests for the value-replay (final-state serializability) oracle."""
+
+import pytest
+
+from repro.engine.simulator import SimConfig, Simulator
+from repro.exceptions import InvariantViolation
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.protocols import make_protocol
+from repro.verify import assert_value_replay_consistent
+from repro.workloads.examples import example3_taskset, example4_taskset
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+
+def _run(taskset, protocol, config=None):
+    return Simulator(taskset, make_protocol(protocol), config).run()
+
+
+class TestOracleAccepts:
+    def test_example4_pcp_da(self, ex4):
+        assert_value_replay_consistent(_run(ex4, "pcp-da"))
+
+    def test_example3_pcp_da(self, ex3):
+        assert_value_replay_consistent(
+            _run(ex3, "pcp-da", SimConfig(horizon=11.0, max_instances=2))
+        )
+
+    def test_case1_reader_of_write_locked_item(self):
+        """The delicate PCP-DA schedule: H reads x while L write-locks it;
+        replay must reproduce H reading the INITIAL x, not L's value."""
+        ts = assign_by_order([
+            TransactionSpec("H", (read("x", 1.0), write("y", 1.0)), offset=1.0),
+            TransactionSpec("L", (write("x", 1.0), compute(2.0)), offset=0.0),
+        ])
+        result = _run(ts, "pcp-da")
+        assert_value_replay_consistent(result)
+        # And the final y value names H's read of the initial x (= None).
+        assert result.database.read_committed("y").value == "H#0:y(x=None)"
+
+    def test_values_chain_through_committed_writers(self):
+        """B reads what A wrote; the digest must nest A's digest."""
+        ts = assign_by_order([
+            TransactionSpec("B", (read("x", 1.0), write("z", 1.0)), offset=3.0),
+            TransactionSpec("A", (write("x", 1.0),), offset=0.0),
+        ])
+        result = _run(ts, "pcp-da")
+        assert_value_replay_consistent(result)
+        assert result.database.read_committed("z").value == "B#0:z(x=A#0:x())"
+
+    @pytest.mark.parametrize("protocol", ["pcp-da", "2pl-hp", "occ-bc",
+                                          "pip-2pl", "rw-pcp-abort"])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_workloads_for_deferred_protocols(self, protocol, seed):
+        taskset = generate_taskset(
+            WorkloadConfig(
+                n_transactions=5, n_items=5, write_probability=0.5,
+                rmw_probability=0.4, hot_access_probability=0.9,
+                target_utilization=0.65, seed=seed,
+            )
+        )
+        result = Simulator(
+            taskset, make_protocol(protocol),
+            SimConfig(deadlock_action="abort_lowest"),
+        ).run()
+        assert_value_replay_consistent(result)
+
+    def test_restarted_jobs_replay_with_their_surviving_reads(self):
+        """2PL-HP restarts a reader; the oracle must see the re-read."""
+        ts = assign_by_order([
+            TransactionSpec("H", (write("x", 1.0),), offset=1.0),
+            TransactionSpec("L", (read("x", 2.0), write("y", 1.0)), offset=0.0),
+        ])
+        result = _run(ts, "2pl-hp")
+        assert result.job("L#0").restarts == 1
+        assert_value_replay_consistent(result)
+        assert result.database.read_committed("y").value == "L#0:y(x=H#0:x())"
+
+    def test_firm_deadline_drops_excluded(self):
+        ts = assign_by_order([
+            TransactionSpec(
+                "W", (write("x", 1.0),), offset=1.0, period=8.0, deadline=8.0
+            ),
+            TransactionSpec(
+                "L", (read("x", 6.0), write("y", 1.0)), offset=0.0,
+                period=8.0, deadline=3.0,
+            ),
+        ])
+        result = _run(
+            ts, "pcp-da", SimConfig(horizon=8.0, on_miss="abort")
+        )
+        assert_value_replay_consistent(result)
+
+
+class TestOracleRejects:
+    def test_in_place_runs_rejected(self, ex4):
+        with pytest.raises(InvariantViolation, match="deferred-update"):
+            assert_value_replay_consistent(_run(ex4, "rw-pcp"))
+
+    def test_detects_corrupted_final_state(self, ex4):
+        result = _run(ex4, "pcp-da")
+        # Corrupt the database behind the oracle's back.
+        result.database.install("x", "tampered", "T4#0", result.end_time + 1)
+        with pytest.raises(InvariantViolation, match="mismatch|diverged"):
+            assert_value_replay_consistent(result)

@@ -1,0 +1,154 @@
+"""Unit tests for workload generation and the example fixtures."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model.validation import validate_taskset
+from repro.workloads.examples import (
+    example1_taskset,
+    example3_taskset,
+    example4_taskset,
+    example5_taskset,
+)
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+
+class TestExampleFixtures:
+    def test_example1_shape(self):
+        ts = example1_taskset()
+        assert ts.names == ("T1", "T2", "T3")
+        assert ts["T1"].read_set == frozenset({"x"})
+        assert ts["T3"].write_set == frozenset({"x"})
+        assert ts["T3"].execution_time == 3.0
+
+    def test_example3_shape(self):
+        ts = example3_taskset()
+        assert ts["T1"].period == 5.0
+        assert ts["T1"].offset == 1.0
+        assert ts["T2"].execution_time == 5.0
+        assert ts["T2"].write_set == frozenset({"x", "y"})
+
+    def test_example4_shape(self):
+        ts = example4_taskset()
+        assert [s.execution_time for s in ts] == [2.0, 2.0, 2.0, 5.0]
+        assert [s.offset for s in ts] == [4.0, 9.0, 1.0, 0.0]
+
+    def test_example5_shape(self):
+        ts = example5_taskset()
+        assert ts["TH"].priority > ts["TL"].priority
+        assert ts["TH"].read_set == frozenset({"y"})
+        assert ts["TL"].write_set == frozenset({"y"})
+
+    def test_fixtures_are_fresh_objects(self):
+        assert example1_taskset() is not example1_taskset()
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = generate_taskset(WorkloadConfig(seed=42))
+        b = generate_taskset(WorkloadConfig(seed=42))
+        assert a.describe() == b.describe()
+
+    def test_different_seeds_differ(self):
+        a = generate_taskset(WorkloadConfig(seed=1))
+        b = generate_taskset(WorkloadConfig(seed=2))
+        assert a.describe() != b.describe()
+
+    def test_sizes_respected(self):
+        config = WorkloadConfig(n_transactions=8, n_items=4, seed=0)
+        ts = generate_taskset(config)
+        assert len(ts) == 8
+        assert all(item.startswith("d") for item in ts.items)
+        assert all(int(item[1:]) < 4 for item in ts.items)
+
+    def test_generated_sets_validate(self):
+        for seed in range(10):
+            ts = generate_taskset(WorkloadConfig(seed=seed))
+            validate_taskset(ts, require_periods=True)
+
+    def test_rate_monotonic_priorities(self):
+        ts = generate_taskset(WorkloadConfig(n_transactions=6, seed=3))
+        ordered = sorted(ts, key=lambda s: -(s.priority or 0))
+        periods = [s.period for s in ordered]
+        assert periods == sorted(periods)
+
+    def test_target_utilization_hit(self):
+        for target in (0.3, 0.5, 0.7):
+            ts = generate_taskset(
+                WorkloadConfig(seed=5, target_utilization=target)
+            )
+            assert ts.total_utilization() == pytest.approx(target, rel=0.15)
+
+    def test_no_per_transaction_overload(self):
+        ts = generate_taskset(
+            WorkloadConfig(seed=9, target_utilization=0.9, n_transactions=3)
+        )
+        for spec in ts:
+            assert spec.execution_time <= spec.period
+
+    def test_write_probability_extremes(self):
+        read_only = generate_taskset(
+            WorkloadConfig(seed=1, write_probability=0.0)
+        )
+        assert all(not s.write_set for s in read_only)
+        write_heavy = generate_taskset(
+            WorkloadConfig(seed=1, write_probability=1.0)
+        )
+        assert all(not s.read_set for s in write_heavy)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(SpecificationError):
+            WorkloadConfig(n_transactions=0)
+        with pytest.raises(SpecificationError):
+            WorkloadConfig(n_items=0)
+        with pytest.raises(SpecificationError):
+            WorkloadConfig(ops_per_txn=(3, 2))
+        with pytest.raises(SpecificationError):
+            WorkloadConfig(write_probability=1.5)
+        with pytest.raises(SpecificationError):
+            WorkloadConfig(target_utilization=0.0)
+
+    def test_hyperperiod_stays_finite(self):
+        ts = generate_taskset(WorkloadConfig(seed=4, n_transactions=6))
+        hp = ts.hyperperiod()
+        assert hp is not None
+        assert hp <= 480.0 * 3  # period choices are near-harmonic
+
+    def test_rmw_produces_read_write_pairs(self):
+        ts = generate_taskset(
+            WorkloadConfig(
+                seed=8, n_transactions=8, write_probability=0.8,
+                rmw_probability=1.0,
+            )
+        )
+        pairs = 0
+        for spec in ts:
+            for earlier, later in zip(spec.operations, spec.operations[1:]):
+                if (
+                    earlier.kind.value == "read"
+                    and later.kind.value == "write"
+                    and earlier.item == later.item
+                ):
+                    pairs += 1
+        assert pairs > 0
+
+    def test_rmw_workloads_keep_pcp_da_guarantees(self):
+        from repro.engine.simulator import SimConfig, Simulator
+        from repro.protocols import make_protocol
+        from repro.verify import verify_pcp_da_run
+
+        for seed in range(6):
+            ts = generate_taskset(
+                WorkloadConfig(
+                    seed=seed, write_probability=0.6, rmw_probability=0.7,
+                    hot_access_probability=0.9,
+                )
+            )
+            result = Simulator(
+                ts, make_protocol("pcp-da"), SimConfig(horizon=600.0)
+            ).run()
+            verify_pcp_da_run(result)
+
+    def test_invalid_rmw_rejected(self):
+        with pytest.raises(SpecificationError):
+            WorkloadConfig(rmw_probability=1.5)

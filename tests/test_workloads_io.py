@@ -1,0 +1,154 @@
+"""Unit tests for task-set JSON serialisation (repro.workloads.io)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.workloads.examples import example4_taskset
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+from repro.workloads.io import (
+    dump_taskset,
+    load_taskset,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+
+_DOC = {
+    "priority_policy": "by-order",
+    "transactions": [
+        {
+            "name": "T1",
+            "period": 5.0,
+            "offset": 1.0,
+            "operations": [
+                {"op": "read", "item": "x", "duration": 1.0},
+                {"op": "read", "item": "y"},
+            ],
+        },
+        {
+            "name": "T2",
+            "operations": [
+                {"op": "write", "item": "x", "duration": 1.0},
+                {"op": "compute", "duration": 2.0},
+                {"op": "write", "item": "y", "duration": 2.0},
+            ],
+        },
+    ],
+}
+
+
+class TestFromDict:
+    def test_by_order_policy(self):
+        ts = taskset_from_dict(_DOC)
+        assert ts.priority_of("T1") == 2
+        assert ts.priority_of("T2") == 1
+        assert ts["T1"].period == 5.0
+        assert ts["T2"].execution_time == 5.0
+
+    def test_default_duration_is_one(self):
+        ts = taskset_from_dict(_DOC)
+        assert ts["T1"].operations[1].duration == 1.0
+
+    def test_rate_monotonic_policy(self):
+        doc = {
+            "priority_policy": "rate-monotonic",
+            "transactions": [
+                {"name": "slow", "period": 20.0,
+                 "operations": [{"op": "compute", "duration": 1.0}]},
+                {"name": "fast", "period": 5.0,
+                 "operations": [{"op": "compute", "duration": 1.0}]},
+            ],
+        }
+        ts = taskset_from_dict(doc)
+        assert ts.priority_of("fast") > ts.priority_of("slow")
+
+    def test_explicit_policy_requires_priorities(self):
+        doc = {
+            "transactions": [
+                {"name": "T", "operations": [{"op": "compute", "duration": 1.0}]},
+            ],
+        }
+        with pytest.raises(SpecificationError, match="explicit"):
+            taskset_from_dict(doc)
+
+    def test_priority_conflicts_with_policy(self):
+        doc = {
+            "priority_policy": "by-order",
+            "transactions": [
+                {"name": "T", "priority": 3,
+                 "operations": [{"op": "compute", "duration": 1.0}]},
+            ],
+        }
+        with pytest.raises(SpecificationError, match="conflicts"):
+            taskset_from_dict(doc)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SpecificationError, match="priority_policy"):
+            taskset_from_dict({"priority_policy": "magic", "transactions": []})
+
+    def test_unknown_op_rejected(self):
+        doc = {
+            "priority_policy": "by-order",
+            "transactions": [
+                {"name": "T", "operations": [{"op": "wiggle", "duration": 1.0}]},
+            ],
+        }
+        with pytest.raises(SpecificationError, match="unknown operation"):
+            taskset_from_dict(doc)
+
+    def test_missing_transactions_rejected(self):
+        with pytest.raises(SpecificationError, match="transactions"):
+            taskset_from_dict({})
+
+
+class TestRoundTrip:
+    def test_example4_round_trips(self, tmp_path):
+        original = example4_taskset()
+        path = tmp_path / "ts.json"
+        dump_taskset(original, str(path))
+        loaded = load_taskset(str(path))
+        assert loaded.describe() == original.describe()
+        for spec in original:
+            copy = loaded[spec.name]
+            assert copy.operations == spec.operations
+            assert copy.priority == spec.priority
+            assert copy.offset == spec.offset
+
+    def test_generated_sets_round_trip(self, tmp_path):
+        for seed in range(5):
+            original = generate_taskset(WorkloadConfig(seed=seed))
+            path = tmp_path / f"ts{seed}.json"
+            dump_taskset(original, str(path))
+            assert load_taskset(str(path)).describe() == original.describe()
+
+    def test_dict_round_trip_preserves_json_compat(self):
+        doc = taskset_to_dict(example4_taskset())
+        json.dumps(doc)  # must be serialisable
+        assert taskset_from_dict(doc).names == example4_taskset().names
+
+    def test_invalid_json_reported_with_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SpecificationError, match="bad.json"):
+            load_taskset(str(path))
+
+
+class TestCLISimulate:
+    def test_simulate_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ts.json"
+        dump_taskset(example4_taskset(), str(path))
+        assert main(["simulate", str(path), "--protocol", "pcp-da"]) == 0
+        out = capsys.readouterr().out
+        assert "history is serializable" in out
+        assert "T4#0" in out
+
+    def test_simulate_firm_mode(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ts.json"
+        dump_taskset(example4_taskset(), str(path))
+        assert main(["simulate", str(path), "--firm"]) == 0
+        assert "committed" in capsys.readouterr().out

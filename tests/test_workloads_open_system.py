@@ -1,0 +1,106 @@
+"""Tests for the open-system workload generator (Poisson arrivals)."""
+
+import pytest
+
+from repro.engine.simulator import SimConfig, Simulator
+from repro.exceptions import SpecificationError
+from repro.protocols import make_protocol
+from repro.trace.metrics import compute_metrics
+from repro.verify import assert_serializable
+from repro.workloads.open_system import (
+    OpenSystemConfig,
+    generate_open_system,
+    offered_load,
+)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        config = OpenSystemConfig(seed=5)
+        a = generate_open_system(config)
+        b = generate_open_system(config)
+        assert a.describe() == b.describe()
+
+    def test_arrivals_within_window(self):
+        ts = generate_open_system(OpenSystemConfig(duration=100.0, seed=1))
+        assert all(0.0 <= s.offset < 100.0 for s in ts)
+
+    def test_all_one_shot_with_deadlines(self):
+        ts = generate_open_system(OpenSystemConfig(seed=2))
+        for spec in ts:
+            assert spec.period is None
+            assert spec.deadline is not None
+            assert spec.deadline == pytest.approx(
+                4.0 * spec.execution_time
+            )  # default slack factor
+
+    def test_arrival_count_tracks_rate(self):
+        low = generate_open_system(
+            OpenSystemConfig(arrival_rate=0.05, duration=400.0, seed=3)
+        )
+        high = generate_open_system(
+            OpenSystemConfig(arrival_rate=0.3, duration=400.0, seed=3)
+        )
+        assert len(high) > len(low)
+        # Poisson mean = rate * duration; allow generous slack.
+        assert len(high) == pytest.approx(0.3 * 400.0, rel=0.4)
+
+    def test_priorities_total_order(self):
+        ts = generate_open_system(OpenSystemConfig(seed=4))
+        priorities = [s.priority for s in ts]
+        assert len(set(priorities)) == len(priorities)
+
+    def test_shorter_class_gets_higher_priority_band(self):
+        ts = generate_open_system(OpenSystemConfig(seed=6, n_classes=2))
+        specs = sorted(ts, key=lambda s: -(s.priority or 0))
+        half = len(specs) // 2
+        top_mean = sum(s.execution_time for s in specs[:half]) / max(half, 1)
+        bottom = specs[half:]
+        bottom_mean = sum(s.execution_time for s in bottom) / max(len(bottom), 1)
+        assert top_mean <= bottom_mean + 1e-9
+
+    def test_offered_load(self):
+        ts = generate_open_system(OpenSystemConfig(seed=7, duration=100.0))
+        load = offered_load(ts, 100.0)
+        assert load == pytest.approx(
+            sum(s.execution_time for s in ts) / 100.0
+        )
+
+    def test_invalid_configs(self):
+        with pytest.raises(SpecificationError):
+            OpenSystemConfig(arrival_rate=0.0)
+        with pytest.raises(SpecificationError):
+            OpenSystemConfig(duration=-1.0)
+        with pytest.raises(SpecificationError):
+            OpenSystemConfig(slack_factor=0.0)
+        with pytest.raises(SpecificationError):
+            OpenSystemConfig(n_classes=0)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("protocol", ["pcp-da", "2pl-hp", "occ-bc"])
+    def test_firm_open_system_runs_clean(self, protocol):
+        config = OpenSystemConfig(arrival_rate=0.08, duration=150.0, seed=9)
+        ts = generate_open_system(config)
+        result = Simulator(
+            ts, make_protocol(protocol),
+            SimConfig(horizon=400.0, on_miss="abort"),
+        ).run()
+        assert_serializable(result)
+        metrics = compute_metrics(result)
+        assert metrics.total_jobs == len(ts)
+        # Every job either committed or was dropped at its deadline.
+        assert metrics.committed_jobs + metrics.missed_jobs >= metrics.total_jobs
+
+    def test_miss_ratio_grows_with_rate(self):
+        def miss_at(rate):
+            ts = generate_open_system(
+                OpenSystemConfig(arrival_rate=rate, duration=150.0, seed=11)
+            )
+            result = Simulator(
+                ts, make_protocol("pcp-da"),
+                SimConfig(horizon=600.0, on_miss="abort"),
+            ).run()
+            return compute_metrics(result).miss_ratio
+
+        assert miss_at(0.6) >= miss_at(0.05)
