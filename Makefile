@@ -1,0 +1,23 @@
+# Verification entry points. `make verify` is the PR gate: the tier-1
+# test suite plus a 2-job smoke sweep through the parallel runner and a
+# throwaway result cache, so the fan-out and cache paths are exercised
+# on every change. See docs/PERFORMANCE.md.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify test smoke bench
+
+verify: test smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	CACHE_DIR=$$(mktemp -d) && \
+	$(PYTHON) -m repro reproduce --jobs 2 --cache-dir $$CACHE_DIR && \
+	$(PYTHON) -m repro reproduce --jobs 2 --cache-dir $$CACHE_DIR && \
+	rm -rf $$CACHE_DIR
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

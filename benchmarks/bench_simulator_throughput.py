@@ -6,7 +6,7 @@ ceiling checks, serializability audit) so regressions in the engine's hot
 paths are visible.
 """
 
-from benchmarks.conftest import simulate
+from benchmarks.conftest import banner, simulate
 from repro.db.serializability import check_serializable
 from repro.engine.simulator import SimConfig, Simulator
 from repro.protocols import make_protocol
@@ -48,3 +48,67 @@ def test_throughput_long_horizon(benchmark):
         rounds=3, iterations=1,
     )
     assert len(result.jobs) > 50
+
+
+def test_ledger_warm_cache_speedup(benchmark, tmp_path):
+    """Full-ledger rerun against a warm result cache: >= 5x faster.
+
+    The acceptance bar for the parallel-sweep PR: the first run computes
+    and stores every report; the second only deserialises them.  Prints a
+    cold/warm table (run with ``-s``).
+    """
+    import time
+
+    from repro.experiments import ResultCache, render_summary, run_all
+
+    root = tmp_path / "cache"
+    t0 = time.perf_counter()
+    baseline = run_all(cache=ResultCache(root))
+    cold = time.perf_counter() - t0
+
+    def warm_run():
+        return run_all(cache=ResultCache(root))
+
+    t0 = time.perf_counter()
+    warm_reports = warm_run()
+    warm = time.perf_counter() - t0
+    benchmark.pedantic(warm_run, rounds=5, iterations=1)
+
+    assert render_summary(warm_reports) == render_summary(baseline)
+    print(banner("Full ledger: cold vs warm result cache"))
+    print(f"{'run':<12}{'wall (s)':>12}{'speedup':>10}")
+    print(f"{'cold':<12}{cold:>12.4f}{'1.0x':>10}")
+    print(f"{'warm':<12}{warm:>12.4f}{cold / warm:>9.1f}x")
+    assert cold >= 5 * warm, (
+        f"warm cache only {cold / warm:.1f}x faster (cold={cold:.4f}s, "
+        f"warm={warm:.4f}s); expected >= 5x"
+    )
+
+
+def test_ledger_serial_vs_parallel(benchmark):
+    """Serial vs ``jobs=4`` ledger: identical bytes, measured speedup.
+
+    On a single-core host the pool overhead usually makes jobs=4 *slower*;
+    the point of the table is that content never changes, only wall time
+    (see docs/PERFORMANCE.md).  Prints the comparison (run with ``-s``).
+    """
+    import os
+    import time
+
+    from repro.experiments import render_summary, run_all
+
+    t0 = time.perf_counter()
+    serial_summary = render_summary(run_all())
+    serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_summary = render_summary(run_all(jobs=4))
+    parallel = time.perf_counter() - t0
+    benchmark.pedantic(lambda: run_all(jobs=4), rounds=3, iterations=1)
+
+    assert parallel_summary == serial_summary  # byte-identical
+    print(banner("Full ledger: serial vs parallel (jobs=4)"))
+    print(f"host cores: {os.cpu_count()}")
+    print(f"{'mode':<12}{'wall (s)':>12}{'speedup':>10}")
+    print(f"{'serial':<12}{serial:>12.4f}{'1.0x':>10}")
+    print(f"{'jobs=4':<12}{parallel:>12.4f}{serial / parallel:>9.2f}x")

@@ -203,10 +203,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
-    from repro.experiments import render_summary, run_all
+    from repro.experiments import ResultCache, render_summary, run_all
 
-    reports = run_all(extended=args.extended)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is not None:
+        try:
+            cache.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            print(f"cache directory {cache.root} is unusable: {exc}; "
+                  "pass --no-cache or a writable --cache-dir", file=sys.stderr)
+            return 2
+    stats_out: list = []
+    reports = run_all(
+        extended=args.extended,
+        jobs=args.jobs,
+        cache=cache,
+        progress=args.jobs > 1,
+        stats_out=stats_out,
+    )
     print(render_summary(reports, verbose=args.verbose))
+    if stats_out:
+        print(stats_out[-1].render(), file=sys.stderr)
     return 0 if all(r.passed for r in reports) else 1
 
 
@@ -275,6 +292,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--extended", action="store_true",
         help="also run the extension experiments (overload, open system, "
              "ablation, refined analysis)",
+    )
+    reproduce.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent experiments across N worker processes "
+             "(output is byte-identical for every N)",
+    )
+    reproduce.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every experiment instead of consulting the "
+             "on-disk result cache",
+    )
+    reproduce.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
     )
     reproduce.set_defaults(func=_cmd_reproduce)
     return parser

@@ -9,6 +9,7 @@ the prose rendering of the same content.
 """
 
 from repro.experiments.spec import Check, ExperimentReport
+from repro.experiments.cache import ResultCache, default_cache_dir, spec_key
 from repro.experiments.figures import (
     run_example5,
     run_figure1,
@@ -18,15 +19,38 @@ from repro.experiments.figures import (
     run_figure5,
     run_table1,
 )
+from repro.experiments.parallel import (
+    ExperimentJob,
+    ParallelRunner,
+    RunnerStats,
+    parallel_map,
+)
 from repro.experiments.section9 import run_section9_analysis, run_section9_sweep
-from repro.experiments.runner import all_experiments, render_summary, run_all
+from repro.experiments.runner import (
+    EXPERIMENT_ORDER,
+    EXTENSION_ORDER,
+    all_experiments,
+    experiment_order,
+    render_summary,
+    run_all,
+)
 
 __all__ = [
     "Check",
+    "EXPERIMENT_ORDER",
+    "EXTENSION_ORDER",
+    "ExperimentJob",
     "ExperimentReport",
+    "ParallelRunner",
+    "ResultCache",
+    "RunnerStats",
     "all_experiments",
+    "default_cache_dir",
+    "experiment_order",
+    "parallel_map",
     "render_summary",
     "run_all",
+    "spec_key",
     "run_example5",
     "run_figure1",
     "run_figure2",

@@ -1,0 +1,139 @@
+"""Content-addressed on-disk cache of :class:`ExperimentReport` results.
+
+Every experiment in this repository is deterministic: the same spec, seed,
+protocol, and code version always produce the same report (EXPERIMENTS.md).
+That makes results *content-addressable* — the cache key is a SHA-256 over
+the experiment's identity (name, the fully-qualified function that computes
+it, any parameters such as seeds or sweep points) plus the ``repro``
+package version.  A version bump therefore invalidates every prior entry
+automatically; there is no mtime or TTL logic to get wrong.
+
+Entries are JSON files under ``<root>/<key[:2]>/<key>.json`` so a warm
+rerun of the full ledger only deserialises a handful of small files instead
+of re-simulating.  The cache counts hits and misses so the parallel runner
+(:mod:`repro.experiments.parallel`) can report cache effectiveness.
+
+The default cache root honours ``REPRO_CACHE_DIR`` and falls back to
+``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Optional, Sequence, Tuple
+
+import repro
+from repro.experiments.spec import ExperimentReport
+
+#: Bump when the on-disk entry layout changes (independent of the package
+#: version, which keys the *results*; this keys the *format*).
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+def spec_key(name: str, func: Any = None, params: Sequence[Any] = (),
+             *, version: Optional[str] = None) -> str:
+    """SHA-256 content address of one experiment's identity.
+
+    The digest covers the experiment ``name``, the fully-qualified name of
+    the function that computes it (module + qualname, so moving or renaming
+    the implementation invalidates old entries), the ``repr`` of any extra
+    ``params`` (seeds, sweep points, workload fingerprints — anything that
+    changes the result must appear here), the ``repro`` package version,
+    and the cache format number.
+    """
+    func_id = ""
+    if func is not None:
+        func_id = f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
+    material = json.dumps(
+        {
+            "name": name,
+            "func": func_id,
+            "params": [repr(p) for p in params],
+            "version": version if version is not None else repro.__version__,
+            "format": CACHE_FORMAT,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of serialized reports, keyed by :func:`spec_key`.
+
+    The cache is safe to share between the serial and parallel runners:
+    writes go through an atomic rename, so a half-written entry is never
+    visible, and concurrent writers of the same key produce identical
+    bytes (the results are deterministic) so last-write-wins is harmless.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None, *,
+                 version: Optional[str] = None) -> None:
+        """Open (and lazily create) a cache rooted at ``root``.
+
+        ``version`` overrides the ``repro`` package version in every key —
+        the tests use this to demonstrate that a version bump busts the
+        cache.
+        """
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.version = version if version is not None else repro.__version__
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, name: str, func: Any = None,
+                params: Sequence[Any] = ()) -> str:
+        """This cache's key for an experiment (includes its version)."""
+        return spec_key(name, func, params, version=self.version)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[ExperimentReport]:
+        """Return the cached report for ``key`` or ``None`` (counted)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            report = ExperimentReport.from_dict(payload["report"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def put(self, key: str, report: ExperimentReport) -> None:
+        """Store ``report`` under ``key`` (atomic replace)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": key, "report": report.to_dict()})
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def counters(self) -> Tuple[int, int]:
+        """``(hits, misses)`` so far on this handle."""
+        return (self.hits, self.misses)

@@ -1,0 +1,245 @@
+"""Parallel sweep engine: fan deterministic experiment jobs across processes.
+
+Every entry in the reproduction ledger — and every point of the Section 9
+and random-workload sweeps — is an independent, deterministic computation.
+This module exploits that: a :class:`ParallelRunner` fans
+:class:`ExperimentJob` instances across a
+:class:`concurrent.futures.ProcessPoolExecutor`, consults the
+content-addressed :class:`~repro.experiments.cache.ResultCache` before
+dispatching, and returns results **in submission order**, so the rendered
+summary is byte-identical to the serial runner's no matter how jobs
+complete (see docs/PERFORMANCE.md for the guarantee and its caveats).
+
+Observability rides along in :class:`RunnerStats`: per-job wall-clock
+timing (summarised through :func:`repro.stats.summarize_values`), peak
+queue depth, cache hit/miss counters, and an optional progress line on
+stderr.
+
+The generic :func:`parallel_map` helper is also used by
+:func:`repro.stats.run_batch` and
+:func:`repro.experiments.section9.run_section9_sweep` to fan their sweep
+points without duplicating pool plumbing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.spec import ExperimentReport
+from repro.stats import Summary, summarize_values
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One schedulable unit of work: a named, parameterised report builder.
+
+    ``func`` must be picklable by reference (a module-level function) so it
+    can cross the process boundary; all of the ledger's registered runners
+    are.  ``params`` is extra cache-key material — anything beyond the
+    function identity that changes the result (seeds, sweep ranges,
+    workload fingerprints) must be listed here or cached results will be
+    wrongly shared.
+    """
+
+    name: str
+    func: Callable[[], ExperimentReport]
+    params: Tuple[Any, ...] = ()
+
+
+@dataclass
+class RunnerStats:
+    """Counters and timings from one :meth:`ParallelRunner.run` call.
+
+    Attributes:
+        workers: process count used (1 means the serial path ran).
+        cache_hits / cache_misses: jobs served from / absent in the cache.
+        job_times: per-job wall-clock seconds, measured inside the worker
+            (excludes pool queueing and result transfer).
+        max_queue_depth: peak number of jobs submitted but not finished.
+        wall_time: end-to-end seconds for the whole batch.
+    """
+
+    workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    job_times: Dict[str, float] = field(default_factory=dict)
+    max_queue_depth: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        """Number of jobs actually computed (not cache-served)."""
+        return len(self.job_times)
+
+    def timing_summary(self) -> Optional[Summary]:
+        """Mean/stdev/CI of per-job times via the repro.stats machinery."""
+        if not self.job_times:
+            return None
+        return summarize_values(list(self.job_times.values()))
+
+    def render(self) -> str:
+        """One status line: jobs, workers, cache counters, wall clock."""
+        parts = [
+            f"{self.executed} executed + {self.cache_hits} cached",
+            f"workers={self.workers}",
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss",
+            f"peak queue {self.max_queue_depth}",
+            f"wall {self.wall_time:.3f}s",
+        ]
+        summary = self.timing_summary()
+        if summary is not None:
+            parts.append(f"per-job {summary.render()}")
+        return "sweep: " + ", ".join(parts)
+
+
+def _timed_call(func: Callable[[], _R]) -> Tuple[_R, float]:
+    """Worker-side wrapper: run ``func`` and report its wall time."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start
+
+
+def parallel_map(
+    func: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    jobs: int = 1,
+) -> List[_R]:
+    """Map ``func`` over ``items`` in order, optionally across processes.
+
+    ``func`` and every item must be picklable.  Results are returned in
+    the order of ``items`` regardless of completion order; with
+    ``jobs <= 1`` (or fewer than two items) this degrades to a plain loop
+    with zero pool overhead.  Exceptions raised by any call propagate.
+    """
+    if jobs <= 1 or len(items) < 2:
+        return [func(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(func, items))
+
+
+class ParallelRunner:
+    """Fan :class:`ExperimentJob` batches across a process pool, cached.
+
+    The runner guarantees *serial-equivalent output*: ``run()`` returns
+    reports in the submission order of its jobs, and each report is the
+    deterministic product of its job alone, so
+    ``render_summary(runner.run(jobs))`` is byte-identical to the serial
+    runner's output for the same jobs.  Completion order, worker count,
+    and cache state only affect wall-clock time, never content.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: bool = False,
+    ) -> None:
+        """Configure the pool width, result cache, and progress output.
+
+        ``jobs`` is the maximum worker-process count (1 = run in-process).
+        ``cache`` is consulted before dispatch and populated after; pass
+        ``None`` to always recompute.  ``progress`` prints one line per
+        finished job to stderr.
+        """
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.progress = progress
+        self.stats = RunnerStats()
+
+    def _note_progress(self, done: int, total: int, name: str,
+                       elapsed: float, *, cached: bool) -> None:
+        if not self.progress:
+            return
+        tag = "cache" if cached else f"{elapsed:.3f}s"
+        print(f"[{done}/{total}] {name} ({tag})", file=sys.stderr, flush=True)
+
+    def run(self, batch: Sequence[ExperimentJob]) -> List[ExperimentReport]:
+        """Execute a batch; returns reports in submission order."""
+        started = time.perf_counter()
+        self.stats = RunnerStats(workers=self.jobs)
+        total = len(batch)
+        results: List[Optional[ExperimentReport]] = [None] * total
+        pending: List[Tuple[int, ExperimentJob, str]] = []
+
+        # Cache pass: resolve what we can without touching the pool.
+        done = 0
+        for index, job in enumerate(batch):
+            key = ""
+            if self.cache is not None:
+                key = self.cache.key_for(job.name, job.func, job.params)
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    results[index] = hit
+                    done += 1
+                    self._note_progress(done, total, job.name, 0.0, cached=True)
+                    continue
+                self.stats.cache_misses += 1
+            pending.append((index, job, key))
+
+        if pending:
+            if self.jobs <= 1 or len(pending) < 2:
+                self._run_serial(pending, results, done, total)
+            else:
+                self._run_pool(pending, results, done, total)
+
+        self.stats.wall_time = time.perf_counter() - started
+        return [report for report in results if report is not None]
+
+    def _run_serial(self, pending, results, done, total) -> None:
+        """In-process fallback used for jobs=1 or a single pending job."""
+        for index, job, key in pending:
+            report, elapsed = _timed_call(job.func)
+            self._finish(index, job, key, report, elapsed, results)
+            done += 1
+            self._note_progress(done, total, job.name, elapsed, cached=False)
+
+    def _run_pool(self, pending, results, done, total) -> None:
+        """Dispatch pending jobs across the process pool."""
+        workers = min(self.jobs, len(pending))
+        self.stats.workers = workers
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_timed_call, job.func): (index, job, key)
+                for index, job, key in pending
+            }
+            outstanding = set(futures)
+            self.stats.max_queue_depth = len(outstanding)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index, job, key = futures[future]
+                    report, elapsed = future.result()
+                    self._finish(index, job, key, report, elapsed, results)
+                    done += 1
+                    self._note_progress(
+                        done, total, job.name, elapsed, cached=False
+                    )
+
+    def _finish(self, index, job, key, report, elapsed, results) -> None:
+        """Record one computed report: timing, cache write, result slot."""
+        self.stats.job_times[job.name] = elapsed
+        if self.cache is not None:
+            self.cache.put(key, report)
+        results[index] = report

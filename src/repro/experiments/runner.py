@@ -1,8 +1,23 @@
-"""Run the whole reproduction ledger and render the summary."""
+"""Run the whole reproduction ledger and render the summary.
+
+Ordering contract
+-----------------
+
+The ledger renders in one **explicit, documented order** —
+:data:`EXPERIMENT_ORDER` followed (when extended) by
+:data:`EXTENSION_ORDER`, the order EXPERIMENTS.md presents the artifacts
+in.  :func:`all_experiments` returns its mapping in exactly that order and
+:func:`run_all` returns reports in exactly that order, *including when the
+jobs run in parallel*: the parallel runner reorders completions back to
+submission order, so ``render_summary(run_all(jobs=N))`` is byte-identical
+for every ``N``.  Extensions that register new experiments must append to
+these tuples rather than mutate the returned dict, so completion order can
+never leak into the rendered summary.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.figures import (
     run_example5,
@@ -20,8 +35,32 @@ from repro.experiments.extensions import (
     run_reconstruction_findings,
     run_refined_analysis_extension,
 )
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ExperimentJob, ParallelRunner, RunnerStats
 from repro.experiments.section9 import run_section9_analysis, run_section9_sweep
 from repro.experiments.spec import ExperimentReport
+
+#: Rendering order of the core ledger (mirrors EXPERIMENTS.md top-to-bottom).
+EXPERIMENT_ORDER: Tuple[str, ...] = (
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "example5",
+    "section9",
+    "section9-sweep",
+)
+
+#: Rendering order of the extension experiments (after the core ledger).
+EXTENSION_ORDER: Tuple[str, ...] = (
+    "overload",
+    "open-system",
+    "ablation",
+    "refined-analysis",
+    "reconstruction-findings",
+)
 
 _EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
     "table1": run_table1,
@@ -44,17 +83,50 @@ _EXTENSIONS: Dict[str, Callable[[], ExperimentReport]] = {
 }
 
 
+def experiment_order(*, extended: bool = False) -> Tuple[str, ...]:
+    """The documented rendering order of the ledger's experiment names."""
+    return EXPERIMENT_ORDER + (EXTENSION_ORDER if extended else ())
+
+
 def all_experiments(*, extended: bool = False) -> Dict[str, Callable[[], ExperimentReport]]:
-    """Name -> runner; pass ``extended=True`` to include the extensions."""
-    out = dict(_EXPERIMENTS)
-    if extended:
-        out.update(_EXTENSIONS)
-    return out
+    """Name -> runner, in :func:`experiment_order`; a fresh copy each call.
+
+    The returned dict is a snapshot — mutating it does not register new
+    experiments and cannot perturb the summary order.  Pass
+    ``extended=True`` to include the extensions.
+    """
+    registry = dict(_EXPERIMENTS)
+    registry.update(_EXTENSIONS)
+    return {name: registry[name] for name in experiment_order(extended=extended)}
 
 
-def run_all(*, extended: bool = False) -> List[ExperimentReport]:
-    """Execute the ledger (deterministic; a few seconds, ~10s extended)."""
-    return [runner() for runner in all_experiments(extended=extended).values()]
+def run_all(
+    *,
+    extended: bool = False,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: bool = False,
+    stats_out: Optional[List[RunnerStats]] = None,
+) -> List[ExperimentReport]:
+    """Execute the ledger (deterministic; a few seconds, ~10s extended).
+
+    ``jobs`` fans the independent experiments across that many worker
+    processes; ``cache`` (a :class:`ResultCache`) serves already-computed
+    reports and stores fresh ones, making warm reruns near-instant.  The
+    returned list is always in :func:`experiment_order` — byte-identical
+    output for every ``jobs`` value and cache state.  ``progress`` prints
+    a per-job line to stderr; when ``stats_out`` is given, the run's
+    :class:`RunnerStats` is appended to it.
+    """
+    batch = [
+        ExperimentJob(name=name, func=func)
+        for name, func in all_experiments(extended=extended).items()
+    ]
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    reports = runner.run(batch)
+    if stats_out is not None:
+        stats_out.append(runner.stats)
+    return reports
 
 
 def render_summary(reports: List[ExperimentReport], *, verbose: bool = False) -> str:

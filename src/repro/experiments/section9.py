@@ -64,27 +64,48 @@ def run_section9_analysis() -> ExperimentReport:
     return report
 
 
+def _sweep_point(point) -> tuple:
+    """One sweep point: acceptance counts at ``(utilization, sets)``.
+
+    Module-level (hence picklable) so the sweep can fan points across the
+    :func:`repro.experiments.parallel.parallel_map` process pool.
+    """
+    utilization, sets_per_point = point
+    accepted = {"pcp-da": 0, "rw-pcp": 0}
+    for seed in range(sets_per_point):
+        ts = generate_taskset(
+            WorkloadConfig(
+                n_transactions=6, n_items=8, write_probability=0.5,
+                hot_access_probability=0.8,
+                target_utilization=utilization, seed=seed,
+            )
+        )
+        for protocol in accepted:
+            accepted[protocol] += rm_schedulable(ts, protocol)
+    return utilization, accepted
+
+
 def run_section9_sweep(
-    *, utilizations=(0.3, 0.5, 0.7), sets_per_point: int = 25
+    *, utilizations=(0.3, 0.5, 0.7), sets_per_point: int = 25,
+    jobs: int = 1,
 ) -> ExperimentReport:
-    """The schedulable-fraction comparison over random workloads."""
+    """The schedulable-fraction comparison over random workloads.
+
+    ``jobs`` fans the utilisation points across worker processes via
+    :func:`~repro.experiments.parallel.parallel_map`; each point is seeded
+    independently, so the report is identical for every ``jobs`` value.
+    """
+    from repro.experiments.parallel import parallel_map
+
     report = ExperimentReport(
         "Section 9 (schedulable-fraction sweep)", "Section 9"
     )
-    rows = []
-    for utilization in utilizations:
-        accepted = {"pcp-da": 0, "rw-pcp": 0}
-        for seed in range(sets_per_point):
-            ts = generate_taskset(
-                WorkloadConfig(
-                    n_transactions=6, n_items=8, write_probability=0.5,
-                    hot_access_probability=0.8,
-                    target_utilization=utilization, seed=seed,
-                )
-            )
-            for protocol in accepted:
-                accepted[protocol] += rm_schedulable(ts, protocol)
-        rows.append((utilization, accepted))
+    rows = parallel_map(
+        _sweep_point,
+        [(u, sets_per_point) for u in utilizations],
+        jobs=jobs,
+    )
+    for utilization, accepted in rows:
         report.check_true(
             f"at utilisation {utilization}: PCP-DA accepts at least as many "
             "sets as RW-PCP",

@@ -37,6 +37,23 @@ def _doc_ok(obj) -> bool:
     return doc is not None and len(doc.strip()) >= _MIN_DOC_LENGTH
 
 
+def test_parallel_sweep_modules_are_covered():
+    """Guard: the sweep-engine modules must stay under the doc walker.
+
+    ``_iter_modules`` discovers modules dynamically, so a packaging slip
+    (e.g. the module moving out of the ``repro`` namespace) would silently
+    drop its docstring enforcement.  Pin the modules the parallel-runner
+    PR added so that cannot happen unnoticed.
+    """
+    names = {module.__name__ for module in MODULES}
+    assert {
+        "repro.experiments.parallel",
+        "repro.experiments.cache",
+        "repro.experiments.runner",
+        "repro.experiments.spec",
+    } <= names
+
+
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
 def test_module_has_docstring(module):
     assert _doc_ok(module), f"{module.__name__} lacks a module docstring"
