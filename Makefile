@@ -1,14 +1,19 @@
 # Verification entry points. `make verify` is the PR gate: the tier-1
 # test suite plus a 2-job smoke sweep through the parallel runner and a
 # throwaway result cache, so the fan-out and cache paths are exercised
-# on every change. See docs/PERFORMANCE.md.
+# on every change. See docs/PERFORMANCE.md. `make verify-faults` runs
+# the full fault-injection battery, including the full-ledger soak cases
+# tier-1 excludes. See docs/RELIABILITY.md.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test smoke bench
+.PHONY: verify verify-faults test smoke bench
 
 verify: test smoke
+
+verify-faults:
+	$(PYTHON) -m pytest -q -m faults
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -9,7 +9,26 @@ the prose rendering of the same content.
 """
 
 from repro.experiments.spec import Check, ExperimentReport
-from repro.experiments.cache import ResultCache, default_cache_dir, spec_key
+from repro.experiments.cache import (
+    ResultCache,
+    SweepManifest,
+    default_cache_dir,
+    spec_key,
+)
+from repro.experiments.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    TransientFault,
+)
+from repro.experiments.retry import (
+    CircuitBreaker,
+    JobTimeout,
+    RetryPolicy,
+    RetryableError,
+    WorkerCrash,
+)
 from repro.experiments.figures import (
     run_example5,
     run_figure1,
@@ -37,13 +56,24 @@ from repro.experiments.runner import (
 
 __all__ = [
     "Check",
+    "CircuitBreaker",
     "EXPERIMENT_ORDER",
     "EXTENSION_ORDER",
     "ExperimentJob",
     "ExperimentReport",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "JobTimeout",
     "ParallelRunner",
     "ResultCache",
+    "RetryPolicy",
+    "RetryableError",
     "RunnerStats",
+    "SweepManifest",
+    "TransientFault",
+    "WorkerCrash",
     "all_experiments",
     "default_cache_dir",
     "experiment_order",

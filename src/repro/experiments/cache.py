@@ -8,10 +8,20 @@ it, any parameters such as seeds or sweep points) plus the ``repro``
 package version.  A version bump therefore invalidates every prior entry
 automatically; there is no mtime or TTL logic to get wrong.
 
-Entries are JSON files under ``<root>/<key[:2]>/<key>.json`` so a warm
-rerun of the full ledger only deserialises a handful of small files instead
-of re-simulating.  The cache counts hits and misses so the parallel runner
-(:mod:`repro.experiments.parallel`) can report cache effectiveness.
+Entries are JSON files under ``<root>/<key[:2]>/<key>.json`` carrying a
+SHA-256 checksum of their own report body, so a warm rerun of the full
+ledger only deserialises a handful of small files instead of
+re-simulating.  :meth:`ResultCache.get` *verifies* that checksum: a
+corrupt, truncated, or unreadable entry is never served and never crashes
+a sweep — it is moved to ``<root>/quarantine/`` with a
+:class:`RuntimeWarning` and counted, then treated as an ordinary miss so
+the job simply recomputes (docs/RELIABILITY.md covers the fault model).
+
+The cache counts hits, misses, and quarantined entries so the parallel
+runner (:mod:`repro.experiments.parallel`) can report cache effectiveness
+and corruption events.  A :class:`SweepManifest` journal next to the
+cache records which jobs of a sweep completed, giving ``repro reproduce
+--resume`` its checkpoint–resume semantics.
 
 The default cache root honours ``REPRO_CACHE_DIR`` and falls back to
 ``~/.cache/repro``.
@@ -19,18 +29,28 @@ The default cache root honours ``REPRO_CACHE_DIR`` and falls back to
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import os
 import pathlib
-from typing import Any, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Iterable, Optional, Sequence, Set, Tuple
 
 import repro
+from repro.exceptions import SweepResumeError
 from repro.experiments.spec import ExperimentReport
 
 #: Bump when the on-disk entry layout changes (independent of the package
-#: version, which keys the *results*; this keys the *format*).
-CACHE_FORMAT = 1
+#: version, which keys the *results*; this keys the *format*).  Format 2
+#: added the per-entry ``sha256`` integrity checksum.
+CACHE_FORMAT = 2
+
+#: Name of the quarantine directory under the cache root.
+QUARANTINE_DIR = "quarantine"
+
+#: Name of the sweep checkpoint journal kept next to the cache entries.
+MANIFEST_NAME = "sweep-manifest.jsonl"
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -52,9 +72,7 @@ def spec_key(name: str, func: Any = None, params: Sequence[Any] = (),
     changes the result must appear here), the ``repro`` package version,
     and the cache format number.
     """
-    func_id = ""
-    if func is not None:
-        func_id = f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
+    func_id = "" if func is None else _func_identity(func)
     material = json.dumps(
         {
             "name": name,
@@ -68,6 +86,34 @@ def spec_key(name: str, func: Any = None, params: Sequence[Any] = (),
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+def _func_identity(func: Any) -> str:
+    """Stable textual identity of a job function for :func:`spec_key`.
+
+    Plain functions contribute ``module.qualname``.
+    :class:`functools.partial` objects are unwrapped recursively so their
+    identity covers the inner function plus the bound arguments — never
+    ``repr(partial)``, whose embedded memory address would make keys
+    differ between processes and break warm caches and sweep resume.
+    """
+    if isinstance(func, functools.partial):
+        bound = sorted((func.keywords or {}).items())
+        return (
+            f"partial({_func_identity(func.func)}, "
+            f"args={func.args!r}, kwargs={bound!r})"
+        )
+    return f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
+
+
+def _report_checksum(report_dict: Any) -> str:
+    """SHA-256 of a report's canonical JSON body (the stored checksum)."""
+    body = json.dumps(report_dict, sort_keys=True)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+class CacheIntegrityError(ValueError):
+    """A cache entry's stored checksum does not match its body."""
+
+
 class ResultCache:
     """On-disk store of serialized reports, keyed by :func:`spec_key`.
 
@@ -75,6 +121,9 @@ class ResultCache:
     writes go through an atomic rename, so a half-written entry is never
     visible, and concurrent writers of the same key produce identical
     bytes (the results are deterministic) so last-write-wins is harmless.
+    Reads are *verified*: an entry whose checksum fails — bit rot, a
+    truncated write from a killed process, or an injected corruption — is
+    quarantined and reported as a miss rather than crashing the sweep.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None, *,
@@ -89,6 +138,7 @@ class ResultCache:
         self.version = version if version is not None else repro.__version__
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def key_for(self, name: str, func: Any = None,
                 params: Sequence[Any] = ()) -> str:
@@ -98,42 +148,175 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        """Where corrupt entries are moved (``<root>/quarantine``)."""
+        return self.root / QUARANTINE_DIR
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        """Where the sweep checkpoint journal lives, next to the entries."""
+        return self.root / MANIFEST_NAME
+
+    def ensure_writable(self) -> None:
+        """Create the cache root and quarantine dir; raises ``OSError``.
+
+        The CLI calls this up front so an unusable cache or quarantine
+        directory fails with one clean error before any work is done,
+        instead of mid-sweep.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry aside (best-effort) and warn once about it."""
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            note = f"moved to {target}"
+        except OSError as exc:
+            # Quarantine is best-effort: an unwritable quarantine dir must
+            # not crash the sweep, so fall back to deleting the bad entry.
+            try:
+                path.unlink()
+                note = f"deleted (quarantine unavailable: {exc})"
+            except OSError:
+                note = f"left in place (quarantine unavailable: {exc})"
+        self.quarantined += 1
+        warnings.warn(
+            f"quarantined corrupt result-cache entry {path.name}: {note}; "
+            "the result will be recomputed",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def get(self, key: str) -> Optional[ExperimentReport]:
-        """Return the cached report for ``key`` or ``None`` (counted)."""
+        """Return the verified cached report for ``key`` or ``None``.
+
+        Counts a hit or a miss; a present-but-unreadable entry (bad JSON,
+        truncation, checksum mismatch, wrong shape) is quarantined via
+        :meth:`_quarantine` and reported as a miss — corruption degrades a
+        sweep to recomputation, never to a crash.
+        """
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
+            if _report_checksum(payload["report"]) != payload["sha256"]:
+                raise CacheIntegrityError(f"checksum mismatch for {key}")
             report = ExperimentReport.from_dict(payload["report"])
         except (OSError, ValueError, KeyError, TypeError):
+            if path.exists():
+                self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return report
 
     def put(self, key: str, report: ExperimentReport) -> None:
-        """Store ``report`` under ``key`` (atomic replace)."""
+        """Store ``report`` under ``key`` with a checksum (atomic replace)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps({"key": key, "report": report.to_dict()})
+        report_dict = report.to_dict()
+        payload = json.dumps({
+            "key": key,
+            "sha256": _report_checksum(report_dict),
+            "report": report_dict,
+        })
         tmp = path.with_suffix(f".tmp{os.getpid()}")
         tmp.write_text(payload)
         os.replace(tmp, path)
 
-    def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
-        removed = 0
+    def _entries(self) -> Iterable[pathlib.Path]:
+        """Every live entry file (quarantined ones excluded)."""
         if not self.root.exists():
-            return removed
+            return
         for entry in self.root.glob("*/*.json"):
+            if entry.parent.name != QUARANTINE_DIR:
+                yield entry
+
+    def clear(self) -> int:
+        """Delete every live entry; returns the number of files removed."""
+        removed = 0
+        for entry in list(self._entries()):
             entry.unlink()
             removed += 1
         return removed
 
     def __len__(self) -> int:
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entries())
 
     def counters(self) -> Tuple[int, int]:
         """``(hits, misses)`` so far on this handle."""
         return (self.hits, self.misses)
+
+
+class SweepManifest:
+    """Append-only journal of which jobs of one sweep have completed.
+
+    The manifest lives next to the cache (:attr:`ResultCache.manifest_path`)
+    and is the checkpoint half of checkpoint–resume: line 1 is a JSON
+    header binding the journal to one job batch (a digest over the
+    batch's cache keys, in submission order), every further line is the
+    cache key of one completed job, flushed as it finishes.  An
+    interrupted ``repro reproduce`` therefore leaves a manifest naming
+    exactly the finished prefix of work; ``--resume`` verifies the digest
+    (a changed batch means the journal is stale) and recomputes only the
+    remainder — completed jobs are served from the verified cache.
+    """
+
+    #: Bump when the journal layout changes.
+    FORMAT = 1
+
+    def __init__(self, path: os.PathLike) -> None:
+        """Bind the journal to a file path (nothing is read or written)."""
+        self.path = pathlib.Path(path)
+
+    @staticmethod
+    def batch_digest(keys: Sequence[str]) -> str:
+        """Digest identifying one job batch: SHA-256 over its ordered keys."""
+        return hashlib.sha256("\n".join(keys).encode("utf-8")).hexdigest()
+
+    def start(self, digest: str, total: int,
+              completed: Iterable[str] = ()) -> None:
+        """(Re)write the journal header plus any already-completed keys."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps({
+            "format": self.FORMAT, "batch": digest, "total": total,
+        })
+        lines = [header] + list(completed)
+        self.path.write_text("\n".join(lines) + "\n")
+
+    def record(self, key: str) -> None:
+        """Append one completed job key, flushed so a kill loses nothing."""
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(key + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> Tuple[str, Set[str]]:
+        """Read the journal: ``(batch digest, completed key set)``.
+
+        Raises :class:`~repro.exceptions.SweepResumeError` when the
+        manifest is missing or its header is unreadable — the two ways a
+        resume request can be unsatisfiable before staleness is even
+        checked.
+        """
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            raise SweepResumeError(
+                f"no sweep manifest at {self.path} ({exc.strerror or exc}); "
+                "run once without --resume to create one"
+            ) from None
+        try:
+            header = json.loads(lines[0])
+            digest = header["batch"]
+            if header.get("format") != self.FORMAT:
+                raise ValueError(f"manifest format {header.get('format')!r}")
+        except (IndexError, ValueError, KeyError, TypeError) as exc:
+            raise SweepResumeError(
+                f"sweep manifest {self.path} is unreadable ({exc}); "
+                "delete it and run without --resume"
+            ) from None
+        return digest, {line.strip() for line in lines[1:] if line.strip()}

@@ -1,0 +1,303 @@
+"""Deterministic, seed-driven fault injection for the sweep engine.
+
+Reliability code that is only exercised by real outages is untestable;
+this module makes every failure mode of the parallel runner *injectable
+on demand*, deterministically, so the differential battery in
+``tests/test_experiments_faults.py`` can prove that the sweep survives —
+and stays byte-identical — under any schedule of:
+
+* ``crash``   — the worker process hosting the job dies (``os._exit`` in
+  the worker; simulated as a raised :class:`~repro.experiments.retry.WorkerCrash`
+  when the job runs in-process, where a real exit would kill the sweep
+  itself);
+* ``hang``    — the job sleeps past the per-job timeout before running;
+* ``flaky``   — the attempt raises a :class:`TransientFault`;
+* ``corrupt`` — the job's on-disk cache entry is scribbled with garbage
+  bytes, exercising the checksum/quarantine path of
+  :class:`~repro.experiments.cache.ResultCache`.
+
+A :class:`FaultPlan` is the schedule: an explicit list of
+:class:`FaultSpec` entries (``kind:job[@times]``), or a seed-expanded
+random schedule (``random:SEED:COUNT``) resolved against the batch's job
+names.  A :class:`FaultInjector` consumes the plan attempt-by-attempt in
+the parent process, so each fault fires exactly ``times`` attempts and
+then stops — retries of a sabotaged job run clean, which is what lets the
+battery assert exact counter values.
+
+Faults travel to workers as picklable :func:`functools.partial` wrappers
+over module-level functions; the injector itself never crosses the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.exceptions import FaultSpecError
+from repro.experiments.retry import RetryableError, WorkerCrash
+
+#: The injectable fault kinds, in the order the injector arms them when
+#: several target the same job.
+FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "flaky", "corrupt")
+
+#: Exit status of a worker deliberately killed by a ``crash`` fault.
+CRASH_EXIT_CODE = 70
+
+
+class TransientFault(RetryableError):
+    """The injected transient failure; retried like any flaky error."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: ``kind`` fired against ``job``, ``times`` times."""
+
+    kind: str
+    job: str
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        """Validate the kind and the fire count."""
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {', '.join(FAULT_KINDS)}"
+            )
+        if self.times < 1:
+            raise FaultSpecError(
+                f"fault times must be >= 1 (got {self.times} for "
+                f"{self.kind}:{self.job})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults for one sweep.
+
+    ``specs`` are explicit :class:`FaultSpec` entries; ``random_entries``
+    are ``(seed, count)`` pairs expanded against the batch's job names by
+    :meth:`resolve` — the same seed always yields the same schedule.
+    ``hang_seconds`` is how long an injected hang sleeps before the job
+    runs (it must exceed the retry policy's ``job_timeout`` for the hang
+    to actually trip the timeout machinery).
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    random_entries: Tuple[Tuple[int, int], ...] = ()
+    hang_seconds: float = 0.25
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a CLI fault spec string into a plan.
+
+        Grammar (comma-separated entries)::
+
+            kind:job[@times]      e.g.  flaky:table1@2  crash:figure3
+            random:SEED:COUNT     seed-expanded against the job names
+            hang-seconds=FLOAT    sleep length of injected hangs
+
+        Raises :class:`~repro.exceptions.FaultSpecError` on any malformed
+        entry, with a message naming the offending token.
+        """
+        specs: List[FaultSpec] = []
+        randoms: List[Tuple[int, int]] = []
+        hang_seconds = 0.25
+        for raw in text.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            if token.startswith(("hang-seconds=", "hang_seconds=")):
+                try:
+                    hang_seconds = float(token.split("=", 1)[1])
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad hang-seconds value in {token!r}"
+                    ) from None
+                if hang_seconds < 0:
+                    raise FaultSpecError(
+                        f"hang-seconds must be >= 0 (got {hang_seconds})"
+                    )
+                continue
+            if token.startswith("random:"):
+                parts = token.split(":")
+                if len(parts) != 3:
+                    raise FaultSpecError(
+                        f"random entry must be random:SEED:COUNT (got {token!r})"
+                    )
+                try:
+                    randoms.append((int(parts[1]), int(parts[2])))
+                except ValueError:
+                    raise FaultSpecError(
+                        f"random entry needs integer seed and count (got {token!r})"
+                    ) from None
+                continue
+            kind, sep, rest = token.partition(":")
+            if not sep or not rest:
+                raise FaultSpecError(
+                    f"fault entry must be kind:job[@times] (got {token!r})"
+                )
+            job, at, times_text = rest.partition("@")
+            times = 1
+            if at:
+                try:
+                    times = int(times_text)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad @times suffix in {token!r}"
+                    ) from None
+            specs.append(FaultSpec(kind=kind, job=job, times=times))
+        if not specs and not randoms:
+            raise FaultSpecError(f"fault spec {text!r} schedules nothing")
+        return cls(
+            specs=tuple(specs),
+            random_entries=tuple(randoms),
+            hang_seconds=hang_seconds,
+        )
+
+    @classmethod
+    def random(cls, seed: int, count: int, **kwargs: Any) -> "FaultPlan":
+        """A purely random plan of ``count`` faults expanded from ``seed``."""
+        return cls(random_entries=((seed, count),), **kwargs)
+
+    def resolve(self, names: Sequence[str]) -> "FaultPlan":
+        """Expand random entries against ``names`` and validate targets.
+
+        Returns a plan containing only explicit specs.  Explicit specs
+        naming a job outside ``names`` raise
+        :class:`~repro.exceptions.FaultSpecError` — a typo in a CLI spec
+        should fail loudly, not silently never fire.
+        """
+        if not names:
+            return FaultPlan((), (), self.hang_seconds)
+        known = set(names)
+        for spec in self.specs:
+            if spec.job not in known:
+                raise FaultSpecError(
+                    f"fault targets unknown job {spec.job!r}; "
+                    f"jobs in this sweep: {', '.join(sorted(known))}"
+                )
+        expanded = list(self.specs)
+        for seed, count in self.random_entries:
+            rng = random.Random(f"repro-faults:{seed}")
+            for _ in range(count):
+                expanded.append(
+                    FaultSpec(
+                        kind=rng.choice(FAULT_KINDS),
+                        job=rng.choice(list(names)),
+                    )
+                )
+        return FaultPlan(specs=tuple(expanded), hang_seconds=self.hang_seconds)
+
+    def total_scheduled(self, kind: str) -> int:
+        """Total fire budget of one fault kind across the plan's specs."""
+        return sum(spec.times for spec in self.specs if spec.kind == kind)
+
+
+def _crash_process(func: Callable[[], Any]) -> Any:
+    """Worker-side crash: kill the hosting process without cleanup."""
+    os._exit(CRASH_EXIT_CODE)
+
+
+def _raise_crash(name: str) -> Any:
+    """In-process crash stand-in: raise instead of killing the sweep."""
+    raise WorkerCrash(f"injected crash for job {name!r} (simulated in-process)")
+
+
+def _hang_then_run(func: Callable[[], Any], seconds: float) -> Any:
+    """Sleep past the timeout, then run the job normally (late result)."""
+    time.sleep(seconds)
+    return func()
+
+
+def _raise_transient(name: str) -> Any:
+    """Raise the injected transient failure for ``name``."""
+    raise TransientFault(f"injected transient fault for job {name!r}")
+
+
+class FaultInjector:
+    """Consumes a resolved :class:`FaultPlan` attempt-by-attempt.
+
+    One injector serves one sweep: budgets are per ``(kind, job)`` and are
+    consumed *in the parent* when an attempt is armed, so a fault fires a
+    bounded, deterministic number of times no matter how jobs are
+    requeued.  :meth:`wrap` sabotages compute attempts;
+    :meth:`corrupt_before_get` / :meth:`corrupt_after_put` sabotage the
+    on-disk cache entry around the runner's cache accesses.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        """Build the per-(kind, job) fire budgets from a resolved plan."""
+        if plan.random_entries:
+            raise FaultSpecError(
+                "plan still carries unresolved random entries; call "
+                "plan.resolve(job_names) first"
+            )
+        self.plan = plan
+        self._budget: Dict[Tuple[str, str], int] = {}
+        for spec in plan.specs:
+            key = (spec.kind, spec.job)
+            self._budget[key] = self._budget.get(key, 0) + spec.times
+        self.fired: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    def _arm(self, kind: str, job: str) -> bool:
+        """Consume one unit of budget for ``(kind, job)`` if any remains."""
+        key = (kind, job)
+        remaining = self._budget.get(key, 0)
+        if remaining <= 0:
+            return False
+        self._budget[key] = remaining - 1
+        self.fired[kind] += 1
+        return True
+
+    def wrap(
+        self, func: Callable[[], Any], name: str, *, in_process: bool
+    ) -> Callable[[], Any]:
+        """The (possibly sabotaged) callable for ``name``'s next attempt.
+
+        At most one fault arms per attempt, in :data:`FAULT_KINDS` order;
+        once a job's budgets are spent its attempts run clean.  The
+        returned callable is picklable whenever ``func`` is.
+        """
+        if self._arm("crash", name):
+            if in_process:
+                return partial(_raise_crash, name)
+            return partial(_crash_process, func)
+        if self._arm("hang", name):
+            return partial(_hang_then_run, func, self.plan.hang_seconds)
+        if self._arm("flaky", name):
+            return partial(_raise_transient, name)
+        return func
+
+    def _scribble(self, path: Any) -> bool:
+        """Overwrite a cache entry with truncated garbage; True if done."""
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return False
+        path.write_bytes(data[: max(1, len(data) // 2)] + b"\x00corrupt")
+        return True
+
+    def corrupt_before_get(self, cache: Any, key: str, name: str) -> bool:
+        """Corrupt ``name``'s existing cache entry just before it is read.
+
+        Only fires (and only consumes budget) when an entry is actually on
+        disk — on a cold cache the budget is kept for
+        :meth:`corrupt_after_put`.
+        """
+        path = cache._path(key)
+        if not path.exists():
+            return False
+        if not self._arm("corrupt", name):
+            return False
+        return self._scribble(path)
+
+    def corrupt_after_put(self, cache: Any, key: str, name: str) -> bool:
+        """Corrupt ``name``'s freshly written entry (poisons warm reruns)."""
+        if not self._arm("corrupt", name):
+            return False
+        return self._scribble(cache._path(key))

@@ -10,10 +10,24 @@ dispatching, and returns results **in submission order**, so the rendered
 summary is byte-identical to the serial runner's no matter how jobs
 complete (see docs/PERFORMANCE.md for the guarantee and its caveats).
 
+The runner is also **fault-tolerant** (docs/RELIABILITY.md): execution
+goes through :func:`repro.experiments.retry.execute_tasks`, so a crashed
+worker is detected and its job requeued on a fresh pool, a hung job is
+abandoned at the per-job timeout and retried, transient exceptions are
+retried with deterministic backoff, and a circuit breaker degrades a
+repeatedly failing pool to in-process serial execution.  Completed job
+keys are journaled to a :class:`~repro.experiments.cache.SweepManifest`
+next to the cache, so an interrupted sweep resumes (``resume=True``)
+recomputing only unfinished jobs.  A
+:class:`~repro.experiments.faults.FaultPlan` can be attached to inject
+deterministic faults for testing; the byte-identity guarantee holds under
+every injected schedule.
+
 Observability rides along in :class:`RunnerStats`: per-job wall-clock
 timing (summarised through :func:`repro.stats.summarize_values`), peak
-queue depth, cache hit/miss counters, and an optional progress line on
-stderr.
+queue depth, cache hit/miss counters, reliability counters (retries,
+timeouts, crashes, degradations, quarantined entries, resumed jobs), and
+an optional progress line on stderr.
 
 The generic :func:`parallel_map` helper is also used by
 :func:`repro.stats.run_batch` and
@@ -25,8 +39,8 @@ from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from functools import partial
 from typing import (
     Any,
     Callable,
@@ -38,7 +52,15 @@ from typing import (
     TypeVar,
 )
 
-from repro.experiments.cache import ResultCache
+from repro.exceptions import SweepResumeError
+from repro.experiments.cache import ResultCache, SweepManifest
+from repro.experiments.faults import FaultInjector, FaultPlan
+from repro.experiments.retry import (
+    CircuitBreaker,
+    RetryPolicy,
+    Task,
+    execute_tasks,
+)
 from repro.experiments.spec import ExperimentReport
 from repro.stats import Summary, summarize_values
 
@@ -74,6 +96,14 @@ class RunnerStats:
             (excludes pool queueing and result transfer).
         max_queue_depth: peak number of jobs submitted but not finished.
         wall_time: end-to-end seconds for the whole batch.
+        retries: job attempts resubmitted after a retryable failure.
+        timeouts: attempts abandoned for exceeding the per-job timeout.
+        crashes: worker-crash events (pool breakages, or simulated
+            in-process crashes on the serial path).
+        degradations: times the circuit breaker degraded the pool to
+            in-process serial execution.
+        quarantined: corrupt cache entries quarantined during this run.
+        resumed: jobs skipped as already completed by a resumed manifest.
     """
 
     workers: int = 1
@@ -82,6 +112,12 @@ class RunnerStats:
     job_times: Dict[str, float] = field(default_factory=dict)
     max_queue_depth: int = 0
     wall_time: float = 0.0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    degradations: int = 0
+    quarantined: int = 0
+    resumed: int = 0
 
     @property
     def executed(self) -> int:
@@ -95,7 +131,7 @@ class RunnerStats:
         return summarize_values(list(self.job_times.values()))
 
     def render(self) -> str:
-        """One status line: jobs, workers, cache counters, wall clock."""
+        """One status line: jobs, workers, cache, faults, wall clock."""
         parts = [
             f"{self.executed} executed + {self.cache_hits} cached",
             f"workers={self.workers}",
@@ -103,6 +139,16 @@ class RunnerStats:
             f"peak queue {self.max_queue_depth}",
             f"wall {self.wall_time:.3f}s",
         ]
+        reliability = [
+            (name, getattr(self, name))
+            for name in (
+                "retries", "timeouts", "crashes", "degradations",
+                "quarantined", "resumed",
+            )
+        ]
+        parts.extend(
+            f"{name}={value}" for name, value in reliability if value
+        )
         summary = self.timing_summary()
         if summary is not None:
             parts.append(f"per-job {summary.render()}")
@@ -121,18 +167,28 @@ def parallel_map(
     items: Sequence[_T],
     *,
     jobs: int = 1,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[_R]:
     """Map ``func`` over ``items`` in order, optionally across processes.
 
     ``func`` and every item must be picklable.  Results are returned in
     the order of ``items`` regardless of completion order; with
     ``jobs <= 1`` (or fewer than two items) this degrades to a plain loop
-    with zero pool overhead.  Exceptions raised by any call propagate.
+    with zero pool overhead.  A ``retry`` policy adds the full
+    fault-tolerance of :func:`repro.experiments.retry.execute_tasks`
+    (timeouts, bounded retry with backoff, crashed-worker requeue);
+    without one, exceptions raised by any call propagate immediately.
     """
-    if jobs <= 1 or len(items) < 2:
+    if retry is None and (jobs <= 1 or len(items) < 2):
         return [func(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(func, items))
+    tasks = [
+        Task(
+            key=f"item[{index}]",
+            make=lambda attempt, in_process, item=item: partial(func, item),
+        )
+        for index, item in enumerate(items)
+    ]
+    return execute_tasks(tasks, jobs=jobs, policy=retry)
 
 
 class ParallelRunner:
@@ -143,7 +199,8 @@ class ParallelRunner:
     deterministic product of its job alone, so
     ``render_summary(runner.run(jobs))`` is byte-identical to the serial
     runner's output for the same jobs.  Completion order, worker count,
-    and cache state only affect wall-clock time, never content.
+    cache state, retries, and injected faults only affect wall-clock time
+    and counters, never content.
     """
 
     def __init__(
@@ -152,17 +209,27 @@ class ParallelRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         progress: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        resume: bool = False,
     ) -> None:
-        """Configure the pool width, result cache, and progress output.
+        """Configure pool width, cache, progress, and reliability policy.
 
         ``jobs`` is the maximum worker-process count (1 = run in-process).
         ``cache`` is consulted before dispatch and populated after; pass
         ``None`` to always recompute.  ``progress`` prints one line per
-        finished job to stderr.
+        finished job to stderr.  ``retry`` enables timeouts/bounded retry/
+        circuit breaking (``None`` = fail fast, as before).  ``fault_plan``
+        injects deterministic faults for testing.  ``resume`` replays the
+        sweep manifest journaled next to the cache so only unfinished jobs
+        recompute; it requires ``cache``.
         """
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.progress = progress
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.resume = resume
         self.stats = RunnerStats()
 
     def _note_progress(self, done: int, total: int, name: str,
@@ -172,74 +239,150 @@ class ParallelRunner:
         tag = "cache" if cached else f"{elapsed:.3f}s"
         print(f"[{done}/{total}] {name} ({tag})", file=sys.stderr, flush=True)
 
+    def _open_manifest(
+        self, keys: Sequence[str]
+    ) -> Tuple[Optional[SweepManifest], set]:
+        """Start (or resume) the checkpoint journal; returns it + done keys.
+
+        Without a cache there is nowhere to resume results from, so the
+        manifest is disabled (and ``resume=True`` raises
+        :class:`~repro.exceptions.SweepResumeError`).  On resume the
+        journal is verified against this batch's digest — a mismatch means
+        the manifest describes a different sweep and is stale.
+        """
+        if self.cache is None:
+            if self.resume:
+                raise SweepResumeError(
+                    "resume requires the on-disk result cache "
+                    "(it holds the completed reports)"
+                )
+            return None, set()
+        manifest = SweepManifest(self.cache.manifest_path)
+        digest = SweepManifest.batch_digest(keys)
+        recorded: set = set()
+        if self.resume:
+            found_digest, completed = manifest.load()
+            if found_digest != digest:
+                raise SweepResumeError(
+                    f"sweep manifest {manifest.path} was written for a "
+                    "different job batch (stale); run without --resume to "
+                    "start over"
+                )
+            recorded = completed & set(keys)
+            self.stats.resumed = len(recorded)
+            manifest.start(digest, len(keys), completed=sorted(recorded))
+        else:
+            manifest.start(digest, len(keys))
+        return manifest, recorded
+
     def run(self, batch: Sequence[ExperimentJob]) -> List[ExperimentReport]:
         """Execute a batch; returns reports in submission order."""
         started = time.perf_counter()
         self.stats = RunnerStats(workers=self.jobs)
         total = len(batch)
         results: List[Optional[ExperimentReport]] = [None] * total
-        pending: List[Tuple[int, ExperimentJob, str]] = []
+
+        keys = [
+            self.cache.key_for(job.name, job.func, job.params)
+            if self.cache is not None else ""
+            for job in batch
+        ]
+        manifest, recorded = self._open_manifest(keys)
+        injector = (
+            FaultInjector(
+                self.fault_plan.resolve([job.name for job in batch])
+            )
+            if self.fault_plan is not None else None
+        )
+        quarantined_before = (
+            self.cache.quarantined if self.cache is not None else 0
+        )
+
+        def journal(index: int) -> None:
+            if manifest is not None and keys[index] not in recorded:
+                recorded.add(keys[index])
+                manifest.record(keys[index])
 
         # Cache pass: resolve what we can without touching the pool.
         done = 0
+        pending: List[int] = []
         for index, job in enumerate(batch):
-            key = ""
             if self.cache is not None:
-                key = self.cache.key_for(job.name, job.func, job.params)
-                hit = self.cache.get(key)
+                if injector is not None:
+                    injector.corrupt_before_get(self.cache, keys[index],
+                                                job.name)
+                hit = self.cache.get(keys[index])
                 if hit is not None:
                     self.stats.cache_hits += 1
                     results[index] = hit
+                    journal(index)
                     done += 1
-                    self._note_progress(done, total, job.name, 0.0, cached=True)
+                    self._note_progress(done, total, job.name, 0.0,
+                                        cached=True)
                     continue
                 self.stats.cache_misses += 1
-            pending.append((index, job, key))
+            pending.append(index)
 
         if pending:
-            if self.jobs <= 1 or len(pending) < 2:
-                self._run_serial(pending, results, done, total)
-            else:
-                self._run_pool(pending, results, done, total)
+            done = self._execute_pending(
+                batch, keys, pending, results, injector, journal, done, total
+            )
 
+        if self.cache is not None:
+            self.stats.quarantined = (
+                self.cache.quarantined - quarantined_before
+            )
         self.stats.wall_time = time.perf_counter() - started
         return [report for report in results if report is not None]
 
-    def _run_serial(self, pending, results, done, total) -> None:
-        """In-process fallback used for jobs=1 or a single pending job."""
-        for index, job, key in pending:
-            report, elapsed = _timed_call(job.func)
-            self._finish(index, job, key, report, elapsed, results)
-            done += 1
-            self._note_progress(done, total, job.name, elapsed, cached=False)
+    def _execute_pending(
+        self, batch, keys, pending, results, injector, journal, done, total
+    ) -> int:
+        """Run the cache-missed jobs through the fault-tolerant executor."""
+        pooled = self.jobs > 1 and len(pending) >= 2
+        if pooled:
+            self.stats.workers = min(self.jobs, len(pending))
 
-    def _run_pool(self, pending, results, done, total) -> None:
-        """Dispatch pending jobs across the process pool."""
-        workers = min(self.jobs, len(pending))
-        self.stats.workers = workers
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_timed_call, job.func): (index, job, key)
-                for index, job, key in pending
-            }
-            outstanding = set(futures)
-            self.stats.max_queue_depth = len(outstanding)
-            while outstanding:
-                finished, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in finished:
-                    index, job, key = futures[future]
-                    report, elapsed = future.result()
-                    self._finish(index, job, key, report, elapsed, results)
-                    done += 1
-                    self._note_progress(
-                        done, total, job.name, elapsed, cached=False
-                    )
+        def make_task(index: int) -> Task:
+            job = batch[index]
 
-    def _finish(self, index, job, key, report, elapsed, results) -> None:
-        """Record one computed report: timing, cache write, result slot."""
-        self.stats.job_times[job.name] = elapsed
-        if self.cache is not None:
-            self.cache.put(key, report)
-        results[index] = report
+            def make(attempt: int, in_process: bool) -> Callable[[], Any]:
+                func = job.func
+                if injector is not None:
+                    func = injector.wrap(func, job.name,
+                                         in_process=in_process)
+                return partial(_timed_call, func)
+
+            return Task(key=job.name, make=make)
+
+        tasks = [make_task(index) for index in pending]
+        state = {"done": done}
+
+        def on_done(position: int, outcome: Tuple[Any, float]) -> None:
+            index = pending[position]
+            job = batch[index]
+            report, elapsed = outcome
+            self.stats.job_times[job.name] = elapsed
+            if self.cache is not None:
+                self.cache.put(keys[index], report)
+                if injector is not None:
+                    injector.corrupt_after_put(self.cache, keys[index],
+                                               job.name)
+            results[index] = report
+            journal(index)
+            state["done"] += 1
+            self._note_progress(state["done"], total, job.name, elapsed,
+                                cached=False)
+
+        policy = self.retry if self.retry is not None else RetryPolicy(
+            max_retries=0
+        )
+        execute_tasks(
+            tasks,
+            jobs=self.jobs if pooled else 1,
+            policy=policy,
+            counters=self.stats,
+            on_done=on_done,
+            breaker=CircuitBreaker(threshold=policy.breaker_threshold),
+        )
+        return state["done"]

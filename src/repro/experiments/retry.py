@@ -1,0 +1,507 @@
+"""Fault-tolerant task execution: timeouts, bounded retry, circuit breaking.
+
+This module is the reliability half of the sweep engine.  The throughput
+half (:mod:`repro.experiments.parallel`) fans deterministic jobs across a
+process pool; this module makes that fan-out survive the three partial
+failures a long sweep actually meets:
+
+* a **worker crash** — the pool process dies mid-job (the whole
+  :class:`~concurrent.futures.ProcessPoolExecutor` becomes broken); the
+  loop harvests every result that already landed, rebuilds the pool, and
+  requeues the lost jobs;
+* a **hung job** — an attempt exceeds the per-job timeout; the attempt is
+  abandoned (the hung worker is left to finish or die on its own) and the
+  job is resubmitted on a fresh worker or thread;
+* a **transient exception** — any :class:`RetryableError` raised by the
+  job is retried up to :attr:`RetryPolicy.max_retries` times with
+  exponential backoff and decorrelated jitter.
+
+Because every job in this repository is a *deterministic* pure function,
+retrying is always safe: a retried attempt reproduces the exact bytes the
+first attempt would have produced, so the byte-identical-output guarantee
+of the parallel runner holds under every fault schedule (the differential
+battery in ``tests/test_experiments_faults.py`` asserts this).
+
+A :class:`CircuitBreaker` bounds the damage of a systematically failing
+pool: after ``breaker_threshold`` pool breakages the executor stops
+rebuilding pools and degrades the remaining jobs to in-process serial
+execution, which cannot be killed by a worker crash.
+
+Backoff is **deterministic**: the decorrelated jitter draws from a
+:class:`random.Random` seeded with ``(jitter_seed, task key, attempt)``,
+so a rerun of the same schedule sleeps the same delays — reproducibility
+extends to the retry timeline, not just the results.
+
+See docs/RELIABILITY.md for the full fault model and policy rationale.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as _FutureTimeout,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: Poll interval (seconds) of the pool wait loop while per-job timeouts are
+#: armed — bounds how late a deadline can be noticed.
+_POLL_INTERVAL = 0.02
+
+
+class RetryableError(RuntimeError):
+    """Base class of failures the executor is allowed to retry.
+
+    Jobs (or fault injectors) raise subclasses of this to request a
+    bounded retry; any other exception type propagates immediately, so a
+    genuine bug in an experiment still fails fast.  The class attribute
+    ``counter`` optionally names the :class:`FaultCounters` field that one
+    occurrence of the failure increments (beyond ``retries`` itself).
+    """
+
+    #: Name of the extra counter this failure bumps, or ``None``.
+    counter: Optional[str] = None
+
+
+class JobTimeout(RetryableError):
+    """An attempt exceeded the per-job timeout and was abandoned."""
+
+    counter = "timeouts"
+
+
+class WorkerCrash(RetryableError):
+    """A worker process died (or a crash was simulated in-process)."""
+
+    counter = "crashes"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failing jobs are retried, timed out, and circuit-broken.
+
+    Attributes:
+        max_retries: resubmissions allowed per job (0 = fail fast).
+        job_timeout: seconds one attempt may run before being abandoned,
+            or ``None`` for no timeout.
+        backoff_base: minimum backoff delay in seconds.
+        backoff_cap: upper bound on any single backoff delay.
+        jitter_seed: seed of the deterministic decorrelated jitter.
+        breaker_threshold: pool breakages tolerated before the circuit
+            breaker opens and execution degrades to in-process serial.
+    """
+
+    max_retries: int = 2
+    job_timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter_seed: int = 0
+    breaker_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        """Reject nonsensical policies with a precise message."""
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0 (got {self.max_retries})")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(
+                f"job_timeout must be positive seconds (got {self.job_timeout})"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                "backoff_base must be >= 0 and <= backoff_cap "
+                f"(got base={self.backoff_base}, cap={self.backoff_cap})"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1 (got {self.breaker_threshold})"
+            )
+
+    def backoff_delay(self, key: str, attempt: int, previous: float) -> float:
+        """Decorrelated-jitter delay before retrying ``key``.
+
+        Implements the classic decorrelated-jitter recurrence
+        ``min(cap, uniform(base, 3 * previous))`` but draws from a PRNG
+        seeded with ``(jitter_seed, key, attempt)``, so the delay sequence
+        is a pure function of the policy and the retry history — reruns
+        back off identically.
+        """
+        rng = random.Random(f"{self.jitter_seed}:{key}:{attempt}")
+        upper = max(self.backoff_base, 3.0 * previous)
+        return min(self.backoff_cap, rng.uniform(self.backoff_base, upper))
+
+
+@dataclass
+class CircuitBreaker:
+    """Counts pool-level failures; opens at ``threshold`` breakages.
+
+    One breaker guards one sweep: every time the process pool breaks
+    (a worker died), :meth:`record_failure` is called, and once the
+    threshold is reached :attr:`open` turns true — the executor then
+    stops rebuilding pools and finishes the sweep serially in-process.
+    """
+
+    threshold: int = 2
+    failures: int = 0
+
+    @property
+    def open(self) -> bool:
+        """True once the pool has failed ``threshold`` times."""
+        return self.failures >= self.threshold
+
+    def record_failure(self) -> bool:
+        """Count one pool breakage; returns whether the breaker is open."""
+        self.failures += 1
+        return self.open
+
+
+@dataclass
+class FaultCounters:
+    """Mutable tally of reliability events during one execution.
+
+    Any object exposing these attributes (e.g.
+    :class:`repro.experiments.parallel.RunnerStats`) can be passed to
+    :func:`execute_tasks` as its ``counters``.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    degradations: int = 0
+    max_queue_depth: int = 0
+
+
+@dataclass(frozen=True)
+class Task:
+    """One retryable unit of work for :func:`execute_tasks`.
+
+    ``make(attempt, in_process)`` is called in the parent for every
+    attempt and must return a zero-argument callable; when the attempt
+    will run in a worker process the callable must be picklable (a
+    module-level function or :func:`functools.partial` thereof).  The
+    ``in_process`` flag tells fault injectors to simulate (rather than
+    actually perform) process-killing faults.  ``key`` names the task in
+    backoff seeding and error messages.
+    """
+
+    key: str
+    make: Callable[[int, bool], Callable[[], Any]]
+
+
+@dataclass
+class _Flight:
+    """Parent-side record of one in-pool attempt."""
+
+    index: int
+    attempt: int
+    prev_delay: float
+    deadline: Optional[float] = None  # armed once the future is seen running
+
+
+def _note_counter(counters: Any, exc: BaseException) -> None:
+    """Bump the counter a retryable failure advertises, if any."""
+    name = getattr(exc, "counter", None)
+    if name is not None:
+        setattr(counters, name, getattr(counters, name) + 1)
+
+
+def _call_with_thread_timeout(func: Callable[[], Any], timeout: float) -> Any:
+    """Run ``func`` on a fresh thread, abandoning it past ``timeout``.
+
+    Used by the serial path (jobs=1), where there is no worker process to
+    watch: the attempt runs on a throwaway single thread and a
+    :class:`JobTimeout` is raised if it does not finish in time.  The hung
+    thread is left to run out on its own (it cannot be killed), which is
+    acceptable for the short injected hangs the tests use and is
+    documented as a limitation in docs/RELIABILITY.md.
+    """
+    pool = ThreadPoolExecutor(max_workers=1)
+    future = pool.submit(func)
+    try:
+        return future.result(timeout=timeout)
+    except _FutureTimeout:
+        raise JobTimeout(
+            f"attempt exceeded the {timeout:g}s job timeout"
+        ) from None
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def call_with_retries(
+    task: Task,
+    policy: RetryPolicy,
+    counters: Any,
+    *,
+    start_attempt: int = 1,
+) -> Any:
+    """Run one task in-process with the policy's retry/timeout semantics.
+
+    This is both the jobs=1 serial path and the degraded path the circuit
+    breaker falls back to.  ``in_process=True`` is passed to
+    :attr:`Task.make`, so injected crashes become raised
+    :class:`WorkerCrash` exceptions instead of killing the interpreter.
+    """
+    attempt = start_attempt
+    prev_delay = 0.0
+    while True:
+        func = task.make(attempt, True)
+        try:
+            if policy.job_timeout is None:
+                return func()
+            return _call_with_thread_timeout(func, policy.job_timeout)
+        except RetryableError as exc:
+            _note_counter(counters, exc)
+            if attempt >= policy.max_retries + 1:
+                raise
+            counters.retries += 1
+            prev_delay = policy.backoff_delay(task.key, attempt, prev_delay)
+            if prev_delay > 0:
+                time.sleep(prev_delay)
+            attempt += 1
+
+
+def execute_tasks(
+    tasks: Sequence[Task],
+    *,
+    jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    counters: Optional[Any] = None,
+    on_done: Optional[Callable[[int, Any], None]] = None,
+    breaker: Optional[CircuitBreaker] = None,
+) -> List[Any]:
+    """Run every task, tolerating crashes/hangs/transients per ``policy``.
+
+    Results are returned indexed like ``tasks`` (completion order never
+    leaks out).  ``on_done(index, result)`` fires in the parent as each
+    task finishes — the parallel runner uses it for cache writes, manifest
+    journaling, and progress lines.  With ``jobs <= 1`` or fewer than two
+    tasks everything runs in-process; otherwise a
+    :class:`~concurrent.futures.ProcessPoolExecutor` is used and rebuilt
+    on breakage until ``breaker`` opens.  Exceptions that are not
+    retryable — or that exhaust the retry budget — propagate.
+    """
+    policy = policy if policy is not None else RetryPolicy(max_retries=0)
+    counters = counters if counters is not None else FaultCounters()
+    breaker = breaker if breaker is not None else CircuitBreaker(
+        threshold=policy.breaker_threshold
+    )
+    notify = on_done if on_done is not None else (lambda index, result: None)
+    results: List[Any] = [None] * len(tasks)
+    if jobs <= 1 or len(tasks) < 2:
+        for index, task in enumerate(tasks):
+            results[index] = call_with_retries(task, policy, counters)
+            notify(index, results[index])
+        return results
+    _run_pool(tasks, jobs, policy, counters, notify, results, breaker)
+    return results
+
+
+def _schedule_retry(flight, task, exc, policy, counters, queue) -> None:
+    """Requeue a failed attempt with backoff, or re-raise if exhausted."""
+    if flight.attempt >= policy.max_retries + 1:
+        raise exc
+    counters.retries += 1
+    delay = policy.backoff_delay(task.key, flight.attempt, flight.prev_delay)
+    queue.append(
+        (flight.index, flight.attempt + 1, delay, time.monotonic() + delay)
+    )
+
+
+def _drain_serial(tasks, queue, policy, counters, notify, results) -> None:
+    """Degraded path: finish every queued job in-process, crash-proof."""
+    counters.degradations += 1
+    while queue:
+        index, attempt, _prev, ready_at = queue.popleft()
+        delay = ready_at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        results[index] = call_with_retries(
+            tasks[index], policy, counters, start_attempt=attempt
+        )
+        notify(index, results[index])
+
+
+def _run_pool(tasks, jobs, policy, counters, notify, results, breaker) -> None:
+    """The fault-tolerant pool loop: submit, watch deadlines, requeue."""
+    from collections import deque
+
+    queue = deque((i, 1, 0.0, 0.0) for i in range(len(tasks)))
+    outstanding: Dict[Any, _Flight] = {}
+    width = min(jobs, len(tasks))
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        while queue or outstanding:
+            if breaker.open and not outstanding:
+                _drain_serial(tasks, queue, policy, counters, notify, results)
+                return
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=width)
+            broken = _submit_ready(tasks, queue, pool, outstanding, policy)
+            counters.max_queue_depth = max(
+                counters.max_queue_depth, len(outstanding)
+            )
+            if not broken and outstanding:
+                broken = _reap_completions(
+                    tasks, queue, outstanding, policy, counters, notify, results
+                )
+                _expire_deadlines(
+                    tasks, queue, outstanding, policy, counters
+                )
+            elif not broken:
+                _sleep_until_ready(queue)
+            if broken:
+                pool = _handle_breakage(
+                    tasks, queue, pool, outstanding, policy, counters,
+                    notify, results, breaker,
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _submit_ready(tasks, queue, pool, outstanding, policy) -> bool:
+    """Submit every backoff-expired attempt; True if the pool is broken."""
+    now = time.monotonic()
+    deferred = []
+    broken = False
+    while queue:
+        index, attempt, prev_delay, ready_at = queue.popleft()
+        if ready_at > now:
+            deferred.append((index, attempt, prev_delay, ready_at))
+            continue
+        try:
+            future = pool.submit(tasks[index].make(attempt, False))
+        except (BrokenExecutor, RuntimeError):
+            # The pool died between loop passes; put the job back and let
+            # the breakage handler rebuild.
+            deferred.append((index, attempt, prev_delay, ready_at))
+            broken = True
+            break
+        outstanding[future] = _Flight(index, attempt, prev_delay)
+    queue.extend(deferred)
+    return broken
+
+
+def _wait_timeout(outstanding, queue, policy) -> Optional[float]:
+    """How long the wait loop may block before something needs attention."""
+    now = time.monotonic()
+    candidates = [ready_at for _i, _a, _p, ready_at in queue]
+    if policy.job_timeout is not None:
+        for flight in outstanding.values():
+            candidates.append(
+                flight.deadline if flight.deadline is not None
+                else now + _POLL_INTERVAL
+            )
+    if not candidates:
+        return None
+    return max(0.0, min(candidates) - now)
+
+
+def _reap_completions(
+    tasks, queue, outstanding, policy, counters, notify, results
+) -> bool:
+    """Wait for completions and process them; True if the pool broke."""
+    done, _ = wait(
+        set(outstanding),
+        timeout=_wait_timeout(outstanding, queue, policy),
+        return_when=FIRST_COMPLETED,
+    )
+    broken = False
+    for future in done:
+        flight = outstanding.pop(future)
+        try:
+            result = future.result()
+        except BrokenExecutor:
+            # The event itself (counters.crashes) is tallied once by
+            # _handle_breakage; here we only requeue the lost attempt.
+            broken = True
+            _schedule_retry(
+                flight, tasks[flight.index],
+                WorkerCrash(
+                    f"worker running {tasks[flight.index].key!r} died"
+                ),
+                policy, counters, queue,
+            )
+        except RetryableError as exc:
+            _note_counter(counters, exc)
+            _schedule_retry(flight, tasks[flight.index], exc, policy,
+                            counters, queue)
+        else:
+            results[flight.index] = result
+            notify(flight.index, result)
+    return broken
+
+
+def _expire_deadlines(tasks, queue, outstanding, policy, counters) -> None:
+    """Arm deadlines on running futures; abandon the ones that blew them."""
+    if policy.job_timeout is None:
+        return
+    now = time.monotonic()
+    for future, flight in list(outstanding.items()):
+        if future.done():
+            continue  # picked up by the next wait() immediately
+        if flight.deadline is None:
+            if future.running():
+                flight.deadline = now + policy.job_timeout
+        elif now >= flight.deadline:
+            # Abandon the attempt: drop the future (its worker keeps the
+            # slot until the hung call returns; the late result is never
+            # read) and retry elsewhere.
+            del outstanding[future]
+            counters.timeouts += 1
+            _schedule_retry(
+                flight, tasks[flight.index],
+                JobTimeout(
+                    f"job {tasks[flight.index].key!r} exceeded the "
+                    f"{policy.job_timeout:g}s timeout"
+                ),
+                policy, counters, queue,
+            )
+
+
+def _sleep_until_ready(queue) -> None:
+    """Nothing in flight: sleep until the earliest backoff expires."""
+    if not queue:
+        return
+    delay = min(ready_at for _i, _a, _p, ready_at in queue) - time.monotonic()
+    if delay > 0:
+        time.sleep(delay)
+
+
+def _handle_breakage(
+    tasks, queue, pool, outstanding, policy, counters, notify, results, breaker
+) -> None:
+    """A worker died: harvest survivors, requeue the lost, drop the pool."""
+    counters.crashes += 1
+    breaker.record_failure()
+    for future, flight in list(outstanding.items()):
+        harvested = False
+        if future.done():
+            try:
+                result = future.result()
+            except BaseException:
+                pass  # lost with the pool; requeued below
+            else:
+                results[flight.index] = result
+                notify(flight.index, result)
+                harvested = True
+        if not harvested:
+            _schedule_retry(
+                flight, tasks[flight.index],
+                WorkerCrash(
+                    f"worker running {tasks[flight.index].key!r} died"
+                ),
+                policy, counters, queue,
+            )
+    outstanding.clear()
+    if pool is not None:
+        # wait=True: the breakage already killed every worker, so this
+        # only joins the (finished) management thread — and it detaches
+        # the dead pool from the interpreter's atexit hooks, which would
+        # otherwise print an "Exception ignored" over its closed pipes.
+        pool.shutdown(wait=True, cancel_futures=True)
+    return None

@@ -36,7 +36,9 @@ from repro.experiments.extensions import (
     run_refined_analysis_extension,
 )
 from repro.experiments.cache import ResultCache
+from repro.experiments.faults import FaultPlan
 from repro.experiments.parallel import ExperimentJob, ParallelRunner, RunnerStats
+from repro.experiments.retry import RetryPolicy
 from repro.experiments.section9 import run_section9_analysis, run_section9_sweep
 from repro.experiments.spec import ExperimentReport
 
@@ -107,6 +109,9 @@ def run_all(
     cache: Optional[ResultCache] = None,
     progress: bool = False,
     stats_out: Optional[List[RunnerStats]] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    resume: bool = False,
 ) -> List[ExperimentReport]:
     """Execute the ledger (deterministic; a few seconds, ~10s extended).
 
@@ -114,15 +119,27 @@ def run_all(
     processes; ``cache`` (a :class:`ResultCache`) serves already-computed
     reports and stores fresh ones, making warm reruns near-instant.  The
     returned list is always in :func:`experiment_order` — byte-identical
-    output for every ``jobs`` value and cache state.  ``progress`` prints
-    a per-job line to stderr; when ``stats_out`` is given, the run's
-    :class:`RunnerStats` is appended to it.
+    output for every ``jobs`` value, cache state, retry policy, and
+    injected-fault schedule.  ``progress`` prints a per-job line to
+    stderr; when ``stats_out`` is given, the run's :class:`RunnerStats`
+    is appended to it.
+
+    ``retry`` (a :class:`~repro.experiments.retry.RetryPolicy`) arms
+    per-job timeouts, bounded retry with backoff, and the circuit
+    breaker; ``fault_plan`` injects deterministic faults for testing; and
+    ``resume=True`` replays the sweep manifest journaled next to the
+    cache, recomputing only the jobs an interrupted run left unfinished
+    (raises :class:`~repro.exceptions.SweepResumeError` when the manifest
+    is missing, stale, or there is no cache).  See docs/RELIABILITY.md.
     """
     batch = [
         ExperimentJob(name=name, func=func)
         for name, func in all_experiments(extended=extended).items()
     ]
-    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    runner = ParallelRunner(
+        jobs=jobs, cache=cache, progress=progress,
+        retry=retry, fault_plan=fault_plan, resume=resume,
+    )
     reports = runner.run(batch)
     if stats_out is not None:
         stats_out.append(runner.stats)

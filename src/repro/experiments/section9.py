@@ -87,13 +87,16 @@ def _sweep_point(point) -> tuple:
 
 def run_section9_sweep(
     *, utilizations=(0.3, 0.5, 0.7), sets_per_point: int = 25,
-    jobs: int = 1,
+    jobs: int = 1, retry=None,
 ) -> ExperimentReport:
     """The schedulable-fraction comparison over random workloads.
 
     ``jobs`` fans the utilisation points across worker processes via
     :func:`~repro.experiments.parallel.parallel_map`; each point is seeded
     independently, so the report is identical for every ``jobs`` value.
+    ``retry`` (a :class:`~repro.experiments.retry.RetryPolicy`) makes the
+    fan-out survive worker crashes, hangs, and transient failures —
+    results are unchanged, only wall-clock and retry counters vary.
     """
     from repro.experiments.parallel import parallel_map
 
@@ -104,6 +107,7 @@ def run_section9_sweep(
         _sweep_point,
         [(u, sets_per_point) for u in utilizations],
         jobs=jobs,
+        retry=retry,
     )
     for utilization, accepted in rows:
         report.check_true(

@@ -116,6 +116,7 @@ def run_batch(
     *,
     config: Optional[SimConfig] = None,
     jobs: int = 1,
+    retry=None,
 ) -> List[BatchRow]:
     """Simulate every workload under every protocol.
 
@@ -123,14 +124,19 @@ def run_batch(
     so comparisons are paired.  ``jobs`` fans workloads across worker
     processes (each worker runs all protocols for its workload, keeping
     the pairing); row order and content are identical for every ``jobs``
-    value because every simulation is deterministic.
+    value because every simulation is deterministic.  ``retry`` (a
+    :class:`~repro.experiments.retry.RetryPolicy`) adds per-workload
+    timeouts and bounded retries for long unattended sweeps — identical
+    rows, fault-tolerant wall clock.
     """
     # Imported lazily: repro.experiments.parallel imports this module.
     from repro.experiments.parallel import parallel_map
 
     sim_config = config or SimConfig(deadlock_action="abort_lowest")
     units = [(workload, tuple(protocols), sim_config) for workload in workloads]
-    per_workload = parallel_map(_batch_rows_for_workload, units, jobs=jobs)
+    per_workload = parallel_map(
+        _batch_rows_for_workload, units, jobs=jobs, retry=retry
+    )
     return [row for rows in per_workload for row in rows]
 
 

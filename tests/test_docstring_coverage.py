@@ -51,6 +51,8 @@ def test_parallel_sweep_modules_are_covered():
         "repro.experiments.cache",
         "repro.experiments.runner",
         "repro.experiments.spec",
+        "repro.experiments.faults",
+        "repro.experiments.retry",
     } <= names
 
 

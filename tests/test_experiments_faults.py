@@ -1,0 +1,677 @@
+"""Differential fault battery for the fault-tolerant sweep engine.
+
+The contract under test is the one docs/RELIABILITY.md documents: for
+*every* deterministic fault schedule — worker crashes, hung jobs,
+transient exceptions, corrupted cache entries — the sweep completes, its
+rendered output is **byte-identical** to the fault-free serial run, and
+the :class:`~repro.experiments.parallel.RunnerStats` reliability counters
+match the injected schedule.  A Hypothesis property generalises the
+matrix to random schedules, and checkpoint–resume is exercised by killing
+a sweep after ``k`` jobs and resuming it.
+
+Counter determinism caveat (see docs/RELIABILITY.md): a pool breakage
+requeues *every* outstanding attempt, so with ``jobs > 1`` a single crash
+yields ``crashes == 1`` but ``retries >= 1`` (exact retry counts are only
+asserted on schedules where at most one attempt is in flight).
+
+Everything here is marked ``faults`` (``make verify-faults`` runs just
+this battery); the long end-to-end cases are additionally marked
+``faults_soak`` and excluded from the default tier-1 run.
+"""
+
+import os
+import shutil
+import tempfile
+import warnings
+from functools import partial
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FaultSpecError, SweepResumeError
+from repro.experiments import (
+    FAULT_KINDS,
+    ExperimentJob,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    JobTimeout,
+    ParallelRunner,
+    ResultCache,
+    RetryPolicy,
+    SweepManifest,
+    TransientFault,
+    WorkerCrash,
+)
+from repro.experiments.retry import FaultCounters, Task, execute_tasks
+from repro.experiments.spec import ExperimentReport
+
+pytestmark = pytest.mark.faults
+
+#: Job names of the tiny differential batch (picklable, microsecond-fast).
+TAGS = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta")
+
+#: Injected hangs sleep this long; the policy timeout is well under it so
+#: the timeout machinery (not the hang ending) is what recovers the job,
+#: while both stay generous enough not to flake on a loaded machine.
+#: The timeout is only armed in tests that actually inject hangs: the
+#: pool marks a future "running" while it still sits in the IPC call
+#: queue, so under heavy load a queued clean job can be spuriously timed
+#: out — harmless (it just retries; byte-identity holds) but it would
+#: break exact-counter assertions (see docs/RELIABILITY.md).
+HANG_SECONDS = 2.0
+JOB_TIMEOUT = 0.75
+
+
+def _tiny_report(tag):
+    """Module-level (picklable) report builder for the fault battery."""
+    report = ExperimentReport(f"Tiny {tag}", "tests", artifact=tag)
+    report.check(f"{tag} identity", tag, tag)
+    report.check("arithmetic", 4, 2 + 2)
+    return report
+
+
+def _tiny_report_unless_missing(flag_path, tag):
+    """Like :func:`_tiny_report` but dies while ``flag_path`` is absent.
+
+    A non-retryable ``RuntimeError`` aborts the whole sweep, simulating a
+    kill; creating the flag file afterwards lets the resumed run succeed
+    with the *same* job identity (the flag path is part of the cache key
+    either way).
+    """
+    if not os.path.exists(flag_path):
+        raise RuntimeError(f"simulated interruption before {tag}")
+    return _tiny_report(tag)
+
+
+def _batch(tags=TAGS):
+    return [
+        ExperimentJob(tag, partial(_tiny_report, tag), params=(tag,))
+        for tag in tags
+    ]
+
+
+def _render(reports):
+    return "\n".join(report.render(verbose=True) for report in reports)
+
+
+def _baseline(tags=TAGS):
+    """The fault-free serial rendering every faulted run must reproduce."""
+    return _render(ParallelRunner(jobs=1).run(_batch(tags)))
+
+
+def _policy(**overrides):
+    """A fast-retry policy: no backoff sleeps, generous budget."""
+    defaults = dict(
+        max_retries=3,
+        backoff_base=0.0,
+        backoff_cap=0.0,
+        breaker_threshold=10,
+    )
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+class TestFaultMatrix:
+    """Each fault kind × jobs ∈ {1, 2, 4}: completes, identical, counted."""
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_flaky(self, jobs):
+        plan = FaultPlan(specs=(FaultSpec("flaky", "beta", times=2),))
+        runner = ParallelRunner(jobs=jobs, retry=_policy(), fault_plan=plan)
+        assert _render(runner.run(_batch())) == _baseline()
+        assert runner.stats.retries == 2
+        assert runner.stats.timeouts == 0
+        assert runner.stats.crashes == 0
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_hang(self, jobs):
+        plan = FaultPlan(
+            specs=(FaultSpec("hang", "gamma"),), hang_seconds=HANG_SECONDS
+        )
+        runner = ParallelRunner(
+            jobs=jobs, retry=_policy(job_timeout=JOB_TIMEOUT),
+            fault_plan=plan,
+        )
+        assert _render(runner.run(_batch())) == _baseline()
+        assert runner.stats.crashes == 0
+        if jobs == 1:
+            # The serial thread-timeout path is precise.
+            assert runner.stats.timeouts == 1
+            assert runner.stats.retries == 1
+        else:
+            # The pool can spuriously time out a queued clean job under
+            # load (see the HANG_SECONDS comment), so only lower bounds
+            # are exact here.
+            assert runner.stats.timeouts >= 1
+            assert runner.stats.retries >= 1
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_crash(self, jobs):
+        plan = FaultPlan(specs=(FaultSpec("crash", "delta"),))
+        runner = ParallelRunner(jobs=jobs, retry=_policy(), fault_plan=plan)
+        assert _render(runner.run(_batch())) == _baseline()
+        assert runner.stats.crashes == 1
+        if jobs == 1:
+            # In-process the crash is simulated and only that attempt retries.
+            assert runner.stats.retries == 1
+        else:
+            # A pool breakage requeues every outstanding attempt, so the
+            # exact retry count depends on scheduling — but at least the
+            # crashed job itself must have been retried.
+            assert runner.stats.retries >= 1
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_corrupt(self, jobs, tmp_path):
+        # The cold run writes entries and corrupts delta's; the warm run
+        # must quarantine it, recompute, and still render identically.
+        plan = FaultPlan(specs=(FaultSpec("corrupt", "delta"),))
+        cold = ParallelRunner(
+            jobs=jobs, cache=ResultCache(tmp_path), retry=_policy(),
+            fault_plan=plan,
+        )
+        assert _render(cold.run(_batch())) == _baseline()
+
+        warm = ParallelRunner(jobs=jobs, cache=ResultCache(tmp_path),
+                              retry=_policy())
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt"):
+            rendered = _render(warm.run(_batch()))
+        assert rendered == _baseline()
+        assert warm.stats.quarantined == 1
+        assert warm.stats.cache_hits == len(TAGS) - 1
+        assert warm.stats.cache_misses == 1
+        assert warm.stats.executed == 1
+
+    def test_combined_schedule(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("flaky", "alpha"),
+                FaultSpec("hang", "epsilon"),
+                FaultSpec("flaky", "zeta", times=2),
+            ),
+            hang_seconds=HANG_SECONDS,
+        )
+        runner = ParallelRunner(
+            jobs=4, retry=_policy(max_retries=5, job_timeout=JOB_TIMEOUT),
+            fault_plan=plan,
+        )
+        assert _render(runner.run(_batch())) == _baseline()
+        assert runner.stats.retries >= 4
+        assert runner.stats.timeouts >= 1
+
+
+class TestBreakerAndExhaustion:
+    def test_breaker_degrades_to_serial(self):
+        # Threshold 1: the first pool breakage opens the breaker and the
+        # rest of the sweep finishes in-process (where the second crash
+        # fault is simulated, retried, and survived).
+        plan = FaultPlan(
+            specs=(FaultSpec("crash", "alpha"), FaultSpec("crash", "zeta"))
+        )
+        runner = ParallelRunner(
+            jobs=3, retry=_policy(breaker_threshold=1), fault_plan=plan
+        )
+        assert _render(runner.run(_batch())) == _baseline()
+        assert runner.stats.degradations == 1
+        assert runner.stats.crashes >= 1
+
+    def test_exhausted_retry_budget_propagates(self):
+        plan = FaultPlan(specs=(FaultSpec("flaky", "beta", times=3),))
+        runner = ParallelRunner(
+            jobs=1, retry=_policy(max_retries=1), fault_plan=plan
+        )
+        with pytest.raises(TransientFault):
+            runner.run(_batch())
+        assert runner.stats.retries == 1
+
+    def test_non_retryable_exception_fails_fast(self, tmp_path):
+        flag = tmp_path / "never-created"
+        batch = _batch(("alpha",))
+        batch.append(
+            ExperimentJob(
+                "boom",
+                partial(_tiny_report_unless_missing, str(flag), "boom"),
+                params=(str(flag), "boom"),
+            )
+        )
+        runner = ParallelRunner(jobs=1, retry=_policy())
+        with pytest.raises(RuntimeError, match="simulated interruption"):
+            runner.run(batch)
+        assert runner.stats.retries == 0
+
+
+class TestRetryPrimitives:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="job_timeout"):
+            RetryPolicy(job_timeout=0)
+        with pytest.raises(ValueError, match="backoff_base"):
+            RetryPolicy(backoff_base=0.5, backoff_cap=0.1)
+        with pytest.raises(ValueError, match="breaker_threshold"):
+            RetryPolicy(breaker_threshold=0)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(jitter_seed=7, backoff_base=0.01, backoff_cap=0.5)
+        # With no previous delay the recurrence collapses to the base.
+        assert policy.backoff_delay("table1", 1, 0.0) == 0.01
+        # With history the jittered draw is deterministic and bounded,
+        # and distinct per (key, attempt, seed).
+        first = policy.backoff_delay("table1", 2, 0.05)
+        assert first == policy.backoff_delay("table1", 2, 0.05)
+        assert 0.01 <= first <= 0.5
+        assert policy.backoff_delay("figure2", 2, 0.05) != first
+        assert policy.backoff_delay("table1", 3, 0.05) != first
+        other = RetryPolicy(jitter_seed=8, backoff_base=0.01, backoff_cap=0.5)
+        assert other.backoff_delay("table1", 2, 0.05) != first
+
+    def test_retryable_counter_attribution(self):
+        counters = FaultCounters()
+        plan = FaultPlan(specs=(FaultSpec("flaky", "solo"),))
+        injector = FaultInjector(plan.resolve(["solo"]))
+
+        def make(attempt, in_process):
+            return injector.wrap(partial(_tiny_report, "solo"), "solo",
+                                 in_process=in_process)
+
+        results = execute_tasks(
+            [Task(key="solo", make=make)],
+            policy=RetryPolicy(max_retries=2, backoff_base=0.0,
+                               backoff_cap=0.0),
+            counters=counters,
+        )
+        assert results[0] == _tiny_report("solo")
+        assert counters.retries == 1
+        assert JobTimeout.counter == "timeouts"
+        assert WorkerCrash.counter == "crashes"
+
+
+class TestFaultPlanGrammar:
+    def test_parse_full_grammar(self):
+        plan = FaultPlan.parse(
+            "flaky:table1@2, crash:figure3, random:11:4, hang-seconds=0.5"
+        )
+        assert plan.specs == (
+            FaultSpec("flaky", "table1", times=2),
+            FaultSpec("crash", "figure3"),
+        )
+        assert plan.random_entries == ((11, 4),)
+        assert plan.hang_seconds == 0.5
+
+    @pytest.mark.parametrize("bad", [
+        "bogus:table1",            # unknown kind
+        "flaky",                   # missing job
+        "flaky:table1@zero",       # bad @times
+        "flaky:table1@0",          # times < 1
+        "random:seed:3",           # non-integer seed
+        "random:1",                # wrong arity
+        "hang-seconds=fast",       # bad float
+        "hang-seconds=-1",         # negative
+        " , ,",                    # schedules nothing
+    ])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(bad)
+
+    def test_random_resolution_is_deterministic(self):
+        names = list(TAGS)
+        first = FaultPlan.random(seed=3, count=5).resolve(names)
+        again = FaultPlan.random(seed=3, count=5).resolve(names)
+        assert first == again
+        assert len(first.specs) == 5
+        assert all(spec.job in TAGS for spec in first.specs)
+        assert FaultPlan.random(seed=4, count=5).resolve(names) != first
+
+    def test_resolve_rejects_unknown_job(self):
+        plan = FaultPlan(specs=(FaultSpec("flaky", "nosuchjob"),))
+        with pytest.raises(FaultSpecError, match="unknown job"):
+            plan.resolve(list(TAGS))
+
+    def test_total_scheduled(self):
+        plan = FaultPlan(specs=(
+            FaultSpec("flaky", "a", times=2), FaultSpec("flaky", "b"),
+            FaultSpec("crash", "a"),
+        ))
+        assert plan.total_scheduled("flaky") == 3
+        assert plan.total_scheduled("crash") == 1
+        assert plan.total_scheduled("hang") == 0
+
+
+class TestFaultInjector:
+    def test_rejects_unresolved_random_entries(self):
+        with pytest.raises(FaultSpecError, match="resolve"):
+            FaultInjector(FaultPlan.random(seed=1, count=2))
+
+    def test_budget_consumed_per_attempt(self):
+        plan = FaultPlan(specs=(FaultSpec("flaky", "alpha", times=2),))
+        injector = FaultInjector(plan.resolve(["alpha"]))
+        base = partial(_tiny_report, "alpha")
+        for _ in range(2):
+            sabotaged = injector.wrap(base, "alpha", in_process=True)
+            with pytest.raises(TransientFault):
+                sabotaged()
+        # Budget spent: further attempts run clean.
+        assert injector.wrap(base, "alpha", in_process=True) is base
+        assert injector.fired["flaky"] == 2
+
+    def test_crash_simulated_in_process(self):
+        plan = FaultPlan(specs=(FaultSpec("crash", "alpha"),))
+        injector = FaultInjector(plan.resolve(["alpha"]))
+        sabotaged = injector.wrap(partial(_tiny_report, "alpha"), "alpha",
+                                  in_process=True)
+        with pytest.raises(WorkerCrash):
+            sabotaged()
+
+    def test_corrupt_before_get_waits_for_an_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("alpha", _tiny_report, ("alpha",))
+        plan = FaultPlan(specs=(FaultSpec("corrupt", "alpha"),))
+        injector = FaultInjector(plan.resolve(["alpha"]))
+        # Nothing on disk yet: the budget must be preserved, not burned.
+        assert injector.corrupt_before_get(cache, key, "alpha") is False
+        assert injector.fired["corrupt"] == 0
+        cache.put(key, _tiny_report("alpha"))
+        assert injector.corrupt_before_get(cache, key, "alpha") is True
+        assert injector.fired["corrupt"] == 1
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+
+class TestQuarantine:
+    def test_truncated_entry_quarantined_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("alpha", _tiny_report, ("alpha",))
+        cache.put(key, _tiny_report("alpha"))
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt"):
+            assert cache.get(key) is None
+        assert cache.misses == 1 and cache.quarantined == 1
+        assert list(cache.quarantine_dir.iterdir())
+        assert len(cache) == 0  # quarantined entries are not live
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("alpha", _tiny_report, ("alpha",))
+        cache.put(key, _tiny_report("alpha"))
+        path = cache._path(key)
+        # Valid JSON, valid shape, wrong bytes: only the checksum catches it.
+        text = path.read_text().replace("arithmetic", "arithmetik")
+        path.write_text(text)
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt"):
+            assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_unwritable_quarantine_falls_back_to_delete(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("alpha", _tiny_report, ("alpha",))
+        cache.put(key, _tiny_report("alpha"))
+        path = cache._path(key)
+        path.write_text("{broken")
+        (tmp_path / "quarantine").write_text("occupied")  # mkdir will fail
+        with pytest.warns(RuntimeWarning, match="quarantine unavailable"):
+            assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.quarantined == 1
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = SweepManifest(tmp_path / "m.jsonl")
+        digest = SweepManifest.batch_digest(["k1", "k2", "k3"])
+        manifest.start(digest, 3)
+        manifest.record("k1")
+        manifest.record("k3")
+        assert manifest.load() == (digest, {"k1", "k3"})
+
+    def test_digest_is_order_sensitive(self):
+        assert SweepManifest.batch_digest(["a", "b"]) != (
+            SweepManifest.batch_digest(["b", "a"])
+        )
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(SweepResumeError, match="no sweep manifest"):
+            SweepManifest(tmp_path / "absent.jsonl").load()
+
+    def test_garbage_header_raises(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text("not json\nk1\n")
+        with pytest.raises(SweepResumeError, match="unreadable"):
+            SweepManifest(path).load()
+
+
+class TestCheckpointResume:
+    def _interrupted_batch(self, flag_path, kill_at):
+        """The TAGS batch with job ``kill_at`` exploding until the flag exists."""
+        batch = _batch()
+        tag = TAGS[kill_at]
+        batch[kill_at] = ExperimentJob(
+            tag,
+            partial(_tiny_report_unless_missing, str(flag_path), tag),
+            params=(str(flag_path), tag),
+        )
+        return batch
+
+    @pytest.mark.parametrize("kill_at", [0, 3, 5])
+    def test_kill_and_resume_round_trip(self, kill_at, tmp_path):
+        flag = tmp_path / "recovered"
+        batch = self._interrupted_batch(flag, kill_at)
+        baseline = _render(ParallelRunner(jobs=1).run(_batch()))
+
+        first = ParallelRunner(jobs=1, cache=ResultCache(tmp_path / "c"))
+        with pytest.raises(RuntimeError, match="simulated interruption"):
+            first.run(batch)
+
+        # The journal names exactly the finished prefix of work.
+        cache = ResultCache(tmp_path / "c")
+        keys = [cache.key_for(j.name, j.func, j.params) for j in batch]
+        digest, completed = SweepManifest(cache.manifest_path).load()
+        assert digest == SweepManifest.batch_digest(keys)
+        assert completed == set(keys[:kill_at])
+
+        flag.write_text("ok")  # "fix" the environment, then resume
+        resumed = ParallelRunner(
+            jobs=1, cache=ResultCache(tmp_path / "c"), resume=True
+        )
+        rendered = _render(resumed.run(batch))
+        # The exploding job builds the same report once the flag exists, so
+        # the resumed sweep must reproduce the fault-free serial bytes.
+        assert rendered == baseline
+        assert resumed.stats.resumed == kill_at
+        assert resumed.stats.cache_hits == kill_at
+        assert resumed.stats.executed == len(TAGS) - kill_at
+
+        # After resume the manifest matches an uninterrupted run's.
+        _, final = SweepManifest(cache.manifest_path).load()
+        assert final == set(keys)
+
+    def test_resume_requires_cache(self):
+        runner = ParallelRunner(jobs=1, resume=True)
+        with pytest.raises(SweepResumeError, match="cache"):
+            runner.run(_batch())
+
+    def test_resume_rejects_stale_manifest(self, tmp_path):
+        cache_dir = tmp_path / "c"
+        done = ParallelRunner(jobs=1, cache=ResultCache(cache_dir))
+        done.run(_batch(("alpha", "beta")))
+        runner = ParallelRunner(
+            jobs=1, cache=ResultCache(cache_dir), resume=True
+        )
+        with pytest.raises(SweepResumeError, match="stale"):
+            runner.run(_batch())  # different batch than the journal's
+
+    def test_resume_with_no_prior_manifest(self, tmp_path):
+        runner = ParallelRunner(
+            jobs=1, cache=ResultCache(tmp_path / "c"), resume=True
+        )
+        with pytest.raises(SweepResumeError, match="no sweep manifest"):
+            runner.run(_batch())
+
+    def test_completed_sweep_resumes_as_all_cached(self, tmp_path):
+        cache_dir = tmp_path / "c"
+        ParallelRunner(jobs=1, cache=ResultCache(cache_dir)).run(_batch())
+        again = ParallelRunner(
+            jobs=1, cache=ResultCache(cache_dir), resume=True
+        )
+        assert _render(again.run(_batch())) == _baseline()
+        assert again.stats.resumed == len(TAGS)
+        assert again.stats.executed == 0
+
+
+def _schedules():
+    """Hypothesis strategy: small random fault schedules over TAGS."""
+    entry = st.tuples(
+        st.sampled_from(("crash", "hang", "flaky")), st.sampled_from(TAGS)
+    )
+    return st.lists(entry, min_size=0, max_size=3)
+
+
+class TestDifferentialProperties:
+    """Random schedules: parallel-under-faults ≡ serial-fault-free."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(schedule=_schedules(), jobs=st.sampled_from([1, 2]))
+    def test_any_schedule_is_byte_identical(self, schedule, jobs):
+        specs = tuple(FaultSpec(kind, job) for kind, job in schedule)
+        plan = (
+            FaultPlan(specs=specs, hang_seconds=HANG_SECONDS)
+            if specs else None
+        )
+        # Worst case three faults hit one job, plus headroom for spurious
+        # pool timeouts under load.
+        runner = ParallelRunner(
+            jobs=jobs,
+            retry=_policy(max_retries=5, job_timeout=JOB_TIMEOUT),
+            fault_plan=plan,
+        )
+        assert _render(runner.run(_batch())) == _baseline()
+        flaky_scheduled = sum(1 for kind, _ in schedule if kind == "flaky")
+        assert runner.stats.retries >= flaky_scheduled
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_seeded_random_plans_are_byte_identical(self, seed):
+        plan = FaultPlan.random(seed=seed, count=3,
+                                hang_seconds=HANG_SECONDS)
+        work = tempfile.mkdtemp(prefix="repro-faults-")
+        try:
+            with warnings.catch_warnings():
+                # Corrupt faults drawn by the seed quarantine entries.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                runner = ParallelRunner(
+                    jobs=2, cache=ResultCache(work),
+                    retry=_policy(max_retries=5, job_timeout=JOB_TIMEOUT),
+                    fault_plan=plan,
+                )
+                rendered = _render(runner.run(_batch()))
+        finally:
+            shutil.rmtree(work, ignore_errors=True)
+        assert rendered == _baseline()
+
+    @settings(
+        max_examples=8, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(kill_at=st.integers(min_value=0, max_value=len(TAGS) - 1))
+    def test_resume_round_trip_property(self, kill_at):
+        work = tempfile.mkdtemp(prefix="repro-resume-")
+        try:
+            flag = os.path.join(work, "recovered")
+            batch = _batch()
+            tag = TAGS[kill_at]
+            batch[kill_at] = ExperimentJob(
+                tag,
+                partial(_tiny_report_unless_missing, flag, tag),
+                params=(flag, tag),
+            )
+            cache_dir = os.path.join(work, "cache")
+            first = ParallelRunner(jobs=1, cache=ResultCache(cache_dir))
+            with pytest.raises(RuntimeError):
+                first.run(batch)
+            with open(flag, "w", encoding="utf-8") as handle:
+                handle.write("ok")
+            resumed = ParallelRunner(
+                jobs=1, cache=ResultCache(cache_dir), resume=True
+            )
+            rendered = _render(resumed.run(batch))
+            assert resumed.stats.resumed == kill_at
+            assert resumed.stats.executed == len(TAGS) - kill_at
+        finally:
+            shutil.rmtree(work, ignore_errors=True)
+        assert rendered == _baseline()
+
+
+@pytest.mark.faults_soak
+class TestSoakEndToEnd:
+    """Full-ledger CLI runs under each fault kind (excluded from tier-1)."""
+
+    def _reproduce(self, capsys, argv):
+        from repro.cli import main
+
+        assert main(["reproduce"] + argv) == 0
+        captured = capsys.readouterr()
+        assert "ALL CHECKS PASS" in captured.out
+        return captured
+
+    def test_flaky_ledger_byte_identical(self, capsys):
+        base = self._reproduce(capsys, ["--no-cache"])
+        faulted = self._reproduce(capsys, [
+            "--no-cache", "--jobs", "4", "--retries", "3",
+            "--inject-faults", "flaky:table1@2,flaky:section9-sweep",
+        ])
+        assert faulted.out == base.out
+        assert "retries=3" in faulted.err
+
+    def test_crash_ledger_byte_identical(self, capsys):
+        base = self._reproduce(capsys, ["--no-cache"])
+        faulted = self._reproduce(capsys, [
+            "--no-cache", "--jobs", "4", "--retries", "3",
+            "--inject-faults", "crash:figure2",
+        ])
+        assert faulted.out == base.out
+        assert "crashes=1" in faulted.err
+
+    def test_hang_ledger_byte_identical(self, capsys):
+        base = self._reproduce(capsys, ["--no-cache"])
+        faulted = self._reproduce(capsys, [
+            "--no-cache", "--jobs", "4", "--retries", "3",
+            "--job-timeout", "5", "--inject-faults",
+            "hang:example5,hang-seconds=8",
+        ])
+        assert faulted.out == base.out
+        assert "timeouts=1" in faulted.err
+
+    def test_corrupt_ledger_byte_identical(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        base = self._reproduce(capsys, ["--no-cache"])
+        self._reproduce(capsys, [
+            "--cache-dir", cache_dir, "--jobs", "4",
+            "--inject-faults", "corrupt:figure1,corrupt:table1",
+        ])
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt"):
+            warm = self._reproduce(capsys, [
+                "--cache-dir", cache_dir, "--jobs", "4",
+            ])
+        assert warm.out == base.out
+        assert "quarantined=2" in warm.err
+
+    def test_random_schedule_sweep(self):
+        # Five seeds, four workers, tiny batch: nothing may ever leak
+        # through to the rendered bytes.
+        baseline = _baseline()
+        for seed in range(5):
+            plan = FaultPlan.random(seed=seed, count=5,
+                                    hang_seconds=HANG_SECONDS)
+            work = tempfile.mkdtemp(prefix="repro-soak-")
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    runner = ParallelRunner(
+                        jobs=4, cache=ResultCache(work),
+                        retry=_policy(max_retries=6), fault_plan=plan,
+                    )
+                    assert _render(runner.run(_batch())) == baseline
+            finally:
+                shutil.rmtree(work, ignore_errors=True)
