@@ -1,16 +1,21 @@
 # Verification entry points. `make verify` is the PR gate: the tier-1
-# test suite plus a 2-job smoke sweep through the parallel runner and a
-# throwaway result cache, so the fan-out and cache paths are exercised
-# on every change. See docs/PERFORMANCE.md. `make verify-faults` runs
-# the full fault-injection battery, including the full-ledger soak cases
-# tier-1 excludes. See docs/RELIABILITY.md.
+# test suite, a 2-job smoke sweep through the parallel runner and a
+# throwaway result cache, and a perf-harness smoke run that validates
+# the BENCH document schema. See docs/PERFORMANCE.md. `make verify-faults`
+# runs the full fault-injection battery, including the full-ledger soak
+# cases tier-1 excludes. See docs/RELIABILITY.md.
+#
+# `make bench` is the standing perf-regression harness: the
+# pytest-benchmark suites (whole-run throughput + per-event
+# microbenchmarks) followed by benchmarks/perf_report.py, which writes
+# BENCH_<date>.json — the ledger perf PRs are judged against.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify verify-faults test smoke bench
+.PHONY: verify verify-faults test smoke bench bench-smoke bench-all
 
-verify: test smoke
+verify: test smoke bench-smoke
 
 verify-faults:
 	$(PYTHON) -m pytest -q -m faults
@@ -25,4 +30,19 @@ smoke:
 	rm -rf $$CACHE_DIR
 
 bench:
+	$(PYTHON) -m pytest benchmarks/bench_simulator_throughput.py \
+		benchmarks/bench_event_microbench.py --benchmark-only -q \
+		-k "not ledger"
+	$(PYTHON) benchmarks/perf_report.py --out BENCH_$$(date +%F).json
+
+# Tiny deterministic perf run (seconds): exercises the same measurement
+# and validation code as `make bench` without the full grid.
+bench-smoke:
+	OUT=$$(mktemp -u) && \
+	$(PYTHON) benchmarks/perf_report.py --smoke --out $$OUT && \
+	rm -f $$OUT
+
+# Every benchmark, including the slow full-ledger comparison cases.
+bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+	$(PYTHON) benchmarks/perf_report.py --out BENCH_$$(date +%F).json

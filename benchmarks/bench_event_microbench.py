@@ -1,0 +1,127 @@
+"""Per-event microbenchmarks of the engine's incremental hot paths.
+
+Where ``bench_simulator_throughput`` times whole simulations, these time
+the individual operations the incremental fast path optimised — calendar
+push/pop with rank-at-push, lock grant/release driving the ceiling index,
+``Sysceil`` queries answered from the index, and dispatch-heavy
+simulation — so a regression can be attributed to the specific structure
+that caused it.
+
+Run via ``make bench`` (or directly:
+``PYTHONPATH=src:. pytest benchmarks/bench_event_microbench.py --benchmark-only``).
+"""
+
+from repro.engine.event_queue import EventQueue
+from repro.engine.job import Job
+from repro.engine.lock_table import LockTable
+from repro.engine.simulator import SimConfig, Simulator
+from repro.model.priorities import assign_by_order
+from repro.model.spec import LockMode, TransactionSpec, read, write
+from repro.protocols import make_protocol
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+_N_EVENTS = 2_000
+
+
+def test_event_queue_push_pop_cycle(benchmark):
+    """Rank-at-push calendar churn: the floor under every other number."""
+
+    def churn():
+        q = EventQueue()
+        for i in range(_N_EVENTS):
+            q.push(float(i % 97), ("op_done", "arrival", "deadline")[i % 3], i)
+        total = 0
+        while q:
+            total += q.pop().payload
+        return total
+
+    assert benchmark(churn) == sum(range(_N_EVENTS))
+
+
+def _locking_fixture():
+    specs = [
+        TransactionSpec("T1", (read("a"), write("b"))),
+        TransactionSpec("T2", (write("a"), read("c"))),
+        TransactionSpec("T3", (read("b"), write("c"), read("d"))),
+        TransactionSpec("T4", (read("a"), read("d"))),
+    ]
+    taskset = assign_by_order(specs)
+    jobs = tuple(Job(spec, 0, 0.0) for spec in taskset)
+    protocol = make_protocol("rw-pcp")
+    table = LockTable()
+    protocol.bind(taskset, table)
+    return table, jobs, protocol
+
+
+def test_grant_release_with_ceiling_index(benchmark):
+    """Lock-table mutation cost including incremental index maintenance."""
+    table, jobs, _ = _locking_fixture()
+    pairs = [
+        (jobs[0], "a", LockMode.READ),
+        (jobs[1], "c", LockMode.READ),
+        (jobs[2], "b", LockMode.READ),
+        (jobs[2], "c", LockMode.WRITE),
+        (jobs[3], "d", LockMode.READ),
+    ]
+
+    def cycle():
+        for job, item, mode in pairs:
+            table.grant(job, item, mode)
+        for job, item, mode in reversed(pairs):
+            table.release(job, item, mode)
+
+    benchmark(cycle)
+    assert not table.all_entries()
+
+
+def test_sysceil_query_from_index(benchmark):
+    """The ``Sysceil`` query a ceiling protocol issues per lock request."""
+    table, jobs, protocol = _locking_fixture()
+    table.grant(jobs[0], "a", LockMode.READ)
+    table.grant(jobs[2], "b", LockMode.READ)
+    table.grant(jobs[2], "c", LockMode.WRITE)
+
+    def query():
+        return protocol.system_ceiling(jobs[1])
+
+    level = benchmark(query)
+    assert level == protocol.system_ceiling(jobs[1])
+
+
+def test_dispatch_heavy_simulation(benchmark):
+    """A contended workload where the ready heap and blocked set churn:
+    per-event dispatch cost end to end."""
+    taskset = generate_taskset(
+        WorkloadConfig(
+            n_transactions=8, n_items=6, write_probability=0.5,
+            hot_access_probability=0.85, target_utilization=0.75, seed=11,
+        )
+    )
+    config = SimConfig(deadlock_action="abort_lowest")
+
+    def run():
+        sim = Simulator(taskset, make_protocol("pcp-da"), config)
+        sim.run()
+        return sim
+
+    sim = benchmark(run)
+    assert sim.events_processed > 0
+
+
+def test_priority_recompute_under_inheritance(benchmark):
+    """Blocking chains force priority recomputation over the active set."""
+    taskset = generate_taskset(
+        WorkloadConfig(
+            n_transactions=10, n_items=4, write_probability=0.6,
+            hot_access_probability=0.9, target_utilization=0.8, seed=3,
+        )
+    )
+    config = SimConfig(deadlock_action="abort_lowest")
+
+    def run():
+        sim = Simulator(taskset, make_protocol("pip-2pl"), config)
+        sim.run()
+        return sim
+
+    sim = benchmark(run)
+    assert sim.events_processed > 0

@@ -203,6 +203,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        if args.jobs > 1:
+            print(
+                "--profile measures only this process; use --jobs 1 for a "
+                "complete picture (continuing anyway)",
+                file=sys.stderr,
+            )
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _run_reproduce(args)
+        finally:
+            profiler.disable()
+            print(
+                "\n--- cProfile: hottest functions (by cumulative time) ---",
+                file=sys.stderr,
+            )
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
+    return _run_reproduce(args)
+
+
+def _run_reproduce(args: argparse.Namespace) -> int:
     from repro.exceptions import FaultSpecError, SweepResumeError
     from repro.experiments import (
         FaultPlan,
@@ -365,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministically inject faults for testing, e.g. "
              "'flaky:table1@2,crash:figure3' or 'random:7:3' "
              "(kinds: crash, hang, flaky, corrupt; see docs/RELIABILITY.md)",
+    )
+    reproduce.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the hottest functions to "
+             "stderr (cumulative time; single-process runs only)",
     )
     reproduce.set_defaults(func=_cmd_reproduce)
     return parser

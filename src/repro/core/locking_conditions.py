@@ -28,11 +28,18 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.ceilings import CeilingTable
+from repro.engine.lock_table import CeilingIndex
 from repro.model.spec import DUMMY_PRIORITY, LockMode
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.job import Job
-    from repro.engine.lock_table import LockTable
+    from repro.engine.lock_table import LockEntry, LockTable
+
+#: Index kind implementing PCP-DA's ``Sysceil`` semantics (read locks
+#: raise ``Wceil``; write locks raise nothing).  ``system_ceiling`` and
+#: ``ceiling_holders`` only fast-path an attached index of this kind —
+#: other ceiling protocols attach indexes with different level semantics.
+READ_CEILING_INDEX_KIND = "pcpda-read"
 
 
 @dataclass(frozen=True)
@@ -88,6 +95,30 @@ def _read_locked_items(table: "LockTable", excluded) -> "List[str]":
     return out
 
 
+def make_read_ceiling_index(ceilings: CeilingTable) -> CeilingIndex:
+    """Build the :class:`CeilingIndex` that incrementally tracks PCP-DA's
+    ``Sysceil``: an item contributes ``Wceil(x)`` while read-locked (write
+    locks never raise a ceiling — Lemma 1), and items nobody writes
+    (``Wceil = DUMMY_PRIORITY``) contribute nothing."""
+    wceil = ceilings.wceil
+
+    def level_of(item: str, entry: "LockEntry") -> Optional[int]:
+        if not entry.readers:
+            return None
+        level = wceil(item)
+        return None if level == DUMMY_PRIORITY else level
+
+    return CeilingIndex(READ_CEILING_INDEX_KIND, level_of, select="readers")
+
+
+def _read_index(table: "LockTable") -> Optional[CeilingIndex]:
+    """The table's attached index, iff it has PCP-DA read semantics."""
+    index = getattr(table, "ceiling_index", None)
+    if index is not None and index.kind == READ_CEILING_INDEX_KIND:
+        return index
+    return None
+
+
 def system_ceiling(
     table: "LockTable", ceilings: CeilingTable, exclude=None
 ) -> int:
@@ -97,7 +128,25 @@ def system_ceiling(
     The exclusion set matters beyond "not my own locks": per Lemma 8 /
     Theorem 2, jobs transitively blocked *on the requester* must not raise
     the requester's ceiling either (see ``evaluate_conditions``).
+
+    Answered from the table's incremental :class:`CeilingIndex` when one
+    with read-ceiling semantics is attached (the protocols attach it in
+    ``bind``); otherwise by :func:`system_ceiling_rescan`.
     """
+    excluded = _exclusion_set(exclude)
+    index = _read_index(table)
+    if index is not None:
+        level = index.max_level(excluded)
+        return DUMMY_PRIORITY if level is None else level
+    return system_ceiling_rescan(table, ceilings, excluded)
+
+
+def system_ceiling_rescan(
+    table: "LockTable", ceilings: CeilingTable, exclude=None
+) -> int:
+    """``Sysceil`` recomputed from scratch by walking every read-locked
+    item.  The reference implementation the incremental index is verified
+    against (and the fallback for bare tables without an index)."""
     excluded = _exclusion_set(exclude)
     level = DUMMY_PRIORITY
     for item in _read_locked_items(table, excluded):
@@ -109,9 +158,28 @@ def ceiling_holders(
     table: "LockTable", ceilings: CeilingTable, exclude=None
 ) -> "Tuple[Job, ...]":
     """Jobs (outside ``exclude``) holding read locks at the ``Sysceil``
-    level — ``T*``."""
+    level — ``T*``.  Index-accelerated like :func:`system_ceiling`."""
     excluded = _exclusion_set(exclude)
-    level = system_ceiling(table, ceilings, excluded)
+    index = _read_index(table)
+    if index is not None:
+        level, items = index.scan(excluded)
+        if level is None:
+            return ()
+        holders: List["Job"] = []
+        for item in items:
+            for job in table.readers_of(item):
+                if job not in excluded and job not in holders:
+                    holders.append(job)
+        return tuple(sorted(holders, key=lambda j: j.seq))
+    return ceiling_holders_rescan(table, ceilings, excluded)
+
+
+def ceiling_holders_rescan(
+    table: "LockTable", ceilings: CeilingTable, exclude=None
+) -> "Tuple[Job, ...]":
+    """From-scratch ``T*`` computation (reference / no-index fallback)."""
+    excluded = _exclusion_set(exclude)
+    level = system_ceiling_rescan(table, ceilings, excluded)
     if level == DUMMY_PRIORITY:
         return ()
     holders: List["Job"] = []

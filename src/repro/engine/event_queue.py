@@ -1,22 +1,29 @@
 """A deterministic event calendar.
 
-The queue is a binary heap keyed by ``(time, sequence)``: events at the same
-simulation time pop in insertion order, which makes every run reproducible.
-Cancellation is handled by *tokens* — an operation-completion event carries
-the token it was scheduled under, and the simulator bumps a job's token when
-the job is preempted, so stale completions are recognised and dropped
-instead of being laboriously removed from the heap.
+The queue is a binary heap keyed by ``(time, kind rank, sequence)``: events
+at the same simulation time pop by kind rank and then in insertion order,
+which makes every run reproducible.  Cancellation is handled by *tokens* —
+an operation-completion event carries the token it was scheduled under, and
+the simulator bumps a job's token when the job is preempted, so stale
+completions are recognised and dropped instead of being laboriously removed
+from the heap.
+
+Hot-path notes: the kind rank is resolved **once at push time** and stored
+on the event (popping compares plain ``(float, int, int)`` tuples, never
+touching the rank table or the event object), and :class:`ScheduledEvent`
+carries ``__slots__`` — a long run allocates one event per arrival,
+completion, and deadline check, so the per-instance dict is worth skipping.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.exceptions import SimulationError
-
 
 #: Same-time ordering: operation completions (and the commits they trigger)
 #: happen before new arrivals at the same instant, matching the paper's
@@ -25,9 +32,10 @@ from repro.exceptions import SimulationError
 #: Deadline checks run after completions (a commit at exactly the deadline
 #: meets it) and after arrivals.
 _KIND_RANK = {"op_done": 0, "arrival": 1, "deadline": 2}
+_DEFAULT_RANK = 9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class ScheduledEvent:
     """An entry in the calendar.
 
@@ -36,23 +44,25 @@ class ScheduledEvent:
         seq: tie-breaking insertion sequence (assigned by the queue).
         kind: event discriminator string (``"arrival"``, ``"op_done"``...).
         payload: event-specific data (kept opaque to the queue).
+        rank: same-time kind rank, resolved from ``kind`` at push time.
     """
 
     time: float
     seq: int
     kind: str
     payload: Any
+    rank: int = _DEFAULT_RANK
 
     def sort_key(self) -> Tuple[float, int, int]:
         """Heap ordering: time, then same-time kind rank, then insertion."""
-        return (self.time, _KIND_RANK.get(self.kind, 9), self.seq)
+        return (self.time, self.rank, self.seq)
 
 
 class EventQueue:
     """Binary-heap calendar with deterministic same-time ordering."""
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[Tuple[float, int, int], ScheduledEvent]] = []
+        self._heap: List[Tuple[float, int, int, ScheduledEvent]] = []
         self._counter = itertools.count()
         self._now = 0.0
 
@@ -73,15 +83,16 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule {kind!r} at t={time} in the past (now={self._now})"
             )
-        event = ScheduledEvent(time, next(self._counter), kind, payload)
-        heapq.heappush(self._heap, (event.sort_key(), event))
+        rank = _KIND_RANK.get(kind, _DEFAULT_RANK)
+        event = ScheduledEvent(time, next(self._counter), kind, payload, rank)
+        heapq.heappush(self._heap, (time, rank, event.seq, event))
         return event
 
     def pop(self) -> ScheduledEvent:
         """Pop the earliest event and advance the clock to it."""
         if not self._heap:
             raise SimulationError("pop from an empty event queue")
-        _, event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[3]
         self._now = event.time
         return event
 
@@ -89,7 +100,7 @@ class EventQueue:
         """Time of the next event, or ``None`` when the calendar is empty."""
         if not self._heap:
             return None
-        return self._heap[0][0][0]
+        return self._heap[0][0]
 
     def drain(self) -> Iterator[ScheduledEvent]:
         """Pop every remaining event in order (used by tests)."""

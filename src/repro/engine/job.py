@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Set, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.engine.workspace import Workspace
 from repro.exceptions import SimulationError
 from repro.model.spec import LockMode, Operation, TransactionSpec
@@ -42,7 +43,7 @@ class JobState(enum.Enum):
         return self not in (JobState.COMMITTED, JobState.DROPPED)
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class BlockInterval:
     """One contiguous interval during which the job waited for a lock."""
 
@@ -61,7 +62,20 @@ class BlockInterval:
 
 
 class Job:
-    """Mutable runtime state of one transaction instance."""
+    """Mutable runtime state of one transaction instance.
+
+    ``__slots__`` is deliberate: sweeps release millions of jobs, and the
+    dispatcher touches ``state`` / ``running_priority`` / ``seq`` on every
+    event, so skipping the per-instance ``__dict__`` is a measurable win.
+    """
+
+    __slots__ = (
+        "spec", "instance", "arrival", "name", "seq", "state", "pc",
+        "op_remaining", "op_started", "completion_token",
+        "scheduled_completion", "base_priority", "running_priority",
+        "workspace", "data_read", "pending_request", "block_intervals",
+        "finish_time", "restarts", "preemptions", "grant_rules",
+    )
 
     _seq_counter = 0
 

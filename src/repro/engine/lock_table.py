@@ -15,13 +15,30 @@ Unusual-but-intentional capabilities (required by PCP-DA):
   workspace.
 
 Stricter protocols simply never grant such combinations.
+
+For the ceiling protocols the table also hosts an optional
+:class:`CeilingIndex` — an incrementally maintained max-structure over the
+per-item ceiling levels, so ``Sysceil`` queries stop rescanning every held
+lock on every request (see the class docstring for the invariants).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
+from repro._compat import DATACLASS_SLOTS
 from repro.exceptions import ProtocolError
 from repro.model.spec import LockMode
 
@@ -29,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.job import Job
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class LockEntry:
     """Holders of one data item, by mode."""
 
@@ -45,12 +62,182 @@ class LockEntry:
         return not self.readers and not self.writers
 
 
+class CeilingIndex:
+    """Incremental max-ceiling index over the locked items of one table.
+
+    A ceiling protocol attaches one index via
+    :meth:`LockTable.attach_ceiling_index`, supplying ``level_of(item,
+    entry)`` — the protocol's current ceiling of a locked item (``None``
+    when the item contributes no ceiling) — and ``select``, which side of
+    the entry gates the *exclusion* test at query time (``"readers"`` for
+    PCP-DA's read-lock-only ceilings, ``"holders"`` otherwise).
+
+    Maintenance contract (the "bump on grant, lazy-max-repair on release"
+    scheme):
+
+    * every grant/release recomputes the affected item's level — an O(1)
+      call — and **pushes** a heap entry whenever the level changed, so the
+      heap always contains an entry for every item's *current* level;
+    * nothing is ever removed eagerly; outdated entries (the item's level
+      changed, or the item is fully unlocked) are recognised against
+      ``_current`` and discarded when they surface at the heap top during
+      a query.
+
+    Queries therefore cost O(stale + skipped + |answer|) heap operations
+    instead of a full rescan of the table; with low churn the top of the
+    heap is almost always the answer.  ``self_check()`` recomputes
+    everything from scratch and is what the differential battery calls.
+    """
+
+    __slots__ = ("kind", "_level_of", "_select_readers", "_table", "_heap",
+                 "_current")
+
+    def __init__(
+        self,
+        kind: str,
+        level_of: "Callable[[str, LockEntry], Optional[int]]",
+        *,
+        select: str = "holders",
+    ) -> None:
+        if select not in ("readers", "holders"):
+            raise ProtocolError(f"unknown ceiling-index selector {select!r}")
+        self.kind = kind
+        self._level_of = level_of
+        self._select_readers = select == "readers"
+        self._table: "Optional[LockTable]" = None
+        self._heap: List[Tuple[int, str]] = []  # (-level, item), lazy
+        self._current: Dict[str, int] = {}      # item -> live level
+
+    # ------------------------------------------------------------------
+    # Maintenance (driven by LockTable)
+    # ------------------------------------------------------------------
+    def rebuild(self, table: "LockTable") -> None:
+        """Bind to ``table`` and re-derive the index from its live entries."""
+        self._table = table
+        self._heap.clear()
+        self._current.clear()
+        for item, entry in table._entries.items():
+            self.update(item, entry)
+
+    def update(self, item: str, entry: "Optional[LockEntry]") -> None:
+        """Re-evaluate one item after a grant or release on it."""
+        new = None if entry is None or entry.empty else self._level_of(item, entry)
+        old = self._current.get(item)
+        if new == old:
+            return
+        if new is None:
+            del self._current[item]
+        else:
+            self._current[item] = new
+            heapq.heappush(self._heap, (-new, item))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _qualifies(self, item: str, excluded) -> bool:
+        entry = self._table._entries.get(item)
+        if entry is None:
+            return False
+        if self._select_readers:
+            jobs: Iterable["Job"] = entry.readers
+        elif entry.readers and entry.writers:
+            jobs = entry.readers | entry.writers
+        else:
+            jobs = entry.readers or entry.writers
+        if not excluded:
+            return bool(jobs)
+        for job in jobs:
+            if job not in excluded:
+                return True
+        return False
+
+    def scan(self, excluded=frozenset()) -> Tuple[Optional[int], List[str]]:
+        """Highest level among items locked by someone outside ``excluded``,
+        plus every item at that level; ``(None, [])`` when nothing
+        qualifies.
+
+        Stale heap entries met on the way down are discarded permanently;
+        valid entries that are merely skipped (all their relevant holders
+        are excluded) or consumed for the answer are pushed back.
+        """
+        heap = self._heap
+        current = self._current
+        restore: List[Tuple[int, str]] = []
+        seen: Set[str] = set()
+        level: Optional[int] = None
+        items: List[str] = []
+        while heap:
+            neg, item = heap[0]
+            if current.get(item) != -neg:
+                heapq.heappop(heap)  # outdated: drop for good
+                continue
+            if level is not None and -neg < level:
+                break  # everything below the found level is irrelevant
+            heapq.heappop(heap)
+            if item in seen:
+                continue  # duplicate of an entry already in ``restore``
+            seen.add(item)
+            restore.append((neg, item))
+            if self._qualifies(item, excluded):
+                if level is None:
+                    level = -neg
+                items.append(item)
+        for entry in restore:
+            heapq.heappush(heap, entry)
+        return level, items
+
+    def max_level(self, excluded=frozenset()) -> Optional[int]:
+        """Just the level of :meth:`scan` (``None`` when nothing qualifies)."""
+        return self.scan(excluded)[0]
+
+    # ------------------------------------------------------------------
+    # Differential verification
+    # ------------------------------------------------------------------
+    def self_check(self) -> None:
+        """Assert the incremental state equals a from-scratch re-derivation."""
+        assert self._table is not None, "index used before attach"
+        fresh: Dict[str, int] = {}
+        for item, entry in self._table._entries.items():
+            level = None if entry.empty else self._level_of(item, entry)
+            if level is not None:
+                fresh[item] = level
+        if fresh != self._current:
+            raise AssertionError(
+                f"ceiling index diverged: incremental={self._current} "
+                f"rescan={fresh}"
+            )
+        represented = {item for _, item in self._heap}
+        missing = set(fresh) - represented
+        if missing:
+            raise AssertionError(
+                f"ceiling index heap lost live items: {sorted(missing)}"
+            )
+
+
 class LockTable:
     """Mapping of item name to :class:`LockEntry`, plus per-job indexes."""
+
+    __slots__ = ("_entries", "_held_by_job", "_ceiling_index")
 
     def __init__(self) -> None:
         self._entries: Dict[str, LockEntry] = {}
         self._held_by_job: "Dict[Job, Dict[str, Set[LockMode]]]" = {}
+        self._ceiling_index: Optional[CeilingIndex] = None
+
+    # ------------------------------------------------------------------
+    # Ceiling index
+    # ------------------------------------------------------------------
+    def attach_ceiling_index(self, index: CeilingIndex) -> CeilingIndex:
+        """Install ``index`` (one per table); it is rebuilt from the live
+        entries and kept current by every subsequent grant/release."""
+        self._ceiling_index = index
+        index.rebuild(self)
+        return index
+
+    @property
+    def ceiling_index(self) -> Optional[CeilingIndex]:
+        """The attached :class:`CeilingIndex`, if any."""
+        return self._ceiling_index
 
     # ------------------------------------------------------------------
     # Mutation
@@ -61,12 +248,16 @@ class LockTable:
         Granting a mode the job already holds is an error — the engine
         checks for held locks before consulting the protocol.
         """
-        entry = self._entries.setdefault(item, LockEntry())
+        entry = self._entries.get(item)
+        if entry is None:
+            entry = self._entries[item] = LockEntry()
         side = entry.readers if mode is LockMode.READ else entry.writers
         if job in side:
             raise ProtocolError(f"{job.name} already holds {mode} lock on {item!r}")
         side.add(job)
         self._held_by_job.setdefault(job, {}).setdefault(item, set()).add(mode)
+        if self._ceiling_index is not None:
+            self._ceiling_index.update(item, entry)
 
     def release(self, job: "Job", item: str, mode: LockMode) -> None:
         """Release one lock (CCP's early unlock path)."""
@@ -84,6 +275,8 @@ class LockTable:
                 del self._held_by_job[job][item]
         if entry.empty:
             del self._entries[item]
+        if self._ceiling_index is not None:
+            self._ceiling_index.update(item, entry)
 
     def release_all(self, job: "Job") -> Tuple[Tuple[str, LockMode], ...]:
         """Release every lock ``job`` holds; returns what was released."""
@@ -127,6 +320,12 @@ class LockTable:
             item: frozenset(modes)
             for item, modes in self._held_by_job.get(job, {}).items()
         }
+
+    def iter_items_held_by(self, job: "Job") -> "Iterable[str]":
+        """Item names ``job`` holds locks on, without building new sets
+        (hot path: IPCP's priority floor walks this per recomputation)."""
+        held = self._held_by_job.get(job)
+        return held.keys() if held else ()
 
     def read_locked_items(self, exclude: "Job" = None) -> Tuple[str, ...]:
         """Items currently read-locked by some job other than ``exclude``."""

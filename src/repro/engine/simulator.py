@@ -13,6 +13,7 @@ the dispatcher breaks priority ties by release order, so a given
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -78,6 +79,12 @@ class SimConfig:
         record_sysceil: sample the global system ceiling after every event
             (the ``Max_Sysceil`` traces of Figures 4/5).
         max_events: hard cap on processed events (runaway guard).
+        debug_invariants: after every event batch, cross-check the
+            incremental scheduler state (ready heap, blocked set, active
+            index, ceiling index) against a from-scratch recomputation.
+            Slow; exists for the differential battery, which uses it to
+            prove the fast path is observationally identical to filtering
+            ``jobs`` per event.
     """
 
     horizon: Optional[float] = None
@@ -88,6 +95,7 @@ class SimConfig:
     context_switch_overhead: float = 0.0
     record_sysceil: bool = True
     max_events: int = 1_000_000
+    debug_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.deadlock_action not in ("raise", "halt", "abort_lowest"):
@@ -172,6 +180,25 @@ class Simulator:
         self._running: Optional[Job] = None
         self._run_start = 0.0
         self._locks_dirty = False
+        # ---- incremental scheduler state --------------------------------
+        # Maintained on state transitions instead of recomputed by
+        # filtering ``self.jobs`` per event; see docs/ENGINE.md
+        # ("Incremental scheduler state") for the invariants and the
+        # differential battery that guards them.
+        #: Active (non-terminal) jobs in release order (dict = ordered set).
+        self._active: Dict[Job, None] = {}
+        #: Currently BLOCKED jobs (dict = ordered set).
+        self._blocked: Dict[Job, None] = {}
+        #: Lazy min-heap of (dispatch_key, push seq, job) over READY jobs.
+        #: An entry is live iff the job is still READY *and* the stored key
+        #: equals its current dispatch key; every transition into READY and
+        #: every priority change of a READY job pushes a fresh entry, so
+        #: outdated ones are simply skipped at pop time.
+        self._ready_heap: List[Tuple[Tuple[int, float, int], int, Job]] = []
+        self._ready_pushes = 0
+        #: Per-denial blocker-name tuples, memoised by blocker identity
+        #: (repeat denials by the same holders are the common case).
+        self._blocker_names: Dict[Tuple[Job, ...], Tuple[str, ...]] = {}
         self._halted: Optional[DeadlockInfo] = None
         self._restart_count = 0
         self._started = False
@@ -292,6 +319,8 @@ class Simulator:
                 break
             if self.config.record_sysceil:
                 self.trace.sysceil(now, self.protocol.system_ceiling(None))
+            if self.config.debug_invariants:
+                self._verify_incremental_state()
         return self.queue.now
 
     def finalize(self) -> SimulationResult:
@@ -322,6 +351,74 @@ class Simulator:
             deadlock=self._halted,
             aborted_restarts=self._restart_count,
         )
+
+    @property
+    def events_processed(self) -> int:
+        """Calendar events processed so far (perf-harness accounting)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Incremental scheduler state
+    # ------------------------------------------------------------------
+    def _push_ready(self, job: Job) -> None:
+        """Add/refresh the heap entry for a job that is (now) READY."""
+        self._ready_pushes += 1
+        heapq.heappush(
+            self._ready_heap, (job.dispatch_key(), self._ready_pushes, job)
+        )
+
+    def _peek_ready(self) -> Optional[Job]:
+        """Highest-priority READY job; discards outdated heap entries."""
+        heap = self._ready_heap
+        while heap:
+            key, _, job = heap[0]
+            if job.state is JobState.READY and key == job.dispatch_key():
+                return job
+            heapq.heappop(heap)
+        return None
+
+    def _verify_incremental_state(self) -> None:
+        """Cross-check the incremental indexes against from-scratch filters.
+
+        Only runs under ``SimConfig.debug_invariants`` — this is the
+        differential battery's hook, not a production path.
+        """
+        expected_active = [j for j in self.jobs if j.state.active]
+        if list(self._active) != expected_active:
+            raise SimulationError(
+                "active index diverged: "
+                f"{[j.name for j in self._active]} != "
+                f"{[j.name for j in expected_active]}"
+            )
+        expected_blocked = {j for j in self.jobs if j.state is JobState.BLOCKED}
+        if set(self._blocked) != expected_blocked:
+            raise SimulationError(
+                "blocked index diverged: "
+                f"{sorted(j.name for j in self._blocked)} != "
+                f"{sorted(j.name for j in expected_blocked)}"
+            )
+        candidates = [
+            j for j in self.jobs
+            if j.state in (JobState.READY, JobState.RUNNING)
+        ]
+        slow = min(candidates, key=Job.dispatch_key) if candidates else None
+        fast = self._peek_ready()
+        running = self._running
+        if (
+            running is not None
+            and running.state is JobState.RUNNING
+            and (fast is None or running.dispatch_key() < fast.dispatch_key())
+        ):
+            fast = running
+        if fast is not slow:
+            raise SimulationError(
+                "ready-heap best diverged: "
+                f"{fast.name if fast else None} != "
+                f"{slow.name if slow else None}"
+            )
+        index = self.table.ceiling_index
+        if index is not None:
+            index.self_check()
 
     # ------------------------------------------------------------------
     # Time accounting
@@ -361,6 +458,8 @@ class Simulator:
     def _handle_arrival(self, spec, instance: int, now: float) -> None:
         job = Job(spec, instance, now)
         self.jobs.append(job)
+        self._active[job] = None
+        self._push_ready(job)
         self.trace.sched(now, SchedEventKind.ARRIVAL, job.name)
         if self.config.on_miss == "abort" and job.absolute_deadline is not None:
             self.queue.push(job.absolute_deadline, "deadline", job)
@@ -386,6 +485,8 @@ class Simulator:
         job.scheduled_completion = None
         job.pending_request = None
         job.state = JobState.DROPPED
+        self._active.pop(job, None)
+        self._blocked.pop(job, None)
         self.history.record_abort(job.name, now)
         self.trace.sched(now, SchedEventKind.MISS, job.name)
         self._locks_dirty = True
@@ -448,6 +549,7 @@ class Simulator:
         self.waits.forget(job)
         self._recompute_priorities()
         job.state = JobState.COMMITTED
+        self._active.pop(job, None)
         job.finish_time = now
         self.trace.sched(now, SchedEventKind.COMMIT, job.name)
         deadline = job.absolute_deadline
@@ -514,8 +616,15 @@ class Simulator:
     def _apply_block(
         self, job: Job, item: str, mode: LockMode, deny: Deny, now: float
     ) -> None:
-        blocker_names = tuple(sorted(b.name for b in deny.blockers))
+        # Repeat denials by the same set of holders dominate contended
+        # runs; memoise the sorted-name tuple per blocker identity instead
+        # of re-sorting fresh strings on every denial.
+        blocker_names = self._blocker_names.get(deny.blockers)
+        if blocker_names is None:
+            blocker_names = tuple(sorted(b.name for b in deny.blockers))
+            self._blocker_names[deny.blockers] = blocker_names
         job.state = JobState.BLOCKED
+        self._blocked[job] = None
         job.pending_request = (item, mode)
         # A job woken by a lock release and denied again at the same
         # instant continues its existing blocking interval instead of
@@ -558,6 +667,11 @@ class Simulator:
             if self._running is victim:
                 self._running = None
             victim.restart()
+            # restart() resets the victim to READY at its base priority
+            # before the recompute below snapshots "previous" priorities,
+            # so the heap entry must be refreshed here explicitly.
+            self._blocked.pop(victim, None)
+            self._push_ready(victim)
             self._restart_count += 1
             self.trace.sched(now, SchedEventKind.ABORT, victim.name, by.name)
         self._recompute_priorities()
@@ -580,15 +694,20 @@ class Simulator:
         self._apply_aborts([victim], requester, now)
 
     def _recompute_priorities(self) -> None:
-        active = [j for j in self.jobs if j.state.active]
-        before = {j: j.running_priority for j in active}
+        # ``_active`` iterates in release order, exactly like the
+        # filter over ``self.jobs`` it replaced — the order in which
+        # priority changes are recorded is part of the trace format.
+        active = self._active
+        before = [(j, j.running_priority) for j in active]
         self.waits.recompute_priorities(
             active, floor=self.protocol.priority_floor
         )
         now = self.queue.now
-        for job in active:
-            if job.running_priority != before[job]:
+        for job, prev in before:
+            if job.running_priority != prev:
                 self.trace.priority(now, job.name, job.running_priority)
+                if job.state is JobState.READY:
+                    self._push_ready(job)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -609,14 +728,17 @@ class Simulator:
         with its blocking interval continued, so blocking-time accounting
         is unaffected by the wake/re-deny round trip.
         """
-        woken = [j for j in self.jobs if j.state is JobState.BLOCKED]
+        if not self._blocked:
+            return
+        woken = list(self._blocked)
+        self._blocked.clear()
         for job in woken:
             job.end_block(now)
             job.state = JobState.READY
             job.pending_request = None
             self.waits.unblock(job)
-        if woken:
-            self._recompute_priorities()
+            self._push_ready(job)
+        self._recompute_priorities()
 
     def _pick_runner(self, now: float) -> Optional[Job]:
         """Choose the next job for the CPU, acquiring locks on the way.
@@ -639,13 +761,19 @@ class Simulator:
                 self._wake_blocked(now)
             if self._halted is not None:
                 return None
-            candidates = [
-                j for j in self.jobs
-                if j.state in (JobState.READY, JobState.RUNNING)
-            ]
-            if not candidates:
+            # Highest-priority candidate = best live heap entry vs. the
+            # (single possible) running job; dispatch keys are unique, so
+            # this agrees with the old min() over a filtered job list.
+            best = self._peek_ready()
+            running = self._running
+            if (
+                running is not None
+                and running.state is JobState.RUNNING
+                and (best is None or running.dispatch_key() < best.dispatch_key())
+            ):
+                best = running
+            if best is None:
                 return None
-            best = min(candidates, key=Job.dispatch_key)
             need = self._needs_lock(best)
             if need is None:
                 if not best.op_started:
@@ -682,6 +810,7 @@ class Simulator:
             return
         if previous is not None and previous.state is JobState.RUNNING:
             previous.state = JobState.READY
+            self._push_ready(previous)
             previous.completion_token += 1
             previous.scheduled_completion = None
             previous.preemptions += 1

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.core.ceilings import CeilingTable
 from repro.engine.interfaces import ConcurrencyControlProtocol
+from repro.engine.lock_table import CeilingIndex
 from repro.exceptions import ProtocolError, UnknownProtocolError
 from repro.model.spec import DUMMY_PRIORITY, LockMode, TaskSet
 
@@ -45,6 +46,13 @@ def available_protocols() -> Tuple[str, ...]:
 class CeilingProtocolBase(ConcurrencyControlProtocol):
     """Shared machinery for protocols that use static ceiling tables."""
 
+    #: Kind tag of the :class:`CeilingIndex` this protocol's ``Sysceil``
+    #: queries can be answered from (``None``: no index acceleration).
+    #: The tag guards against fast-pathing an index with the *wrong*
+    #: level semantics — only the protocol family that attached an index
+    #: of its own kind will consult it.
+    _index_kind: Optional[str] = None
+
     def __init__(self) -> None:
         super().__init__()
         self._ceilings: Optional[CeilingTable] = None
@@ -52,11 +60,39 @@ class CeilingProtocolBase(ConcurrencyControlProtocol):
     def bind(self, taskset: TaskSet, table: "LockTable") -> None:
         super().bind(taskset, table)
         self._ceilings = CeilingTable(taskset)
+        index = self._make_ceiling_index()
+        if index is not None:
+            table.attach_ceiling_index(index)
 
     @property
     def ceilings(self) -> CeilingTable:
         assert self._ceilings is not None, "protocol used before bind()"
         return self._ceilings
+
+    def _make_ceiling_index(self) -> Optional[CeilingIndex]:
+        """Build this protocol's incremental ceiling index (``None`` when
+        the protocol has no ceiling queries worth accelerating)."""
+        return None
+
+    def _scan_sysceil_and_holders(
+        self, exclude: "Optional[Job]"
+    ) -> Optional[Tuple[int, Tuple["Job", ...]]]:
+        """``(Sysceil, holders)`` answered from the attached index, or
+        ``None`` when no index of this protocol's kind is attached
+        (callers then fall back to their from-scratch rescan)."""
+        index = self.table.ceiling_index
+        if index is None or index.kind != self._index_kind:
+            return None
+        excluded = frozenset() if exclude is None else frozenset({exclude})
+        level, items = index.scan(excluded)
+        if level is None:
+            return DUMMY_PRIORITY, ()
+        holders: "List[Job]" = []
+        for item in items:
+            for job in self.table.holders_of(item):
+                if job is not exclude and job not in holders:
+                    holders.append(job)
+        return level, tuple(sorted(holders, key=lambda j: j.seq))
 
 
 # Register PCP-DA here (its module lives in repro.core and must not import

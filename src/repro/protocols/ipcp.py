@@ -27,11 +27,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.engine.interfaces import Deny, Grant, InstallPolicy
+from repro.engine.lock_table import CeilingIndex
 from repro.model.spec import DUMMY_PRIORITY, LockMode
 from repro.protocols.base import CeilingProtocolBase, register_protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.job import Job
+    from repro.engine.lock_table import LockEntry
 
 
 @register_protocol
@@ -41,13 +43,27 @@ class IPCP(CeilingProtocolBase):
     name = "ipcp"
     install_policy = InstallPolicy.AT_WRITE
     can_deadlock = False
+    _index_kind = "aceil"
+
+    def _make_ceiling_index(self) -> CeilingIndex:
+        aceil = self.ceilings.aceil
+
+        def level_of(item: str, entry: "LockEntry") -> Optional[int]:
+            level = aceil(item)
+            return None if level == DUMMY_PRIORITY else level
+
+        return CeilingIndex(self._index_kind, level_of)
 
     def priority_floor(self, job: "Job") -> int:
-        """The job runs at least at the highest ceiling it holds."""
+        """The job runs at least at the highest ceiling it holds.
+
+        Called for every active job on every priority recomputation, so
+        it iterates the per-job lock index without building new sets.
+        """
         return max(
             (
                 self.ceilings.aceil(item)
-                for item in self.table.items_held_by(job)
+                for item in self.table.iter_items_held_by(job)
             ),
             default=DUMMY_PRIORITY,
         )
@@ -64,6 +80,11 @@ class IPCP(CeilingProtocolBase):
         )
 
     def system_ceiling(self, exclude: "Job" = None) -> int:
+        index = self.table.ceiling_index
+        if index is not None and index.kind == self._index_kind:
+            excluded = frozenset() if exclude is None else frozenset({exclude})
+            level = index.max_level(excluded)
+            return DUMMY_PRIORITY if level is None else level
         level = DUMMY_PRIORITY
         for item in self.table.locked_items(exclude=exclude):
             level = max(level, self.ceilings.aceil(item))

@@ -18,11 +18,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.engine.interfaces import Deny, Grant, InstallPolicy
+from repro.engine.lock_table import CeilingIndex
 from repro.model.spec import DUMMY_PRIORITY, LockMode
 from repro.protocols.base import CeilingProtocolBase, register_protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.job import Job
+    from repro.engine.lock_table import LockEntry
 
 
 @register_protocol
@@ -32,8 +34,26 @@ class OriginalPCP(CeilingProtocolBase):
     name = "pcp"
     install_policy = InstallPolicy.AT_WRITE
     can_deadlock = False
+    _index_kind = "aceil"
+
+    def _make_ceiling_index(self) -> CeilingIndex:
+        aceil = self.ceilings.aceil
+
+        def level_of(item: str, entry: "LockEntry") -> Optional[int]:
+            level = aceil(item)
+            return None if level == DUMMY_PRIORITY else level
+
+        return CeilingIndex(self._index_kind, level_of)
 
     def _sysceil_and_holders(
+        self, exclude: "Optional[Job]"
+    ) -> Tuple[int, Tuple["Job", ...]]:
+        fast = self._scan_sysceil_and_holders(exclude)
+        if fast is not None:
+            return fast
+        return self._sysceil_and_holders_rescan(exclude)
+
+    def _sysceil_and_holders_rescan(
         self, exclude: "Optional[Job]"
     ) -> Tuple[int, Tuple["Job", ...]]:
         level = DUMMY_PRIORITY

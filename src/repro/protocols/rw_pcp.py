@@ -29,11 +29,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.engine.interfaces import Deny, Grant, InstallPolicy
+from repro.engine.lock_table import CeilingIndex
 from repro.model.spec import DUMMY_PRIORITY, LockMode
 from repro.protocols.base import CeilingProtocolBase, register_protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.job import Job
+    from repro.engine.lock_table import LockEntry
 
 
 @register_protocol
@@ -43,6 +45,19 @@ class RWPCP(CeilingProtocolBase):
     name = "rw-pcp"
     install_policy = InstallPolicy.AT_WRITE
     can_deadlock = False
+    _index_kind = "rwceil"
+
+    def _make_ceiling_index(self) -> CeilingIndex:
+        aceil = self.ceilings.aceil
+        wceil = self.ceilings.wceil
+
+        def level_of(item: str, entry: "LockEntry") -> Optional[int]:
+            # The runtime r/w ceiling: Aceil while write-locked, Wceil
+            # while (only) read-locked; ceiling-free items drop out.
+            level = aceil(item) if entry.writers else wceil(item)
+            return None if level == DUMMY_PRIORITY else level
+
+        return CeilingIndex(self._index_kind, level_of)
 
     # ------------------------------------------------------------------
     # Runtime ceilings
@@ -59,6 +74,16 @@ class RWPCP(CeilingProtocolBase):
         self, exclude: "Optional[Job]"
     ) -> Tuple[int, Tuple["Job", ...]]:
         """``Sysceil`` w.r.t. ``exclude`` and the jobs holding it."""
+        fast = self._scan_sysceil_and_holders(exclude)
+        if fast is not None:
+            return fast
+        return self._sysceil_and_holders_rescan(exclude)
+
+    def _sysceil_and_holders_rescan(
+        self, exclude: "Optional[Job]"
+    ) -> Tuple[int, Tuple["Job", ...]]:
+        """From-scratch reference (and no-index fallback) for
+        :meth:`_sysceil_and_holders`."""
         level = DUMMY_PRIORITY
         per_item: List[Tuple[str, int]] = []
         for item in self.table.locked_items(exclude=exclude):

@@ -20,8 +20,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.ceilings import CeilingTable
-from repro.core.locking_conditions import ceiling_holders, system_ceiling
+from repro.core.locking_conditions import (
+    ceiling_holders,
+    make_read_ceiling_index,
+    system_ceiling,
+)
 from repro.engine.interfaces import Deny, Grant, InstallPolicy
+from repro.engine.lock_table import CeilingIndex
 from repro.model.spec import LockMode, TaskSet
 from repro.protocols.base import CeilingProtocolBase, register_protocol
 
@@ -36,6 +41,11 @@ class WeakPCPDA(CeilingProtocolBase):
     name = "weak-pcp-da"
     install_policy = InstallPolicy.AT_COMMIT
     can_deadlock = True
+
+    def _make_ceiling_index(self) -> CeilingIndex:
+        # Same Sysceil semantics as full PCP-DA (only the admission
+        # conditions are weakened), so the same read-ceiling index applies.
+        return make_read_ceiling_index(self.ceilings)
 
     def decide(self, job: "Job", item: str, mode: LockMode):
         if mode is LockMode.WRITE:

@@ -1,0 +1,184 @@
+"""Golden-trace corpus for the engine's differential battery.
+
+The incremental scheduler-state fast path (ready heap, blocked set,
+incremental ceiling index) must be *observationally invisible*: every
+simulation has to produce byte-identical output to the original
+filter-per-event engine.  This module pins that claim to disk:
+
+* :data:`CORPUS` enumerates a fixed grid of (task set, protocol, config)
+  runs — the paper's worked examples plus seeded random workloads — that
+  exercises every protocol, both install policies, firm deadlines,
+  deadlock handling, and the overhead knobs;
+* :func:`trace_digest` canonicalises one run to its full JSON export and
+  hashes it;
+* ``python -m tests.golden_traces --write`` regenerates
+  ``tests/golden/engine_trace_hashes.json`` (plus one full example trace
+  kept readable for debugging diffs).
+
+The hashes currently committed were produced by the *pre-fast-path* seed
+engine; ``tests/test_engine_golden_traces.py`` asserts the live engine
+still matches them.  Regenerate only when an intentional semantic change
+is made, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+from repro.trace.export import result_to_json
+from repro.workloads.examples import (
+    example1_taskset,
+    example3_taskset,
+    example4_taskset,
+    example5_taskset,
+)
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+HASH_FILE = GOLDEN_DIR / "engine_trace_hashes.json"
+#: One full trace kept as readable JSON so a hash mismatch has a diffable
+#: artifact next to it.
+FULL_TRACE_CASE = "example4/pcp-da"
+FULL_TRACE_FILE = GOLDEN_DIR / "example4_pcp-da.json"
+
+#: Protocols run against every random workload (the `repro compare` set).
+ALL_PROTOCOLS = (
+    "pcp-da", "rw-pcp", "ccp", "pcp", "ipcp", "pip-2pl", "2pl-hp", "2pl",
+    "occ-bc", "rw-pcp-abort",
+)
+
+
+def _workload(seed: int, **overrides) -> Callable[[], object]:
+    def build():
+        params = dict(
+            n_transactions=6, n_items=10, write_probability=0.35,
+            hot_access_probability=0.6, target_utilization=0.6, seed=seed,
+        )
+        params.update(overrides)
+        return generate_taskset(WorkloadConfig(**params))
+
+    return build
+
+
+def _corpus() -> List[Tuple[str, Callable[[], object], str, Optional[SimConfig]]]:
+    cases: List[Tuple[str, Callable[[], object], str, Optional[SimConfig]]] = []
+    # The paper's worked examples, under the protocols their figures use.
+    for proto in ("pcp-da", "rw-pcp", "ccp", "pcp", "ipcp", "pip-2pl"):
+        cases.append((f"example1/{proto}", example1_taskset, proto, None))
+    for proto in ("pcp-da", "rw-pcp"):
+        cases.append((
+            f"example3/{proto}", example3_taskset, proto,
+            SimConfig(horizon=11, max_instances=2),
+        ))
+    for proto in ("pcp-da", "rw-pcp", "ccp"):
+        cases.append((f"example4/{proto}", example4_taskset, proto, None))
+    cases.append(("example5/pcp-da", example5_taskset, "pcp-da", None))
+    cases.append((
+        "example5/weak-pcp-da-halt", example5_taskset, "weak-pcp-da",
+        SimConfig(deadlock_action="halt"),
+    ))
+    # Seeded random workloads under every protocol (abort_lowest so the
+    # deadlock-prone baselines resolve cycles instead of raising).
+    for seed in (1, 2, 3):
+        build = _workload(seed)
+        for proto in ALL_PROTOCOLS:
+            cases.append((
+                f"workload-s{seed}/{proto}", build, proto,
+                SimConfig(deadlock_action="abort_lowest"),
+            ))
+    # Contended workload: more writes, hotter items.
+    hot = _workload(11, n_transactions=8, n_items=6, write_probability=0.55,
+                    hot_access_probability=0.85, target_utilization=0.75)
+    for proto in ("pcp-da", "rw-pcp", "2pl-hp", "occ-bc"):
+        cases.append((
+            f"workload-hot/{proto}", hot, proto,
+            SimConfig(deadlock_action="abort_lowest"),
+        ))
+    # Firm deadlines (deferred-update protocols only) and overhead knobs.
+    firm = _workload(5, target_utilization=0.9)
+    for proto in ("pcp-da", "occ-bc"):
+        cases.append((
+            f"workload-firm/{proto}", firm, proto,
+            SimConfig(on_miss="abort", deadlock_action="abort_lowest"),
+        ))
+    cases.append((
+        "workload-overheads/pcp-da", _workload(7), "pcp-da",
+        SimConfig(lock_overhead=0.05, context_switch_overhead=0.02,
+                  deadlock_action="abort_lowest"),
+    ))
+    cases.append((
+        "workload-nosysceil/rw-pcp", _workload(9), "rw-pcp",
+        SimConfig(record_sysceil=False, deadlock_action="abort_lowest"),
+    ))
+    return cases
+
+
+CORPUS = _corpus()
+CASE_NAMES = tuple(name for name, _, _, _ in CORPUS)
+
+
+def run_case(
+    name: str,
+    build: Callable[[], object],
+    protocol: str,
+    config: Optional[SimConfig],
+) -> str:
+    """Simulate one corpus case and return its canonical JSON trace."""
+    result = Simulator(build(), make_protocol(protocol), config).run()
+    return result_to_json(result)
+
+
+def trace_digest(payload: str) -> str:
+    """SHA-256 of one canonical JSON trace."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def compute_digests() -> Dict[str, str]:
+    """Run the whole corpus; ``{case name: trace digest}``."""
+    return {
+        name: trace_digest(run_case(name, build, proto, config))
+        for name, build, proto, config in CORPUS
+    }
+
+
+def load_golden() -> Dict[str, str]:
+    """The committed seed-engine digests."""
+    return json.loads(HASH_FILE.read_text())["digests"]
+
+
+def write_golden() -> None:
+    """Regenerate the golden files from the live engine."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    digests = compute_digests()
+    HASH_FILE.write_text(
+        json.dumps(
+            {
+                "comment": (
+                    "SHA-256 of result_to_json() for each corpus case in "
+                    "tests/golden_traces.py; regenerate with "
+                    "`PYTHONPATH=src python -m tests.golden_traces --write`"
+                ),
+                "digests": digests,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    for name, build, proto, config in CORPUS:
+        if name == FULL_TRACE_CASE:
+            FULL_TRACE_FILE.write_text(run_case(name, build, proto, config) + "\n")
+    print(f"wrote {len(digests)} digests to {HASH_FILE}")
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    import sys
+
+    if "--write" in sys.argv:
+        write_golden()
+    else:
+        print("pass --write to regenerate the golden files")

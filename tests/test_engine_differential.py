@@ -1,0 +1,88 @@
+"""Differential battery, part 2: property-based cross-checking.
+
+``SimConfig(debug_invariants=True)`` makes the simulator re-derive its
+incremental scheduler state (ready heap, blocked set, active index,
+ceiling index) from scratch after **every** event batch and raise on any
+divergence.  Here hypothesis generates adversarial workloads and asserts,
+for every protocol:
+
+1. the debug run completes — i.e. the incremental state never diverged
+   from the filter-per-event reference at any point of the run; and
+2. the trace is byte-identical with and without the checks — i.e. the
+   verification hook itself is observationally free.
+
+Together with the golden traces (part 1) this is the standing proof that
+the fast path cannot drift from the reference semantics unnoticed.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.simulator import SimConfig, Simulator
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, compute, read, write
+from repro.protocols import make_protocol
+from repro.trace.export import result_to_json
+
+from tests.golden_traces import ALL_PROTOCOLS
+
+_ITEMS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def contended_tasksets(draw):
+    """Small one-shot task sets biased toward lock contention."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    specs = []
+    for i in range(n):
+        n_ops = draw(st.integers(min_value=1, max_value=4))
+        ops = []
+        used = set()
+        for __ in range(n_ops):
+            item = draw(st.sampled_from(_ITEMS))
+            is_write = draw(st.booleans())
+            if (item, is_write) in used:
+                continue
+            used.add((item, is_write))
+            duration = draw(st.sampled_from([1.0, 2.0]))
+            ops.append(write(item, duration) if is_write else read(item, duration))
+        if draw(st.booleans()):
+            ops.append(compute(draw(st.sampled_from([1.0, 2.0]))))
+        if not ops:
+            ops = [read(draw(st.sampled_from(_ITEMS)), 1.0)]
+        offset = float(draw(st.integers(min_value=0, max_value=6)))
+        specs.append(TransactionSpec(f"T{i + 1}", tuple(ops), offset=offset))
+    return assign_by_order(specs)
+
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(contended_tasksets(), st.sampled_from(ALL_PROTOCOLS))
+def test_incremental_state_matches_reference_on_random_runs(taskset, protocol):
+    fast = Simulator(
+        taskset, make_protocol(protocol),
+        SimConfig(deadlock_action="abort_lowest"),
+    ).run()
+    checked = Simulator(
+        taskset, make_protocol(protocol),
+        SimConfig(deadlock_action="abort_lowest", debug_invariants=True),
+    ).run()
+    assert result_to_json(fast) == result_to_json(checked)
+
+
+@_SETTINGS
+@given(contended_tasksets())
+def test_invariants_hold_under_halting_deadlocks(taskset):
+    """The weakened protocol can deadlock mid-run; the incremental state
+    must still match the reference right up to the halt."""
+    config = SimConfig(deadlock_action="halt", debug_invariants=True)
+    plain = SimConfig(deadlock_action="halt")
+    checked = Simulator(taskset, make_protocol("weak-pcp-da"), config).run()
+    fast = Simulator(taskset, make_protocol("weak-pcp-da"), plain).run()
+    assert result_to_json(fast) == result_to_json(checked)

@@ -68,3 +68,63 @@ class TestEventQueue:
         assert q
         assert [e.payload for e in q.drain()] == [1, 2]
         assert not q
+
+
+class TestSameTimeOrdering:
+    """Regression pin for the same-time kind ranking.
+
+    The determinism of every golden trace rests on this exact order, so
+    it is spelled out here instead of being implied by scattered tests:
+    at one instant, ``op_done`` < ``arrival`` < ``deadline`` < any other
+    kind, and within one kind, insertion order.
+    """
+
+    def test_kind_rank_total_order_at_one_instant(self):
+        q = EventQueue()
+        # Push in an adversarial order; pops must follow the kind ranks.
+        q.push(2.0, "custom", "x")
+        q.push(2.0, "deadline", "d")
+        q.push(2.0, "arrival", "a")
+        q.push(2.0, "op_done", "o")
+        assert [q.pop().kind for _ in range(4)] == [
+            "op_done", "arrival", "deadline", "custom"
+        ]
+
+    def test_insertion_order_breaks_ties_within_each_kind(self):
+        q = EventQueue()
+        for kind in ("deadline", "op_done", "arrival"):
+            for i in (1, 2):
+                q.push(3.0, kind, f"{kind}-{i}")
+        assert [q.pop().payload for _ in range(6)] == [
+            "op_done-1", "op_done-2",
+            "arrival-1", "arrival-2",
+            "deadline-1", "deadline-2",
+        ]
+
+    def test_time_dominates_rank(self):
+        q = EventQueue()
+        q.push(1.0, "deadline", "early-deadline")
+        q.push(2.0, "op_done", "late-done")
+        assert q.pop().payload == "early-deadline"
+        assert q.pop().payload == "late-done"
+
+    def test_rank_is_resolved_at_push_time(self):
+        """The stored event carries its rank (the heap never re-derives
+        it at pop time), and ``sort_key`` reflects pop order."""
+        q = EventQueue()
+        done = q.push(4.0, "op_done", None)
+        arr = q.push(4.0, "arrival", None)
+        other = q.push(4.0, "mystery", None)
+        assert done.rank < arr.rank < other.rank
+        assert sorted([other, arr, done], key=lambda e: e.sort_key()) == [
+            done, arr, other
+        ]
+
+    def test_unknown_kinds_rank_after_known_and_keep_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, "zeta", "first")
+        q.push(1.0, "alpha", "second")
+        q.push(1.0, "deadline", "known")
+        assert [q.pop().payload for _ in range(3)] == [
+            "known", "first", "second"
+        ]

@@ -1,0 +1,54 @@
+"""Differential battery, part 1: golden traces.
+
+The committed hashes in ``tests/golden/engine_trace_hashes.json`` were
+produced by the pre-fast-path engine (the one that re-filtered ``jobs``
+and rescanned the lock table on every event).  These tests prove the
+incremental engine — ready heap, blocked set, ceiling index, rank-at-push
+calendar — produces **byte-identical** ``result_to_json`` output on every
+corpus case: all protocols, both install policies, firm deadlines,
+deadlock handling, and the overhead knobs.
+"""
+
+import json
+
+import pytest
+
+from tests.golden_traces import (
+    CASE_NAMES,
+    CORPUS,
+    FULL_TRACE_CASE,
+    FULL_TRACE_FILE,
+    HASH_FILE,
+    load_golden,
+    run_case,
+    trace_digest,
+)
+
+_CASES = {name: (build, proto, config) for name, build, proto, config in CORPUS}
+_GOLDEN = load_golden()
+
+
+def test_corpus_and_golden_file_agree_on_case_names():
+    assert set(_GOLDEN) == set(CASE_NAMES), (
+        "corpus and golden file diverged; regenerate with "
+        "`PYTHONPATH=src python -m tests.golden_traces --write` "
+        "(only on an intentional semantic change)"
+    )
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_trace_is_byte_identical_to_seed_engine(name):
+    build, proto, config = _CASES[name]
+    assert trace_digest(run_case(name, build, proto, config)) == _GOLDEN[name], (
+        f"{name}: trace diverged from the seed engine "
+        f"(see {HASH_FILE} and tests/golden_traces.py)"
+    )
+
+
+def test_full_example_trace_matches_committed_json():
+    """One full trace is kept readable so a digest mismatch is diffable."""
+    build, proto, config = _CASES[FULL_TRACE_CASE]
+    live = run_case(FULL_TRACE_CASE, build, proto, config)
+    assert live == FULL_TRACE_FILE.read_text().rstrip("\n")
+    # And the readable copy is well-formed JSON, not just a string blob.
+    json.loads(live)

@@ -1,0 +1,103 @@
+"""Tests for the standing perf-regression harness (benchmarks/perf_report.py).
+
+The smoke path is wired into ``make verify``, so these tests keep the
+harness itself honest: the document it emits validates against the
+schema, the event counts are deterministic, and the validator actually
+rejects malformed documents (a validator that accepts everything would
+let the ledger rot silently).
+"""
+
+import copy
+import json
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "benchmarks"))
+
+import perf_report  # noqa: E402  (path set up above)
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    return perf_report.build_document(smoke=True)
+
+
+class TestSmokeDocument:
+    def test_validates_against_schema(self, smoke_doc):
+        perf_report.validate_bench_document(smoke_doc)
+
+    def test_covers_every_benchmarked_protocol(self, smoke_doc):
+        assert [r["protocol"] for r in smoke_doc["results"]] == list(
+            perf_report.PROTOCOLS
+        )
+
+    def test_event_counts_are_deterministic(self, smoke_doc):
+        again = perf_report.measure(smoke=True)
+        assert [r["events"] for r in smoke_doc["results"]] == [
+            r["events"] for r in again
+        ]
+
+    def test_renders_a_table_with_totals(self, smoke_doc):
+        table = perf_report.render_table(smoke_doc)
+        assert "TOTAL" in table
+        for protocol in perf_report.PROTOCOLS:
+            assert protocol in table
+
+    def test_round_trips_through_json(self, smoke_doc):
+        perf_report.validate_bench_document(
+            json.loads(json.dumps(smoke_doc))
+        )
+
+
+class TestValidatorRejects:
+    def _corrupt(self, doc, mutate):
+        bad = copy.deepcopy(doc)
+        mutate(bad)
+        with pytest.raises(ValueError):
+            perf_report.validate_bench_document(bad)
+
+    def test_wrong_schema(self, smoke_doc):
+        self._corrupt(smoke_doc, lambda d: d.update(schema="other/9"))
+
+    def test_unknown_mode(self, smoke_doc):
+        self._corrupt(smoke_doc, lambda d: d.update(mode="fast"))
+
+    def test_empty_results(self, smoke_doc):
+        self._corrupt(smoke_doc, lambda d: d.update(results=[]))
+
+    def test_missing_row_field(self, smoke_doc):
+        self._corrupt(smoke_doc, lambda d: d["results"][0].pop("events"))
+
+    def test_non_numeric_wall(self, smoke_doc):
+        self._corrupt(
+            smoke_doc, lambda d: d["results"][0].update(wall_s="quick")
+        )
+
+    def test_nonpositive_events(self, smoke_doc):
+        self._corrupt(smoke_doc, lambda d: d["results"][0].update(events=0))
+
+    def test_total_mismatch(self, smoke_doc):
+        self._corrupt(
+            smoke_doc, lambda d: d["totals"].update(events=1)
+        )
+
+    def test_missing_totals(self, smoke_doc):
+        self._corrupt(smoke_doc, lambda d: d.pop("totals"))
+
+
+class TestCli:
+    def test_smoke_run_writes_valid_file(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert perf_report.main(["--smoke", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        perf_report.validate_bench_document(doc)
+        assert doc["mode"] == "smoke"
+        captured = capsys.readouterr().out
+        assert "TOTAL" in captured
+        assert str(out) in captured
+
+    def test_default_out_path_is_dated(self):
+        assert str(perf_report.default_out_path(False)).startswith("BENCH_")
+        assert "smoke" in str(perf_report.default_out_path(True))

@@ -1,0 +1,162 @@
+"""Property test: the incremental ceiling index equals a from-scratch
+rescan after *every* grant and release of a random lock schedule.
+
+The :class:`CeilingIndex` is the "bump on grant, lazy-max-repair on
+release" structure behind the protocols' ``Sysceil`` queries.  Its
+maintenance contract is easy to get subtly wrong (stale heap entries,
+exclusion sets, items whose ceiling is the dummy level), so this test
+drives a raw :class:`LockTable` through arbitrary grant/release toggles
+and re-derives the answer by brute force at each step — for each of the
+three level semantics the protocols attach (PCP-DA read ceilings, RW-PCP
+runtime r/w ceilings, original-PCP access ceilings) and under several
+exclusion sets.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ceilings import CeilingTable
+from repro.core.locking_conditions import make_read_ceiling_index
+from repro.engine.job import Job
+from repro.engine.lock_table import CeilingIndex, LockTable
+from repro.model.priorities import assign_by_order
+from repro.model.spec import DUMMY_PRIORITY, LockMode, read, write
+from repro.model.spec import TransactionSpec
+
+_ITEMS = ("a", "b", "c", "d")
+
+
+def _fixture():
+    """Four jobs with overlapping read/write sets, plus their ceilings."""
+    specs = [
+        TransactionSpec("T1", (read("a"), write("b"))),
+        TransactionSpec("T2", (write("a"), read("c"))),
+        TransactionSpec("T3", (read("b"), write("c"), read("d"))),
+        TransactionSpec("T4", (read("a"), read("d"))),  # d is never written
+    ]
+    taskset = assign_by_order(specs)
+    ceilings = CeilingTable(taskset)
+    jobs = tuple(Job(spec, 0, 0.0) for spec in taskset)
+    return ceilings, jobs
+
+
+def _make_index(kind: str, ceilings: CeilingTable) -> CeilingIndex:
+    if kind == "pcpda-read":
+        return make_read_ceiling_index(ceilings)
+    if kind == "rwceil":
+        def level_of(item, entry):
+            level = (
+                ceilings.aceil(item) if entry.writers else ceilings.wceil(item)
+            )
+            return None if level == DUMMY_PRIORITY else level
+        return CeilingIndex(kind, level_of)
+    assert kind == "aceil"
+
+    def level_of(item, entry):
+        level = ceilings.aceil(item)
+        return None if level == DUMMY_PRIORITY else level
+    return CeilingIndex(kind, level_of)
+
+
+def _reference_scan(table, index, excluded):
+    """Brute-force recomputation of ``index.scan(excluded)``."""
+    best = None
+    items = []
+    for item, entry in table.all_entries().items():
+        level = index._level_of(item, entry)
+        if level is None:
+            continue
+        jobs = entry.readers if index._select_readers else entry.holders
+        if not any(j not in excluded for j in jobs):
+            continue
+        if best is None or level > best:
+            best, items = level, [item]
+        elif level == best:
+            items.append(item)
+    return best, sorted(items)
+
+
+@st.composite
+def lock_schedules(draw):
+    """A sequence of (job index, item, mode) toggles: grant when the lock
+    is not held, release when it is."""
+    n = draw(st.integers(min_value=1, max_value=30))
+    return [
+        (
+            draw(st.integers(min_value=0, max_value=3)),
+            draw(st.sampled_from(_ITEMS)),
+            draw(st.sampled_from([LockMode.READ, LockMode.WRITE])),
+        )
+        for _ in range(n)
+    ]
+
+
+@pytest.mark.parametrize("kind", ["pcpda-read", "rwceil", "aceil"])
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+@given(schedule=lock_schedules())
+def test_incremental_ceiling_equals_rescan_after_every_step(kind, schedule):
+    ceilings, jobs = _fixture()
+    table = LockTable()
+    index = table.attach_ceiling_index(_make_index(kind, ceilings))
+    exclusion_sets = [
+        frozenset(),
+        frozenset({jobs[0]}),
+        frozenset({jobs[1], jobs[2]}),
+        frozenset(jobs),
+    ]
+    for job_idx, item, mode in schedule:
+        job = jobs[job_idx]
+        if table.holds(job, item, mode):
+            table.release(job, item, mode)
+        else:
+            table.grant(job, item, mode)
+        index.self_check()
+        for excluded in exclusion_sets:
+            level, items = index.scan(excluded)
+            assert (level, sorted(items)) == _reference_scan(
+                table, index, excluded
+            ), f"diverged after toggling {job.name}/{item}/{mode}"
+            assert index.max_level(excluded) == level
+        # The scan must restore every live entry it consumed: a second
+        # query right away has to see the same world.
+        level0, items0 = index.scan(frozenset())
+        assert (level0, sorted(items0)) == _reference_scan(
+            table, index, frozenset()
+        )
+
+
+def test_release_all_keeps_index_current():
+    """``release_all`` (the commit path) goes through ``release`` and must
+    leave the index consistent too."""
+    ceilings, jobs = _fixture()
+    table = LockTable()
+    index = table.attach_ceiling_index(_make_index("rwceil", ceilings))
+    table.grant(jobs[0], "a", LockMode.READ)
+    table.grant(jobs[0], "b", LockMode.WRITE)
+    table.grant(jobs[1], "a", LockMode.WRITE)
+    index.self_check()
+    table.release_all(jobs[0])
+    index.self_check()
+    level, items = index.scan(frozenset())
+    assert items == ["a"]
+    assert level == ceilings.aceil("a")
+    table.release_all(jobs[1])
+    index.self_check()
+    assert index.scan(frozenset()) == (None, [])
+
+
+def test_attach_rebuilds_from_live_entries():
+    """Attaching an index to a table that already has grants must pick
+    them up (the simulator attaches at bind time, but tests may not)."""
+    ceilings, jobs = _fixture()
+    table = LockTable()
+    table.grant(jobs[2], "c", LockMode.WRITE)
+    index = table.attach_ceiling_index(_make_index("aceil", ceilings))
+    index.self_check()
+    assert index.max_level(frozenset()) == ceilings.aceil("c")
+    assert index.max_level(frozenset({jobs[2]})) is None
