@@ -3,7 +3,9 @@
 # throwaway result cache, and a perf-harness smoke run that validates
 # the BENCH document schema. See docs/PERFORMANCE.md. `make verify-faults`
 # runs the full fault-injection battery, including the full-ledger soak
-# cases tier-1 excludes. See docs/RELIABILITY.md.
+# cases tier-1 excludes. See docs/RELIABILITY.md. `make verify-service`
+# runs the in-process service suites plus the TCP/loadgen soak battery
+# (the only target that opens sockets). See docs/SERVICE.md.
 #
 # `make bench` is the standing perf-regression harness: the
 # pytest-benchmark suites (whole-run throughput + per-event
@@ -13,12 +15,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify verify-faults test smoke bench bench-smoke bench-all
+.PHONY: verify verify-faults verify-service test smoke bench bench-smoke \
+	bench-all
 
-verify: test smoke bench-smoke
+verify: test smoke bench-smoke verify-service
 
 verify-faults:
 	$(PYTHON) -m pytest -q -m faults
+
+# The in-process service battery (no sockets): manager semantics, the
+# simulator differential, wire dispatch, and the loadgen driven through
+# the in-process transport. The TCP soak runs only when SOAK=1.
+verify-service:
+	$(PYTHON) -m pytest -q tests/test_service_manager.py \
+		tests/test_service_differential.py tests/test_service_wire.py \
+		tests/test_service_loadgen.py
+	$(if $(SOAK),$(PYTHON) -m pytest -q -m service_soak --override-ini \
+		'addopts=-q',)
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -8,7 +8,11 @@ Subcommands:
 * ``repro schedulability`` — Section 9 analysis on a random workload;
 * ``repro compare`` — simulate one random workload under every protocol
   and print the metric comparison;
-* ``repro protocols`` — list registered protocols.
+* ``repro protocols`` — list registered protocols;
+* ``repro serve`` — serve a lock-manager catalog to concurrent TCP
+  clients (NDJSON protocol, see docs/SERVICE.md);
+* ``repro loadgen`` — drive a service with concurrent clients and verify
+  the run's serializability from its shipped history.
 """
 
 from __future__ import annotations
@@ -213,19 +217,130 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
                 "complete picture (continuing anyway)",
                 file=sys.stderr,
             )
+        # cProfile.enable() clobbers whatever profile function was already
+        # installed (coverage tools, an outer profiler), and disable() resets
+        # it to None rather than to what was there before — so remember the
+        # incumbent and reinstall it on every exit path, including when the
+        # run itself raises.
+        previous_profiler = sys.getprofile()
         profiler = cProfile.Profile()
         profiler.enable()
         try:
             return _run_reproduce(args)
         finally:
             profiler.disable()
-            print(
-                "\n--- cProfile: hottest functions (by cumulative time) ---",
-                file=sys.stderr,
-            )
-            stats = pstats.Stats(profiler, stream=sys.stderr)
-            stats.sort_stats("cumulative").print_stats(25)
+            try:
+                print(
+                    "\n--- cProfile: hottest functions (by cumulative time) ---",
+                    file=sys.stderr,
+                )
+                # Stats() snapshots via create_stats(), which calls
+                # disable() — clearing the profile hook again — so the
+                # incumbent can only be reinstalled after the report.
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(25)
+            except Exception as exc:  # the report must never mask the run
+                print(f"(profile report failed: {exc})", file=sys.stderr)
+            finally:
+                sys.setprofile(previous_profiler)
     return _run_reproduce(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a generated catalog over TCP until interrupted."""
+    import asyncio
+
+    from repro.service import LockManager, LockServer, ServiceConfig
+
+    taskset = generate_taskset(_workload_from_args(args))
+
+    async def run() -> None:
+        manager = LockManager(
+            taskset,
+            args.protocol,
+            ServiceConfig(
+                max_sessions=args.max_sessions,
+                default_deadline_s=args.deadline,
+            ),
+        )
+        server = LockServer(manager, args.host, args.port)
+        await server.start()
+        print(
+            f"repro-service listening on {server.host}:{server.port} "
+            f"(protocol={args.protocol}, "
+            f"{len(taskset.names)} transactions, "
+            f"{len(taskset.items)} items)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a lock-manager service and print the latency/oracle report."""
+    import asyncio
+
+    from repro.service import (
+        LoadgenConfig,
+        LockManager,
+        LockServer,
+        ServiceConfig,
+        connect_tcp,
+        run_loadgen,
+    )
+
+    config = LoadgenConfig(
+        clients=args.clients,
+        transactions_per_client=args.per_client,
+        duration_s=args.duration,
+        think_time_s=args.think_time,
+        arrival_rate_hz=args.arrival_rate,
+        deadline_s=args.deadline,
+        seed=args.seed,
+        abort_probability=args.abort_probability,
+    )
+
+    async def run():
+        server = None
+        if args.connect:
+            host, _, port_text = args.connect.rpartition(":")
+            if not host or not port_text.isdigit():
+                raise SystemExit(f"--connect expects HOST:PORT, got {args.connect!r}")
+            host, port = host, int(port_text)
+        else:
+            # Self-hosting mode: stand up the same TCP server `repro serve`
+            # runs, on an ephemeral loopback port — still real sockets.
+            taskset = generate_taskset(WorkloadConfig(
+                n_transactions=args.transactions,
+                n_items=args.items,
+                write_probability=args.write_probability,
+                target_utilization=args.utilization,
+                seed=args.workload_seed,
+            ))
+            manager = LockManager(
+                taskset, args.protocol,
+                ServiceConfig(max_sessions=args.max_sessions),
+            )
+            server = LockServer(manager, "127.0.0.1", 0)
+            await server.start()
+            host, port = server.host, server.port
+        try:
+            return await run_loadgen(config, lambda: connect_tcp(host, port))
+        finally:
+            if server is not None:
+                await server.close()
+
+    report = asyncio.run(run())
+    print(report.render())
+    return 0 if report.serializable else 1
 
 
 def _run_reproduce(args: argparse.Namespace) -> int:
@@ -398,6 +513,66 @@ def build_parser() -> argparse.ArgumentParser:
              "stderr (cumulative time; single-process runs only)",
     )
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--transactions", type=int, default=6,
+                       help="catalog size (generated workload)")
+        p.add_argument("--items", type=int, default=12)
+        p.add_argument("--write-probability", type=float, default=0.3)
+        p.add_argument("--utilization", type=float, default=0.5)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a lock-manager catalog to TCP clients (NDJSON protocol)",
+    )
+    serve.add_argument("--protocol", default="pcp-da")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral, printed at startup)")
+    add_workload_args(serve)
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload-generator seed for the catalog")
+    serve.add_argument("--max-sessions", type=int, default=None,
+                       help="admission-control cap on live sessions")
+    serve.add_argument("--deadline", type=float, default=None, metavar="S",
+                       help="default relative deadline for sessions")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="load-generate against a service and verify serializability",
+    )
+    loadgen.add_argument("--protocol", default="pcp-da",
+                         help="protocol for the self-hosted server "
+                              "(ignored with --connect)")
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="target a running `repro serve` instead of "
+                              "self-hosting one")
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument("--per-client", type=int, default=25, metavar="N",
+                         help="transactions per client (closed-loop budget)")
+    loadgen.add_argument("--duration", type=float, default=None, metavar="S",
+                         help="wall-clock cap for the run")
+    loadgen.add_argument("--think-time", type=float, default=0.0, metavar="S",
+                         help="mean closed-loop think time between "
+                              "transactions")
+    loadgen.add_argument("--arrival-rate", type=float, default=None,
+                         metavar="HZ",
+                         help="switch to the open loop: per-client "
+                              "transaction start rate")
+    loadgen.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="per-session relative deadline")
+    loadgen.add_argument("--abort-probability", type=float, default=0.0,
+                         help="chance a client deliberately aborts")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="loadgen RNG seed")
+    add_workload_args(loadgen)
+    loadgen.add_argument("--workload-seed", type=int, default=0,
+                         help="workload-generator seed for the self-hosted "
+                              "catalog")
+    loadgen.add_argument("--max-sessions", type=int, default=None,
+                         help="admission cap for the self-hosted server")
+    loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 

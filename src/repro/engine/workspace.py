@@ -75,6 +75,15 @@ class Workspace:
         if item not in self._reads:
             self._reads[item] = ReadRecord(item, version_seq, time, value)
 
+    def read_record(self, item: str) -> Optional[ReadRecord]:
+        """The recorded read of ``item``, or ``None`` when never read.
+
+        Used by the live service to answer re-reads under a held lock with
+        the same observed version (the simulator keeps the value implicit,
+        but a service client expects the value back on every read).
+        """
+        return self._reads.get(item)
+
     def external_reads(self) -> Dict[str, Any]:
         """``{item: observed value}`` for reads of *committed* versions
         (own-write reads excluded) — the inputs of the value-replay oracle."""

@@ -106,3 +106,61 @@ class SweepResumeError(ReproError):
     unreadable, or was written for a different job batch (stale), or when
     resuming without the result cache that holds the completed reports.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the live lock-manager service.
+
+    Every service error carries a stable ``kind`` string that the wire
+    protocol ships to remote clients, so the TCP transport can re-raise the
+    matching exception class on the client side (see
+    :mod:`repro.service.wire`).
+    """
+
+    kind = "service"
+
+
+class AdmissionError(ServiceError):
+    """The service refused to open a session (backpressure).
+
+    Raised when the configured ``max_sessions`` limit is reached; clients
+    are expected to back off and retry (docs/SERVICE.md, "Admission and
+    backpressure").
+    """
+
+    kind = "admission"
+
+
+class SessionStateError(ServiceError):
+    """An operation was issued against a session in the wrong state.
+
+    Examples: reading on a committed session, committing twice, issuing a
+    second operation while one is still waiting for a lock, or touching a
+    data item outside the transaction's declared access sets.
+    """
+
+    kind = "session-state"
+
+
+class TransactionAborted(ServiceError):
+    """The session's transaction was aborted by the service.
+
+    Carries the reason ("deadlock", "validation", "shutdown", ...).  The
+    client may open a fresh session and retry; PCP-DA itself never aborts
+    (zero restarts), so under ``--protocol pcp-da`` this surfaces only for
+    explicit client aborts and service shutdown.
+    """
+
+    kind = "aborted"
+
+
+class DeadlineExceeded(ServiceError):
+    """A session overran its deadline and was aborted by the service.
+
+    The service enforces firm deadlines: an expired session is aborted at
+    its next operation boundary (or while waiting in the grant queue), its
+    locks released and its workspace discarded — mirroring the simulator's
+    ``on_miss="abort"`` policy.
+    """
+
+    kind = "deadline"

@@ -1,0 +1,231 @@
+"""Async client library for the lock-manager service.
+
+One :class:`ServiceClient` speaks the wire schema of
+:mod:`repro.service.wire` over a pluggable transport:
+
+* :func:`in_process_client` — calls ``dispatch_request`` directly on a
+  local :class:`~repro.service.manager.LockManager`.  No sockets, no
+  serialization ambiguity: ideal for tests and for embedding the service
+  in another asyncio program.
+* :func:`connect_tcp` — a real NDJSON-over-TCP connection to a
+  ``repro serve`` instance, with pipelining: requests carry correlation
+  ids, a background reader task routes responses to their futures, so many
+  sessions can be driven concurrently over one connection.
+
+Wire errors are re-raised as the matching
+:class:`~repro.exceptions.ServiceError` subclass (``kind`` → class via
+``wire.ERROR_TYPES``), so client code handles ``TransactionAborted`` or
+``DeadlineExceeded`` identically whether the manager is in-process or
+remote.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Awaitable, Callable, Dict, List, Optional
+
+from repro.exceptions import ServiceError
+from repro.service import wire
+from repro.service.manager import LockManager
+
+#: A transport: takes a request document, returns the response document.
+Transport = Callable[[Dict[str, Any]], Awaitable[Dict[str, Any]]]
+
+
+class ClientSession:
+    """Handle for one open transaction on the service.
+
+    Thin sugar over the session-scoped wire operations; also usable as an
+    async context manager that aborts on exceptional exit and leaves
+    committed/aborted sessions alone::
+
+        async with await client.begin("T2") as txn:
+            v = await txn.read("x")
+            await txn.write("y", v + 1)
+            await txn.commit()
+    """
+
+    def __init__(self, client: "ServiceClient", session_id: int, name: str,
+                 priority: int):
+        self.client = client
+        self.id = session_id
+        self.name = name
+        self.priority = priority
+        self.finished = False
+
+    async def read(self, item: str) -> Any:
+        """Read ``item`` through this session; returns the bound value."""
+        result = await self.client.request("read", session=self.id, item=item)
+        return result["value"]
+
+    async def write(self, item: str, value: Any) -> None:
+        """Buffer a write of ``item`` in the session workspace."""
+        await self.client.request("write", session=self.id, item=item,
+                                  value=value)
+
+    async def commit(self) -> Dict[str, Any]:
+        """Commit; returns the install summary (items, latency, blocking)."""
+        result = await self.client.request("commit", session=self.id)
+        self.finished = True
+        return result
+
+    async def abort(self, reason: str = "client") -> None:
+        """Abort the session, discarding its buffered writes."""
+        await self.client.request("abort", session=self.id, reason=reason)
+        self.finished = True
+
+    async def __aenter__(self) -> "ClientSession":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if self.finished:
+            return
+        if isinstance(exc, ServiceError):
+            # The service already tore the session down (abort/deadline).
+            self.finished = True
+            return
+        try:
+            await self.abort("context-exit")
+        except ServiceError:
+            pass  # raced with a service-side abort
+
+
+class ServiceClient:
+    """Request/response client over an arbitrary transport."""
+
+    def __init__(self, transport: Transport,
+                 closer: Optional[Callable[[], Awaitable[None]]] = None):
+        self._transport = transport
+        self._closer = closer
+        self._ids = itertools.count(1)
+
+    async def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Issue one wire operation; raises the mapped service error."""
+        document = {"id": next(self._ids), "op": op, **params}
+        response = await self._transport(document)
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error") or {}
+        kind = error.get("kind", "service")
+        message = error.get("message", "unknown service error")
+        raise wire.ERROR_TYPES.get(kind, ServiceError)(message)
+
+    # -- convenience wrappers ------------------------------------------
+    async def ping(self) -> Dict[str, Any]:
+        """Liveness probe; returns version and protocol name."""
+        return await self.request("ping")
+
+    async def catalog(self) -> Dict[str, Any]:
+        """The service's transaction catalog (specs and operations)."""
+        return await self.request("catalog")
+
+    async def begin(self, transaction: str, *,
+                    deadline_s: Optional[float] = None) -> ClientSession:
+        """Open one instance of ``transaction``; returns its session handle."""
+        params: Dict[str, Any] = {"transaction": transaction}
+        if deadline_s is not None:
+            params["deadline_s"] = deadline_s
+        result = await self.request("begin", **params)
+        return ClientSession(self, result["session"], result["name"],
+                             result["priority"])
+
+    async def stats(self) -> Dict[str, Any]:
+        """The full service-side stats snapshot."""
+        return await self.request("stats")
+
+    async def history(self) -> List[Dict[str, Any]]:
+        """The observable history rows, in global order."""
+        return (await self.request("history"))["events"]
+
+    async def close(self) -> None:
+        """Tear the transport down (idempotent)."""
+        if self._closer is not None:
+            await self._closer()
+            self._closer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+
+def in_process_client(manager: LockManager) -> ServiceClient:
+    """A client whose transport is a direct call into ``manager``.
+
+    Runs the exact dispatch code the TCP server runs — only the socket is
+    skipped — so in-process tests exercise the full service surface.
+    """
+
+    async def transport(request: Dict[str, Any]) -> Dict[str, Any]:
+        return await wire.dispatch_request(manager, request)
+
+    return ServiceClient(transport)
+
+
+async def connect_tcp(host: str, port: int) -> ServiceClient:
+    """Open an NDJSON-over-TCP connection to a running lock server."""
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=wire.STREAM_LIMIT
+    )
+    pending: Dict[Any, "asyncio.Future[Dict[str, Any]]"] = {}
+    write_lock = asyncio.Lock()
+
+    async def pump() -> None:
+        """Route response lines to their awaiting futures."""
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = wire.decode(line)
+                future = pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError) as exc:
+            error = exc
+        except asyncio.CancelledError:
+            error = ConnectionResetError("client closed")
+        finally:
+            failure = error or ConnectionResetError("server closed connection")
+            for future in pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServiceError(f"connection lost: {failure}")
+                    )
+            pending.clear()
+
+    pump_task = asyncio.ensure_future(pump())
+
+    async def transport(request: Dict[str, Any]) -> Dict[str, Any]:
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        pending[request["id"]] = future
+        try:
+            async with write_lock:
+                writer.write(wire.encode(request))
+                await writer.drain()
+        except ConnectionError as exc:
+            pending.pop(request["id"], None)
+            raise ServiceError(f"connection lost: {exc}") from exc
+        return await future
+
+    async def closer() -> None:
+        pump_task.cancel()
+        try:
+            await pump_task
+        except asyncio.CancelledError:
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    return ServiceClient(transport, closer)

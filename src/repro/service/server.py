@@ -1,0 +1,169 @@
+"""The TCP transport: NDJSON request/response over asyncio streams.
+
+One :class:`LockServer` wraps one :class:`~repro.service.manager.LockManager`
+behind ``asyncio.start_server``.  Connections are cheap: each request line
+spawns a task, so a client may pipeline requests (a session blocked in the
+grant queue does not stall the connection's other sessions); responses are
+written under a per-connection lock in completion order and matched by
+``id`` on the client side.
+
+Crash safety for clients: sessions are owned by the connection that opened
+them.  When a connection drops, its still-live sessions are aborted and
+their locks released — a vanished client cannot wedge the lock table (the
+service equivalent of the simulator's firm-deadline cleanup).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Set
+
+from repro.service import wire
+from repro.service.manager import LockManager, SessionState
+
+
+class LockServer:
+    """Serve a lock manager on a TCP socket.
+
+    Usage::
+
+        server = LockServer(manager, host="127.0.0.1", port=0)
+        await server.start()          # port resolved (server.port)
+        ...
+        await server.close()          # drains connections, shuts manager down
+
+    ``port=0`` binds an ephemeral port — the tests and the self-hosting
+    loadgen mode rely on this.
+    """
+
+    def __init__(
+        self,
+        manager: LockManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        """Bind and start accepting connections; resolves ``self.port``."""
+        self._server = await asyncio.start_server(
+            self._accept, self.host, self.port, limit=wire.STREAM_LIMIT
+        )
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.port = sock.getsockname()[1]
+            break
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled (``repro serve``)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, drop connections, shut the manager down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.manager.shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        # Sessions opened over this connection, for disconnect cleanup.
+        owned: Dict[int, None] = {}
+        inflight: Set[asyncio.Task] = set()
+
+        async def respond(document: dict) -> None:
+            async with write_lock:
+                writer.write(wire.encode(document))
+                await writer.drain()
+
+        async def handle(request: dict) -> None:
+            response = await wire.dispatch_request(self.manager, request)
+            if (
+                response.get("ok")
+                and request.get("op") == "begin"
+                and isinstance(response.get("result"), dict)
+            ):
+                owned[response["result"]["session"]] = None
+            try:
+                await respond(response)
+            except (ConnectionError, RuntimeError):
+                pass  # peer vanished mid-response; cleanup happens below
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = wire.decode(line)
+                except ValueError as exc:
+                    await respond(
+                        wire.error_response(None, "bad-request", str(exc))
+                    )
+                    continue
+                task = asyncio.ensure_future(handle(request))
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+        except asyncio.CancelledError:
+            pass  # server shutting down
+        finally:
+            for task in list(inflight):
+                task.cancel()
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            await self._abort_owned(owned)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _abort_owned(self, owned: Dict[int, None]) -> None:
+        """Abort live sessions whose connection disappeared."""
+        for session_id in owned:
+            try:
+                session = self.manager.session(session_id)
+            except Exception:
+                continue
+            if session.state in (SessionState.ACTIVE,):
+                try:
+                    await self.manager.abort(session, "disconnect")
+                except Exception:
+                    pass

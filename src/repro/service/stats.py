@@ -1,0 +1,344 @@
+"""Observability for the live lock-manager service.
+
+Three kinds of signal, all cheap enough to record on every request:
+
+* :class:`LatencyHistogram` — log-spaced buckets over seconds; used for
+  end-to-end transaction latency and for per-request lock-wait time.
+  Percentiles are answered from the buckets (resolution = bucket width),
+  which is the standard service-side trade-off: O(1) record, bounded
+  memory, no sample retention.
+* per-priority-band blocking breakdown — the paper's headline quantity is
+  *blocking time by priority level*; the service keeps, per base priority,
+  the total/worst lock-wait time and the deny/grant counts, so a run can
+  show directly that high-priority bands wait less under PCP-DA.
+* monotonic counters — sessions, grants, denials, aborts, deadlocks,
+  admission rejections, deadline aborts.
+
+Everything renders to text (the ``repro loadgen`` report) and to a plain
+dict (the ``stats`` wire command), and is deliberately decoupled from the
+manager so tests can assert on it in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Histogram bucket boundaries: 1 µs to ~67 s, quarter-decade-ish spacing
+#: (factor 2 per bucket keeps the render compact while resolving the
+#: microsecond-to-second range a local service actually spans).
+_FIRST_BOUND = 1e-6
+_FACTOR = 2.0
+_N_BUCKETS = 28
+
+
+def _bucket_bounds() -> Tuple[float, ...]:
+    bounds = []
+    edge = _FIRST_BOUND
+    for _ in range(_N_BUCKETS):
+        bounds.append(edge)
+        edge *= _FACTOR
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """Fixed-bucket log histogram over non-negative latencies in seconds."""
+
+    BOUNDS: Tuple[float, ...] = _bucket_bounds()
+
+    def __init__(self) -> None:
+        # counts[i] counts samples <= BOUNDS[i]; the final slot is overflow.
+        self.counts: List[int] = [0] * (len(self.BOUNDS) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one sample (negative values clamp to zero)."""
+        seconds = max(0.0, seconds)
+        self.total += 1
+        self.sum += seconds
+        if seconds > self.max:
+            self.max = seconds
+        lo, hi = 0, len(self.BOUNDS)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds <= self.BOUNDS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all recorded samples (0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket containing the ``p``-th percentile.
+
+        ``p`` is in [0, 100].  Returns 0 for an empty histogram; the exact
+        maximum is reported separately (:attr:`max`) because the overflow
+        bucket has no upper bound.
+        """
+        if self.total == 0:
+            return 0.0
+        rank = math.ceil(self.total * min(max(p, 0.0), 100.0) / 100.0)
+        rank = max(rank, 1)
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return self.BOUNDS[i] if i < len(self.BOUNDS) else self.max
+        return self.max
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram."""
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (bounds implied by the schema)."""
+        return {
+            "total": self.total,
+            "sum_s": self.sum,
+            "max_s": self.max,
+            "counts": list(self.counts),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "LatencyHistogram":
+        """Rebuild a histogram shipped over the wire."""
+        hist = cls()
+        counts = list(doc["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"histogram bucket count mismatch: got {len(counts)}, "
+                f"expected {len(hist.counts)}"
+            )
+        hist.counts = [int(c) for c in counts]
+        hist.total = int(doc["total"])
+        hist.sum = float(doc["sum_s"])
+        hist.max = float(doc["max_s"])
+        return hist
+
+    def render(self, title: str = "latency", width: int = 40) -> str:
+        """ASCII bar chart of the non-empty buckets, plus summary line."""
+        lines = [
+            f"{title}: n={self.total} mean={_fmt_s(self.mean)} "
+            f"p50={_fmt_s(self.percentile(50))} "
+            f"p95={_fmt_s(self.percentile(95))} "
+            f"p99={_fmt_s(self.percentile(99))} max={_fmt_s(self.max)}"
+        ]
+        if self.total == 0:
+            return lines[0]
+        peak = max(self.counts)
+        lower = 0.0
+        for i, count in enumerate(self.counts):
+            upper = self.BOUNDS[i] if i < len(self.BOUNDS) else float("inf")
+            if count:
+                bar = "#" * max(1, round(width * count / peak))
+                upper_label = _fmt_s(upper) if upper != float("inf") else "inf"
+                lines.append(
+                    f"  {_fmt_s(lower):>8} .. {upper_label:>8} "
+                    f"{count:>7} {bar}"
+                )
+            lower = upper
+        return "\n".join(lines)
+
+
+def _fmt_s(seconds: float) -> str:
+    """Human latency formatting: µs / ms / s with 3 significant-ish digits."""
+    if seconds == 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+@dataclass
+class PriorityBandStats:
+    """Blocking-time breakdown for one base-priority level."""
+
+    priority: int
+    commits: int = 0
+    grants: int = 0
+    denials: int = 0
+    aborts: int = 0
+    blocking_total_s: float = 0.0
+    blocking_max_s: float = 0.0
+    wait_hist: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def record_wait(self, seconds: float) -> None:
+        """Account one completed lock wait."""
+        self.blocking_total_s += seconds
+        self.blocking_max_s = max(self.blocking_max_s, seconds)
+        self.wait_hist.record(seconds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form, nested inside the ``stats`` document."""
+        return {
+            "priority": self.priority,
+            "commits": self.commits,
+            "grants": self.grants,
+            "denials": self.denials,
+            "aborts": self.aborts,
+            "blocking_total_s": self.blocking_total_s,
+            "blocking_max_s": self.blocking_max_s,
+            "wait_hist": self.wait_hist.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "PriorityBandStats":
+        band = cls(priority=int(doc["priority"]))
+        band.commits = int(doc["commits"])
+        band.grants = int(doc["grants"])
+        band.denials = int(doc["denials"])
+        band.aborts = int(doc["aborts"])
+        band.blocking_total_s = float(doc["blocking_total_s"])
+        band.blocking_max_s = float(doc["blocking_max_s"])
+        band.wait_hist = LatencyHistogram.from_dict(doc["wait_hist"])
+        return band
+
+
+class ServiceStats:
+    """All service-side counters and histograms, in one introspectable bag."""
+
+    def __init__(self) -> None:
+        self.sessions_started = 0
+        self.sessions_rejected = 0  # admission control (backpressure)
+        self.commits = 0
+        self.client_aborts = 0
+        self.forced_aborts = 0      # deadlock victims, validation, shutdown
+        self.deadline_aborts = 0
+        self.grants = 0
+        self.denials = 0
+        self.abort_grants = 0
+        self.deadlocks = 0
+        self.requests = 0           # wire/in-process requests dispatched
+        self.commit_latency = LatencyHistogram()
+        self.lock_wait = LatencyHistogram()
+        self._bands: Dict[int, PriorityBandStats] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def band(self, priority: int) -> PriorityBandStats:
+        """The (created-on-demand) band record for one base priority."""
+        band = self._bands.get(priority)
+        if band is None:
+            band = self._bands[priority] = PriorityBandStats(priority)
+        return band
+
+    def record_grant(self, priority: int) -> None:
+        """One lock request admitted without waiting (or after a wait)."""
+        self.grants += 1
+        self.band(priority).grants += 1
+
+    def record_denial(self, priority: int) -> None:
+        """One lock request that entered the grant queue."""
+        self.denials += 1
+        self.band(priority).denials += 1
+
+    def record_wait(self, priority: int, seconds: float) -> None:
+        """One completed wait in the grant queue (granted or aborted)."""
+        self.lock_wait.record(seconds)
+        self.band(priority).record_wait(seconds)
+
+    def record_commit(self, priority: int, latency_s: float) -> None:
+        """One committed session with its begin-to-commit latency."""
+        self.commits += 1
+        self.commit_latency.record(latency_s)
+        self.band(priority).commits += 1
+
+    def record_abort(self, priority: int, *, forced: bool) -> None:
+        """One aborted session (``forced`` = service-initiated)."""
+        if forced:
+            self.forced_aborts += 1
+        else:
+            self.client_aborts += 1
+        self.band(priority).aborts += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bands(self) -> Tuple[PriorityBandStats, ...]:
+        """Band records, highest priority first."""
+        return tuple(
+            self._bands[p] for p in sorted(self._bands, reverse=True)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full stats snapshot as shipped by the ``stats`` command."""
+        return {
+            "sessions_started": self.sessions_started,
+            "sessions_rejected": self.sessions_rejected,
+            "commits": self.commits,
+            "client_aborts": self.client_aborts,
+            "forced_aborts": self.forced_aborts,
+            "deadline_aborts": self.deadline_aborts,
+            "grants": self.grants,
+            "denials": self.denials,
+            "abort_grants": self.abort_grants,
+            "deadlocks": self.deadlocks,
+            "requests": self.requests,
+            "commit_latency": self.commit_latency.to_dict(),
+            "lock_wait": self.lock_wait.to_dict(),
+            "bands": [band.to_dict() for band in self.bands],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ServiceStats":
+        """Rebuild a snapshot fetched over the wire (loadgen reporting)."""
+        stats = cls()
+        for name in (
+            "sessions_started", "sessions_rejected", "commits",
+            "client_aborts", "forced_aborts", "deadline_aborts", "grants",
+            "denials", "abort_grants", "deadlocks", "requests",
+        ):
+            setattr(stats, name, int(doc[name]))
+        stats.commit_latency = LatencyHistogram.from_dict(doc["commit_latency"])
+        stats.lock_wait = LatencyHistogram.from_dict(doc["lock_wait"])
+        for band_doc in doc["bands"]:
+            band = PriorityBandStats.from_dict(band_doc)
+            stats._bands[band.priority] = band
+        return stats
+
+    def render(self) -> str:
+        """Multi-section text report (the ``repro loadgen`` footer)."""
+        lines = [
+            "service counters:",
+            f"  sessions started={self.sessions_started} "
+            f"rejected={self.sessions_rejected} commits={self.commits} "
+            f"aborts={self.client_aborts}+{self.forced_aborts} forced "
+            f"deadline_aborts={self.deadline_aborts}",
+            f"  locks granted={self.grants} denied={self.denials} "
+            f"abort_grants={self.abort_grants} deadlocks={self.deadlocks} "
+            f"requests={self.requests}",
+            "",
+            self.commit_latency.render("commit latency"),
+            "",
+            self.lock_wait.render("lock wait"),
+        ]
+        if self._bands:
+            lines += ["", "blocking by priority band (highest first):"]
+            lines.append(
+                f"  {'prio':>5} {'commits':>8} {'grants':>7} {'denies':>7} "
+                f"{'waits':>6} {'wait total':>11} {'wait max':>9} {'wait p95':>9}"
+            )
+            for band in self.bands:
+                lines.append(
+                    f"  {band.priority:>5} {band.commits:>8} {band.grants:>7} "
+                    f"{band.denials:>7} {band.wait_hist.total:>6} "
+                    f"{_fmt_s(band.blocking_total_s):>11} "
+                    f"{_fmt_s(band.blocking_max_s):>9} "
+                    f"{_fmt_s(band.wait_hist.percentile(95)):>9}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""The service wire protocol: one schema for both transports.
+
+Requests and responses are JSON documents; over TCP they travel as
+newline-delimited JSON (NDJSON, one document per line, UTF-8).  The
+in-process transport used by the test suite calls
+:func:`dispatch_request` directly with the same documents, so every byte
+of behaviour exercised in-process is the behaviour a remote client sees —
+minus the socket.
+
+Request::
+
+    {"id": 7, "op": "read", "session": 3, "item": "x"}
+
+Response::
+
+    {"id": 7, "ok": true, "result": {"value": 42}}
+    {"id": 7, "ok": false,
+     "error": {"kind": "aborted", "message": "T1#4: deadlock"}}
+
+``id`` is an opaque client-chosen correlation token echoed back verbatim;
+clients may pipeline many requests on one connection and match responses
+by ``id`` (the server replies in completion order, not arrival order).
+Error ``kind`` strings are the stable ``kind`` attributes of the
+:class:`~repro.exceptions.ServiceError` hierarchy, which lets the client
+library re-raise the matching exception class (see ``ERROR_TYPES``).
+
+The full operation table lives in docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Type
+
+from repro.exceptions import (
+    AdmissionError,
+    DeadlineExceeded,
+    ReproError,
+    ServiceError,
+    SessionStateError,
+    TransactionAborted,
+)
+from repro.service.manager import LockManager
+
+#: Bumped on incompatible schema changes; shipped in every ``hello``/
+#: ``ping`` response so clients can refuse to talk to the wrong era.
+PROTOCOL_VERSION = "repro-service/1"
+
+#: asyncio stream limit for one NDJSON line, both directions.  The default
+#: 64 KiB is far too small for ``history`` responses (one row per data
+#: event of the whole run); 64 MiB covers multi-minute soak runs.
+STREAM_LIMIT = 64 * 1024 * 1024
+
+#: Error ``kind`` → exception class, for client-side re-raising.
+ERROR_TYPES: Dict[str, Type[ServiceError]] = {
+    cls.kind: cls
+    for cls in (
+        ServiceError,
+        AdmissionError,
+        SessionStateError,
+        TransactionAborted,
+        DeadlineExceeded,
+    )
+}
+
+
+def encode(document: Dict[str, Any]) -> bytes:
+    """Serialize one wire document to an NDJSON line."""
+    return (json.dumps(document, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one NDJSON line into a wire document."""
+    document = json.loads(line.decode("utf-8"))
+    if not isinstance(document, dict):
+        raise ValueError("wire document must be a JSON object")
+    return document
+
+
+def error_response(request_id: Any, kind: str, message: str) -> Dict[str, Any]:
+    """A failure document echoing the request's correlation id."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"kind": kind, "message": message},
+    }
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    """A success document echoing the request's correlation id."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def exception_to_error(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    """Map an exception onto a wire error document.
+
+    Service errors keep their stable ``kind``; other library errors (bad
+    transaction name, malformed spec) surface as ``bad-request``; anything
+    else is an ``internal`` error — the message is included because this
+    is a reproduction harness, not a hardened production server.
+    """
+    if isinstance(exc, ServiceError):
+        return error_response(request_id, exc.kind, str(exc))
+    if isinstance(exc, (ReproError, KeyError, ValueError, TypeError)):
+        return error_response(request_id, "bad-request", str(exc))
+    return error_response(request_id, "internal", f"{type(exc).__name__}: {exc}")
+
+
+async def dispatch_request(
+    manager: LockManager, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Execute one wire request against a manager; never raises.
+
+    This is the single entry point shared by the TCP server and the
+    in-process transport — the differential guarantee between them is
+    that there is only one code path.
+    """
+    request_id = request.get("id")
+    manager.stats.requests += 1
+    try:
+        op = request["op"]
+        result = await _execute(manager, op, request)
+    except BaseException as exc:  # noqa: BLE001 - mapped onto the wire
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return exception_to_error(request_id, exc)
+    return ok_response(request_id, result)
+
+
+async def _execute(
+    manager: LockManager, op: str, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    if op == "ping":
+        return {"pong": True, "version": PROTOCOL_VERSION,
+                "protocol": manager.protocol.name}
+    if op == "catalog":
+        return {
+            "protocol": manager.protocol.name,
+            "version": PROTOCOL_VERSION,
+            "transactions": manager.catalog_document(),
+        }
+    if op == "begin":
+        session = await manager.begin(
+            request["transaction"], deadline_s=request.get("deadline_s")
+        )
+        return {
+            "session": session.id,
+            "name": session.name,
+            "priority": session.job.base_priority,
+        }
+    if op == "read":
+        session = manager.session(request["session"])
+        value = await manager.read(session, request["item"])
+        return {"value": value}
+    if op == "write":
+        session = manager.session(request["session"])
+        await manager.write(session, request["item"], request["value"])
+        return {"buffered": True}
+    if op == "commit":
+        session = manager.session(request["session"])
+        return await manager.commit(session)
+    if op == "abort":
+        session = manager.session(request["session"])
+        await manager.abort(session, request.get("reason", "client"))
+        return {"aborted": True}
+    if op == "stats":
+        return manager.stats_document()
+    if op == "history":
+        return {"events": manager.history_events()}
+    raise ValueError(f"unknown operation {op!r}")

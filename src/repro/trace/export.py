@@ -7,6 +7,9 @@ plotting tool:
 * :func:`result_to_dict` / :func:`result_to_json` — the full run (jobs,
   scheduling events, lock decisions, execution segments, Sysceil samples)
   as one JSON-serialisable document;
+* :func:`recorder_to_dict` / :func:`recorder_from_dict` — the *raw*
+  :class:`~repro.trace.recorder.TraceRecorder` streams, round-trippable
+  (unlike ``result_to_dict``, which is derived and one-way);
 * :func:`segments_to_csv` — the Gantt bars as CSV rows
   ``transaction,job,kind,start,end``;
 * :func:`sysceil_to_csv` — the ceiling step function as ``time,level``
@@ -27,6 +30,7 @@ from repro.trace.timeline import build_timeline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.simulator import SimulationResult
+    from repro.trace.recorder import TraceRecorder
 
 
 def result_to_dict(result: "SimulationResult") -> Dict[str, Any]:
@@ -116,6 +120,85 @@ def result_to_dict(result: "SimulationResult") -> Dict[str, Any]:
 def result_to_json(result: "SimulationResult", *, indent: int = 2) -> str:
     """The full run as a JSON string."""
     return json.dumps(result_to_dict(result), indent=indent, sort_keys=False)
+
+
+def recorder_to_dict(recorder: "TraceRecorder") -> Dict[str, Any]:
+    """The raw recorder streams as a JSON-serialisable dictionary.
+
+    This serialises the five append-only streams verbatim — no timeline
+    or metric derivation — so :func:`recorder_from_dict` can reconstruct
+    a recorder that compares equal stream-for-stream.  ``result_to_dict``
+    stays the one-way analytical export (its shape is pinned by the
+    golden-trace digests and must not change).
+    """
+    return {
+        "sched_events": [
+            {"time": e.time, "kind": e.kind.value, "job": e.job,
+             "other": e.other}
+            for e in recorder.sched_events
+        ],
+        "lock_events": [
+            {"time": e.time, "job": e.job, "item": e.item,
+             "mode": e.mode.value, "outcome": e.outcome.value,
+             "rule": e.rule, "blockers": list(e.blockers)}
+            for e in recorder.lock_events
+        ],
+        "segments": [
+            {"job": s.job, "start": s.start, "end": s.end}
+            for s in recorder.segments
+        ],
+        "sysceil": [
+            {"time": t, "level": level}
+            for t, level in recorder.sysceil_samples
+        ],
+        "priority_changes": [
+            {"time": t, "job": job, "level": level}
+            for t, job, level in recorder.priority_changes
+        ],
+    }
+
+
+def recorder_from_dict(document: Dict[str, Any]) -> "TraceRecorder":
+    """Rebuild a :class:`TraceRecorder` from :func:`recorder_to_dict` output.
+
+    Events are appended to the streams directly rather than replayed
+    through the recording methods: ``segment``/``sysceil``/``priority``
+    coalesce adjacent entries at record time, and re-coalescing already
+    coalesced data would not be an identity.
+    """
+    from repro.model.spec import LockMode
+    from repro.trace.recorder import (
+        ExecSegment,
+        LockEvent,
+        LockOutcome,
+        SchedEvent,
+        SchedEventKind,
+        TraceRecorder,
+    )
+
+    recorder = TraceRecorder()
+    for row in document["sched_events"]:
+        recorder.sched_events.append(SchedEvent(
+            row["time"], SchedEventKind(row["kind"]), row["job"],
+            row.get("other"),
+        ))
+    for row in document["lock_events"]:
+        recorder.lock_events.append(LockEvent(
+            row["time"], row["job"], row["item"], LockMode(row["mode"]),
+            LockOutcome(row["outcome"]), row["rule"],
+            tuple(row.get("blockers", ())),
+        ))
+    for row in document["segments"]:
+        recorder.segments.append(
+            ExecSegment(row["job"], row["start"], row["end"])
+        )
+    for row in document["sysceil"]:
+        recorder.sysceil_samples.append((row["time"], row["level"]))
+    for row in document["priority_changes"]:
+        recorder.priority_changes.append(
+            (row["time"], row["job"], row["level"])
+        )
+    return recorder
 
 
 def _csv(rows: List[List[Any]], header: List[str]) -> str:

@@ -157,3 +157,57 @@ class TestReproduceReliabilityFlags:
         (cache_dir / "quarantine").write_text("occupied")  # blocks mkdir
         err = self._err(capsys, ["--cache-dir", str(cache_dir)])
         assert "unusable" in err and "--no-cache" in err
+
+
+class TestReproduceProfileFlag:
+    """``--profile`` must leave the process profiler exactly as it found
+    it and still emit its report — on success *and* when the run raises
+    (an outer coverage tool or profiler must never be clobbered)."""
+
+    def _sentinel(self):
+        def profile_fn(frame, event, arg):  # pragma: no cover - inert
+            return None
+
+        return profile_fn
+
+    def test_profile_restores_profiler_on_success(self, capsys, monkeypatch):
+        import sys as _sys
+
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_run_reproduce", lambda args: 0)
+        sentinel = self._sentinel()
+        _sys.setprofile(sentinel)
+        try:
+            code = main(["reproduce", "--profile", "--no-cache"])
+            restored = _sys.getprofile()
+        finally:
+            _sys.setprofile(None)
+        assert code == 0
+        assert restored is sentinel
+        err = capsys.readouterr().err
+        assert "cProfile: hottest functions" in err
+
+    def test_profile_restores_profiler_when_run_raises(
+        self, capsys, monkeypatch
+    ):
+        import sys as _sys
+
+        import repro.cli as cli
+
+        def boom(args):
+            raise RuntimeError("run exploded")
+
+        monkeypatch.setattr(cli, "_run_reproduce", boom)
+        sentinel = self._sentinel()
+        _sys.setprofile(sentinel)
+        try:
+            with pytest.raises(RuntimeError, match="run exploded"):
+                main(["reproduce", "--profile", "--no-cache"])
+            restored = _sys.getprofile()
+        finally:
+            _sys.setprofile(None)
+        assert restored is sentinel
+        # The report still runs (and must not mask the original error).
+        err = capsys.readouterr().err
+        assert "cProfile: hottest functions" in err

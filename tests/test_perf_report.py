@@ -101,3 +101,39 @@ class TestCli:
     def test_default_out_path_is_dated(self):
         assert str(perf_report.default_out_path(False)).startswith("BENCH_")
         assert "smoke" in str(perf_report.default_out_path(True))
+
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+LEDGER_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+class TestCheckedInLedger:
+    """Every BENCH_*.json committed at the repo root must validate.
+
+    The ledger is what perf PRs are judged against; a malformed document
+    would silently break the comparison, so the schema gate runs over the
+    whole checked-in set on every tier-1 run.
+    """
+
+    def test_ledger_is_not_empty(self):
+        assert LEDGER_FILES, "no BENCH_*.json checked in at the repo root"
+
+    @pytest.mark.parametrize(
+        "path", LEDGER_FILES, ids=[p.name for p in LEDGER_FILES]
+    )
+    def test_checked_in_document_validates(self, path):
+        doc = json.loads(path.read_text())
+        perf_report.validate_bench_document(doc)
+
+    @pytest.mark.parametrize(
+        "path", LEDGER_FILES, ids=[p.name for p in LEDGER_FILES]
+    )
+    def test_checked_in_document_is_dated(self, path):
+        # BENCH_YYYY-MM-DD.json, matching what `make bench` writes.
+        stem = path.stem
+        assert stem.startswith("BENCH_")
+        date = stem[len("BENCH_"):]
+        parts = date.split("-")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts), (
+            f"{path.name}: expected BENCH_YYYY-MM-DD.json"
+        )

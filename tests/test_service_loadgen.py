@@ -1,0 +1,196 @@
+"""Load-generator tests, run entirely in-process (no sockets).
+
+The generator is exercised against an in-process client factory, so
+these tests cover worker scheduling, the mix draw, the abort/deadline
+chaos paths, and the client-side serializability verdict — the TCP soak
+variant lives in ``test_service_soak.py`` behind the ``service_soak``
+marker.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.db.history import History
+from repro.exceptions import SpecificationError
+from repro.service import LockManager, ServiceConfig
+from repro.service.client import in_process_client
+from repro.service.loadgen import (
+    LoadgenConfig,
+    LoadReport,
+    history_from_events,
+    run_loadgen,
+)
+from repro.service.stats import LatencyHistogram
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+
+def make_manager(protocol="pcp-da", *, seed=11, max_sessions=64):
+    catalog = generate_taskset(WorkloadConfig(
+        n_transactions=5, n_items=6, write_probability=0.5,
+        rmw_probability=0.25, seed=seed,
+    ))
+    return LockManager(
+        catalog, protocol, ServiceConfig(max_sessions=max_sessions)
+    )
+
+
+def run_against(manager, config):
+    async def body():
+        async def connect():
+            return in_process_client(manager)
+
+        try:
+            return await run_loadgen(config, connect)
+        finally:
+            await manager.shutdown()
+
+    return asyncio.run(body())
+
+
+class TestConfigValidation:
+    def test_rejects_zero_clients(self):
+        with pytest.raises(SpecificationError):
+            LoadgenConfig(clients=0)
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(SpecificationError):
+            LoadgenConfig(transactions_per_client=0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(SpecificationError):
+            LoadgenConfig(arrival_rate_hz=0.0)
+
+    def test_rejects_bad_abort_probability(self):
+        with pytest.raises(SpecificationError):
+            LoadgenConfig(abort_probability=1.5)
+
+
+class TestClosedLoop:
+    def test_serializable_run_with_counters(self):
+        manager = make_manager()
+        config = LoadgenConfig(
+            clients=6, transactions_per_client=4, seed=3
+        )
+        report = run_against(manager, config)
+        assert report.serializable, report.violation
+        assert report.completed == 24
+        assert report.latency.total == report.completed
+        assert len(report.serialization_order) == report.completed
+        assert report.stats is not None
+        assert report.stats.commits == report.completed
+        assert report.throughput_tps > 0
+
+    def test_chaos_aborts_counted_and_still_serializable(self):
+        manager = make_manager(seed=29)
+        config = LoadgenConfig(
+            clients=4, transactions_per_client=6, seed=5,
+            abort_probability=0.4,
+        )
+        report = run_against(manager, config)
+        assert report.serializable, report.violation
+        assert report.client_aborts > 0
+        assert report.completed + report.client_aborts <= 24
+
+    def test_mix_restricts_names(self):
+        manager = make_manager()
+        only = next(iter(manager.catalog)).name
+        config = LoadgenConfig(
+            clients=2, transactions_per_client=3, seed=1,
+            mix={only: 1.0},
+        )
+        report = run_against(manager, config)
+        assert report.serializable
+        assert set(report.serialization_order) <= {
+            f"{only}#{i}" for i in range(6)
+        }
+
+    def test_mix_with_unknown_name_fails(self):
+        manager = make_manager()
+        config = LoadgenConfig(
+            clients=1, transactions_per_client=1, mix={"T999": 1.0}
+        )
+        with pytest.raises(SpecificationError, match="T999"):
+            run_against(manager, config)
+
+
+class TestOpenLoop:
+    def test_open_loop_serializable(self):
+        manager = make_manager(seed=47)
+        config = LoadgenConfig(
+            clients=3, transactions_per_client=4, seed=9,
+            arrival_rate_hz=500.0,
+        )
+        report = run_against(manager, config)
+        assert report.serializable, report.violation
+        assert report.completed == 12
+
+
+class TestHistoryRoundTrip:
+    def test_history_from_events_matches_manager_history(self):
+        manager = make_manager()
+        config = LoadgenConfig(clients=3, transactions_per_client=3, seed=7)
+
+        async def body():
+            async def connect():
+                return in_process_client(manager)
+
+            report = await run_loadgen(config, connect)
+            rebuilt = history_from_events(manager.history_events())
+            return report, rebuilt, manager.history
+
+        report, rebuilt, original = asyncio.run(body())
+        assert report.serializable
+        assert [
+            (e.kind, e.job, e.item, e.version_seq, e.time)
+            for e in rebuilt.events
+        ] == [
+            (e.kind, e.job, e.item, e.version_seq, e.time)
+            for e in original.events
+        ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown history event"):
+            history_from_events([{"kind": "mystery", "job": "T1#0"}])
+
+    def test_empty_events_give_empty_history(self):
+        history = history_from_events([])
+        assert isinstance(history, History)
+        assert list(history.events) == []
+
+
+class TestReportRender:
+    def test_render_contains_verdict_and_histogram(self):
+        manager = make_manager()
+        config = LoadgenConfig(clients=4, transactions_per_client=3, seed=2)
+        report = run_against(manager, config)
+        text = report.render()
+        assert "serializability: OK" in text
+        assert "end-to-end commit latency" in text
+        assert "blocking by priority band" in text
+        assert f"committed={report.completed}" in text
+
+    def test_render_reports_violation(self):
+        report = LoadReport(
+            config=LoadgenConfig(clients=1, transactions_per_client=1),
+            protocol="pcp-da",
+            wall_s=1.0,
+            serializable=False,
+            violation="cycle T1#0 -> T2#0 -> T1#0",
+        )
+        text = report.render()
+        assert "serializability: VIOLATION" in text
+        assert "cycle" in text
+
+    def test_latency_histogram_percentiles(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004, 0.100):
+            hist.record(value)
+        assert hist.total == 4
+        assert hist.percentile(50) >= 0.001
+        # Percentiles answer with the bucket's upper bound, so they can
+        # only over-report relative to the exact sample.
+        assert hist.percentile(100) >= hist.max
+        round_tripped = LatencyHistogram.from_dict(hist.to_dict())
+        assert round_tripped.counts == hist.counts
+        assert round_tripped.total == hist.total

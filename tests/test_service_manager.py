@@ -1,0 +1,468 @@
+"""Tests for the lock-manager runtime (repro.service.manager).
+
+Everything here is in-process and socket-free (``make verify-service``
+tier): sessions are driven through :class:`LockManager` directly or via
+the in-process client, with explicit interleavings built from bare
+``asyncio`` tasks — the suite must not depend on pytest-asyncio.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.db.serializability import check_serializable
+from repro.exceptions import (
+    AdmissionError,
+    DeadlineExceeded,
+    ServiceError,
+    SessionStateError,
+    SpecificationError,
+    TransactionAborted,
+)
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TaskSet, TransactionSpec, read, write
+from repro.service import LockManager, ServiceConfig
+from repro.service.manager import SessionState
+
+
+def catalog_rw() -> TaskSet:
+    """T1 (highest) reads x; T2 writes x; T3 reads x and writes y."""
+    t1 = TransactionSpec("T1", (read("x", 1.0),))
+    t2 = TransactionSpec("T2", (write("x", 1.0),))
+    t3 = TransactionSpec("T3", (read("x", 1.0), write("y", 1.0)))
+    return assign_by_order([t1, t2, t3])
+
+
+def run(coro):
+    """Run one async test body on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+async def settle(steps: int = 5) -> None:
+    """Let every ready callback on the loop run."""
+    for _ in range(steps):
+        await asyncio.sleep(0)
+
+
+class TestSessionLifecycle:
+    def test_begin_read_write_commit(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T3")
+            assert session.state is SessionState.ACTIVE
+            value = await manager.read(session, "x")
+            assert value is None  # unwritten item: initial version
+            await manager.write(session, "y", 41)
+            summary = await manager.commit(session)
+            assert summary["installed"] == ["y"]
+            assert session.state is SessionState.COMMITTED
+            assert manager.db.read_committed("y").value == 41
+            check_serializable(manager.history)
+
+        run(body())
+
+    def test_instance_names_count_up(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            first = await manager.begin("T1")
+            second = await manager.begin("T1")
+            assert (first.name, second.name) == ("T1#0", "T1#1")
+
+        run(body())
+
+    def test_read_own_buffered_write(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T3")
+            await manager.write(session, "y", "mine")
+            assert await manager.read(session, "y") == "mine"
+            # The buffered value is invisible to others until commit.
+            assert manager.db.read_committed("y").value is None
+            await manager.commit(session)
+
+        run(body())
+
+    def test_rereads_are_stable(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T1")
+            first = await manager.read(session, "x")
+            again = await manager.read(session, "x")
+            assert first == again
+            # One history event: the re-read observed the bound version.
+            reads = [e for e in manager.history if e.job == "T1#0"]
+            assert len(reads) == 1
+            await manager.commit(session)
+
+        run(body())
+
+    def test_abort_discards_workspace(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T2")
+            await manager.write(session, "x", "discarded")
+            await manager.abort(session, "client")
+            assert session.state is SessionState.ABORTED
+            assert manager.db.read_committed("x").value is None
+
+        run(body())
+
+    def test_operations_after_commit_rejected(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T1")
+            await manager.commit(session)
+            with pytest.raises(SessionStateError):
+                await manager.read(session, "x")
+            with pytest.raises(SessionStateError):
+                await manager.abort(session)
+
+        run(body())
+
+    def test_access_outside_declared_sets_rejected(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T1")
+            with pytest.raises(SessionStateError):
+                await manager.read(session, "y")  # T1 only declares x
+            with pytest.raises(SessionStateError):
+                await manager.write(session, "x", 1)  # read set only
+
+        run(body())
+
+    def test_unknown_transaction_and_session(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            with pytest.raises(SpecificationError):
+                await manager.begin("T9")
+            with pytest.raises(SessionStateError):
+                manager.session(404)
+
+        run(body())
+
+
+class TestAdmissionAndShutdown:
+    def test_max_sessions_backpressure(self):
+        async def body():
+            manager = LockManager(
+                catalog_rw(), "pcp-da", ServiceConfig(max_sessions=2)
+            )
+            a = await manager.begin("T1")
+            await manager.begin("T2")
+            with pytest.raises(AdmissionError):
+                await manager.begin("T3")
+            await manager.commit(a)  # freeing a slot reopens admission
+            await manager.begin("T3")
+            assert manager.stats.sessions_rejected == 1
+
+        run(body())
+
+    def test_shutdown_aborts_live_sessions(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T2")
+            await manager.write(session, "x", 1)
+            await manager.shutdown()
+            assert session.state is SessionState.ABORTED
+            with pytest.raises(ServiceError):
+                await manager.begin("T1")
+
+        run(body())
+
+
+class TestDeadlines:
+    def test_expired_deadline_aborts_at_next_op(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T1", deadline_s=0.001)
+            await asyncio.sleep(0.01)
+            with pytest.raises(DeadlineExceeded):
+                await manager.read(session, "x")
+            assert session.state is SessionState.ABORTED
+            assert manager.stats.deadline_aborts == 1
+
+        run(body())
+
+    def test_deadline_fires_while_parked_in_grant_queue(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "2pl")
+            writer = await manager.begin("T2")
+            await manager.write(writer, "x", 1)
+            reader = await manager.begin("T1", deadline_s=0.02)
+            with pytest.raises(DeadlineExceeded):
+                await manager.read(reader, "x")
+            assert reader.state is SessionState.ABORTED
+            assert not manager._waiters  # queue entry cleaned up
+            await manager.commit(writer)
+
+        run(body())
+
+
+class TestGrantQueue:
+    def test_conflicting_read_waits_for_writer_under_2pl(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "2pl")
+            writer = await manager.begin("T2")
+            await manager.write(writer, "x", "w")
+            reader = await manager.begin("T1")
+            task = asyncio.ensure_future(manager.read(reader, "x"))
+            await settle()
+            assert reader.state is SessionState.WAITING
+            assert not task.done()
+            await manager.commit(writer)
+            value = await task
+            assert value == "w"  # observed the committed install
+            await manager.commit(reader)
+            check_serializable(manager.history)
+
+        run(body())
+
+    def test_queue_wakes_in_priority_order(self):
+        async def body():
+            t1 = TransactionSpec("T1", (read("x", 1.0),))
+            t2 = TransactionSpec("T2", (read("x", 1.0),))
+            t3 = TransactionSpec("T3", (write("x", 1.0),))
+            manager = LockManager(assign_by_order([t1, t2, t3]), "2pl")
+            holder = await manager.begin("T3")
+            await manager.write(holder, "x", 1)
+            low = await manager.begin("T2")
+            high = await manager.begin("T1")
+            order = []
+
+            async def request(session, tag):
+                await manager.read(session, "x")
+                order.append(tag)
+
+            low_task = asyncio.ensure_future(request(low, "low"))
+            await settle()
+            high_task = asyncio.ensure_future(request(high, "high"))
+            await settle()
+            await manager.commit(holder)
+            await asyncio.gather(low_task, high_task)
+            assert order == ["high", "low"]
+
+        run(body())
+
+    def test_one_inflight_operation_per_session(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "2pl")
+            writer = await manager.begin("T2")
+            await manager.write(writer, "x", 1)
+            reader = await manager.begin("T1")
+            task = asyncio.ensure_future(manager.read(reader, "x"))
+            await settle()
+            with pytest.raises(SessionStateError):
+                await manager.read(reader, "x")
+            await manager.commit(writer)
+            await task
+            await manager.commit(reader)
+
+        run(body())
+
+    def test_cancelled_waiter_is_torn_down(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "2pl")
+            writer = await manager.begin("T2")
+            await manager.write(writer, "x", 1)
+            reader = await manager.begin("T1")
+            task = asyncio.ensure_future(manager.read(reader, "x"))
+            await settle()
+            task.cancel()
+            await settle()
+            assert reader.state is SessionState.ABORTED
+            assert not manager._waiters
+            await manager.commit(writer)
+
+        run(body())
+
+
+class TestSerializationOrderEnforcement:
+    """PCP-DA reads past write locks; the service must keep the adjusted
+    order honest under true concurrency (module docstring of manager.py)."""
+
+    def test_read_past_write_lock_is_granted(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            writer = await manager.begin("T2")
+            await manager.write(writer, "x", "new")
+            reader = await manager.begin("T1")
+            value = await manager.read(reader, "x")  # LC3: no wait
+            assert value is None  # committed version, not the buffer
+            assert reader.state is SessionState.ACTIVE
+            return manager, writer, reader
+
+        async def full():
+            manager, writer, reader = await body()
+            await manager.commit(reader)
+            await manager.commit(writer)
+            check_serializable(manager.history)
+
+        run(full())
+
+    def test_writer_commit_gated_until_passing_reader_finishes(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            writer = await manager.begin("T2")
+            await manager.write(writer, "x", "new")
+            reader = await manager.begin("T1")
+            await manager.read(reader, "x")  # reader ≺ writer now
+            commit_task = asyncio.ensure_future(manager.commit(writer))
+            await settle()
+            assert not commit_task.done()  # parked at the commit gate
+            assert writer.state is SessionState.WAITING
+            await manager.commit(reader)
+            await commit_task
+            assert writer.state is SessionState.COMMITTED
+            graph = check_serializable(manager.history)
+            order = graph.topological_order()
+            assert order.index("T1#0") < order.index("T2#0")
+
+        run(body())
+
+    def test_gate_opens_on_reader_abort_too(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            writer = await manager.begin("T2")
+            await manager.write(writer, "x", "new")
+            reader = await manager.begin("T1")
+            await manager.read(reader, "x")
+            commit_task = asyncio.ensure_future(manager.commit(writer))
+            await settle()
+            assert not commit_task.done()
+            await manager.abort(reader, "client")
+            await commit_task
+            assert writer.state is SessionState.COMMITTED
+            check_serializable(manager.history)
+
+        run(body())
+
+    def test_order_guard_blocks_read_of_predecessor_write_set(self):
+        async def body():
+            # T3 reads x past T1... need T3 ≺ W and W wants to read an
+            # item in T3's write set.  Build a dedicated catalog:
+            #   A writes x, reads y;  B reads x, writes y.
+            a = TransactionSpec("A", (write("x", 1.0), read("y", 1.0)))
+            b = TransactionSpec("B", (read("x", 1.0), write("y", 1.0)))
+            manager = LockManager(assign_by_order([b, a]), "pcp-da")
+            writer = await manager.begin("A")
+            await manager.write(writer, "x", 1)
+            reader = await manager.begin("B")
+            await manager.read(reader, "x")      # B ≺ A recorded
+            await manager.write(reader, "y", 2)  # B write-locks y
+            # A reading y would observe state serialized *after* B begins
+            # installing — the order guard must hold it back.
+            read_task = asyncio.ensure_future(manager.read(writer, "y"))
+            await settle()
+            assert not read_task.done()
+            waiter = manager._waiters[writer]
+            assert waiter.reason.startswith("order guard")
+            await manager.commit(reader)
+            value = await read_task  # guard lifts once B finishes
+            assert value == 2
+            await manager.commit(writer)
+            graph = check_serializable(manager.history)
+            order = graph.topological_order()
+            assert order.index("B#0") < order.index("A#0")
+
+        run(body())
+
+    def test_gate_cycle_resolved_by_victim_abort(self):
+        async def body():
+            # Crossed ≺ constraints cannot be built from LC3 alone in a
+            # deterministic two-transaction script (each pass needs the
+            # reader's priority above the writer's, and the footnote
+            # closes the symmetric shapes), but concurrent timing races
+            # can still produce them transitively.  Inject that state
+            # directly and check the resolution machinery: both commits
+            # gate on each other, the cycle is detected as service-level,
+            # and the lowest-priority member is aborted.
+            a = TransactionSpec("A", (write("x", 1.0), read("y", 1.0)))
+            b = TransactionSpec("B", (read("x", 1.0), write("y", 1.0)))
+            manager = LockManager(assign_by_order([a, b]), "pcp-da")
+            sa = await manager.begin("A")
+            sb = await manager.begin("B")
+            await manager.write(sa, "x", 1)
+            await manager.write(sb, "y", 2)
+            manager._pred[sa.job] = {sb.job}
+            manager._succ[sb.job] = {sa.job}
+            manager._pred[sb.job] = {sa.job}
+            manager._succ[sa.job] = {sb.job}
+            commit_a = asyncio.ensure_future(manager.commit(sa))
+            await settle()
+            commit_b = asyncio.ensure_future(manager.commit(sb))
+            results = await asyncio.gather(
+                commit_a, commit_b, return_exceptions=True
+            )
+            # B has the lower base priority → B is the victim.
+            assert isinstance(results[1], TransactionAborted)
+            assert isinstance(results[0], dict)
+            assert manager.stats.deadlocks == 1
+            check_serializable(manager.history)
+
+        run(body())
+
+    def test_constraints_dropped_when_sessions_finish(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            writer = await manager.begin("T2")
+            await manager.write(writer, "x", 1)
+            reader = await manager.begin("T1")
+            await manager.read(reader, "x")
+            assert manager._pred and manager._succ
+            await manager.commit(reader)
+            await manager.commit(writer)
+            assert not manager._pred and not manager._succ
+            assert not manager._gate_futures
+
+        run(body())
+
+
+class TestIntrospection:
+    def test_stats_document_gauges(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T1")
+            doc = manager.stats_document()
+            assert doc["live_sessions"] == 1
+            assert doc["protocol"] == "pcp-da"
+            assert doc["uptime_s"] >= 0
+            await manager.commit(session)
+
+        run(body())
+
+    def test_history_events_replayable(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T3")
+            await manager.read(session, "x")
+            await manager.write(session, "y", 9)
+            await manager.commit(session)
+            rows = manager.history_events()
+            assert [r["kind"] for r in rows] == ["read", "install", "commit"]
+            assert all(r["job"] == "T3#0" for r in rows)
+
+        run(body())
+
+    def test_snapshot_result_feeds_the_oracles(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            session = await manager.begin("T3")
+            await manager.read(session, "x")
+            await manager.write(session, "y", 1)
+            await manager.commit(session)
+            result = manager.snapshot_result()
+            assert result.protocol_name == "pcp-da"
+            result.check_serializable()
+            assert result.trace.commit_time("T3#0") is not None
+
+        run(body())
+
+
+class TestServiceConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(SpecificationError):
+            ServiceConfig(deadlock_action="retry")
+        with pytest.raises(SpecificationError):
+            ServiceConfig(max_sessions=0)
+        with pytest.raises(SpecificationError):
+            ServiceConfig(default_deadline_s=0.0)

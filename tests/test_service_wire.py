@@ -1,0 +1,275 @@
+"""Wire-protocol and TCP-transport tests for the lock-manager service.
+
+Covers the NDJSON codec, the exception → wire-error mapping, the shared
+``dispatch_request`` entry point, and the real TCP transport (pipelining,
+error re-raising, disconnect cleanup) over a loopback ``LockServer`` on
+an ephemeral port.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import (
+    AdmissionError,
+    DeadlineExceeded,
+    ServiceError,
+    SessionStateError,
+    SpecificationError,
+    TransactionAborted,
+)
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TaskSet, TransactionSpec, read, write
+from repro.service import LockManager, ServiceConfig
+from repro.service import wire
+from repro.service.client import connect_tcp, in_process_client
+from repro.service.server import LockServer
+
+
+def catalog_rw() -> TaskSet:
+    specs = [
+        TransactionSpec("T1", (read("x", 1.0),), offset=0.0),
+        TransactionSpec("T2", (write("x", 1.0),), offset=0.0),
+        TransactionSpec("T3", (read("x", 1.0), write("y", 1.0)), offset=0.0),
+    ]
+    return assign_by_order(specs)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCodec:
+    def test_encode_decode_round_trip(self):
+        document = {"id": 7, "op": "read", "session": 3, "item": "x"}
+        line = wire.encode(document)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert wire.decode(line) == document
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            wire.decode(b"[1, 2, 3]\n")
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ValueError):
+            wire.decode(b"{not json}\n")
+
+    def test_error_types_cover_service_hierarchy(self):
+        assert wire.ERROR_TYPES == {
+            "service": ServiceError,
+            "admission": AdmissionError,
+            "session-state": SessionStateError,
+            "aborted": TransactionAborted,
+            "deadline": DeadlineExceeded,
+        }
+
+    def test_exception_mapping(self):
+        doc = wire.exception_to_error(1, TransactionAborted("boom"))
+        assert doc["error"]["kind"] == "aborted"
+        doc = wire.exception_to_error(2, SpecificationError("bad"))
+        assert doc["error"]["kind"] == "bad-request"
+        doc = wire.exception_to_error(3, KeyError("item"))
+        assert doc["error"]["kind"] == "bad-request"
+        doc = wire.exception_to_error(4, RuntimeError("oops"))
+        assert doc["error"]["kind"] == "internal"
+        assert "RuntimeError" in doc["error"]["message"]
+
+
+class TestDispatch:
+    def test_ping_reports_version_and_protocol(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            response = await wire.dispatch_request(
+                manager, {"id": 1, "op": "ping"}
+            )
+            assert response["ok"]
+            assert response["result"]["version"] == wire.PROTOCOL_VERSION
+            assert response["result"]["protocol"] == "pcp-da"
+            await manager.shutdown()
+
+        run(body())
+
+    def test_full_transaction_via_documents(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            begin = await wire.dispatch_request(
+                manager, {"id": 1, "op": "begin", "transaction": "T2"}
+            )
+            assert begin["ok"]
+            session_id = begin["result"]["session"]
+            wrote = await wire.dispatch_request(
+                manager,
+                {"id": 2, "op": "write", "session": session_id,
+                 "item": "x", "value": 99},
+            )
+            assert wrote["ok"] and wrote["result"]["buffered"]
+            committed = await wire.dispatch_request(
+                manager, {"id": 3, "op": "commit", "session": session_id}
+            )
+            assert committed["ok"]
+            assert committed["result"]["installed"] == ["x"]
+            await manager.shutdown()
+
+        run(body())
+
+    def test_unknown_op_is_bad_request(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            response = await wire.dispatch_request(
+                manager, {"id": 9, "op": "frobnicate"}
+            )
+            assert not response["ok"]
+            assert response["error"]["kind"] == "bad-request"
+            await manager.shutdown()
+
+        run(body())
+
+    def test_missing_field_is_bad_request(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            response = await wire.dispatch_request(
+                manager, {"id": 9, "op": "read", "item": "x"}
+            )
+            assert not response["ok"]
+            assert response["error"]["kind"] == "bad-request"
+            await manager.shutdown()
+
+        run(body())
+
+    def test_error_id_echoed_back(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            response = await wire.dispatch_request(
+                manager, {"id": "tok-42", "op": "read", "session": 999,
+                          "item": "x"}
+            )
+            assert response["id"] == "tok-42"
+            assert response["error"]["kind"] == "session-state"
+            await manager.shutdown()
+
+        run(body())
+
+    def test_in_process_client_raises_mapped_errors(self):
+        async def body():
+            manager = LockManager(
+                catalog_rw(), "pcp-da", ServiceConfig(max_sessions=1)
+            )
+            client = in_process_client(manager)
+            txn = await client.begin("T1")
+            with pytest.raises(AdmissionError):
+                await client.begin("T2")
+            await txn.abort()
+            await manager.shutdown()
+
+        run(body())
+
+
+@pytest.mark.service_soak
+class TestTcpTransport:
+    """Real loopback sockets — excluded from tier-1 / ``verify-service``
+    (both stay socket-free); ``make verify-service SOAK=1`` runs these."""
+
+    def test_round_trip_with_pipelining(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            server = LockServer(manager, port=0)
+            await server.start()
+            try:
+                client = await connect_tcp("127.0.0.1", server.port)
+                async with client:
+                    pong = await client.ping()
+                    assert pong["version"] == wire.PROTOCOL_VERSION
+                    # Pipeline: many concurrent sessions on one connection.
+                    async def one(name):
+                        txn = await client.begin(name)
+                        if name == "T2":
+                            await txn.write("x", name)
+                        else:
+                            await txn.read("x")
+                        return await txn.commit()
+
+                    results = await asyncio.gather(
+                        one("T1"), one("T2"), one("T3")
+                    )
+                    assert all("installed" in r for r in results)
+                    stats = await client.stats()
+                    assert stats["commits"] == 3
+            finally:
+                await server.close()
+
+        run(body())
+
+    def test_wire_error_reraised_as_exception(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            server = LockServer(manager, port=0)
+            await server.start()
+            try:
+                async with await connect_tcp("127.0.0.1", server.port) as c:
+                    with pytest.raises(SessionStateError):
+                        await c.request("read", session=424242, item="x")
+            finally:
+                await server.close()
+
+        run(body())
+
+    def test_bad_json_line_gets_error_response(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            server = LockServer(manager, port=0)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                response = wire.decode(await reader.readline())
+                assert not response["ok"]
+                assert response["error"]["kind"] == "bad-request"
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.close()
+
+        run(body())
+
+    def test_disconnect_aborts_owned_sessions(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            server = LockServer(manager, port=0)
+            await server.start()
+            try:
+                client = await connect_tcp("127.0.0.1", server.port)
+                txn = await client.begin("T2")
+                await txn.write("x", 1)
+                await client.close()   # vanish without commit/abort
+                # Give the server's connection handler time to clean up.
+                for _ in range(50):
+                    await asyncio.sleep(0.01)
+                    if not manager.table.writers_of("x"):
+                        break
+                assert not manager.table.writers_of("x")
+                assert manager.stats.client_aborts >= 1
+                # The lock table is usable again afterwards.
+                survivor = await connect_tcp("127.0.0.1", server.port)
+                async with survivor:
+                    txn2 = await survivor.begin("T2")
+                    await txn2.write("x", 2)
+                    assert (await txn2.commit())["installed"] == ["x"]
+            finally:
+                await server.close()
+
+        run(body())
+
+    def test_server_close_shuts_manager_down(self):
+        async def body():
+            manager = LockManager(catalog_rw(), "pcp-da")
+            server = LockServer(manager, port=0)
+            await server.start()
+            await server.close()
+            with pytest.raises(ServiceError):
+                await manager.begin("T1")
+
+        run(body())

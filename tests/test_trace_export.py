@@ -8,6 +8,8 @@ import pytest
 
 from repro.trace.export import (
     metrics_to_csv,
+    recorder_from_dict,
+    recorder_to_dict,
     result_to_dict,
     result_to_json,
     segments_to_csv,
@@ -85,3 +87,58 @@ class TestCSVExports:
         t1 = next(r for r in rows if r["job"] == "T1#0")
         assert float(t1["blocking_time"]) == 1.0
         assert t1["missed_deadline"] == "0"
+
+
+class TestRecorderRoundTrip:
+    """``recorder_to_dict`` / ``recorder_from_dict`` are exact inverses.
+
+    The round trip runs over the full golden corpus (the same 51 cases
+    the seed-engine digests pin), so every protocol, deadlock shape, and
+    config knob the repo exercises is covered.  ``result_to_dict`` is
+    untouched by these helpers — its shape is pinned by the digests.
+    """
+
+    @staticmethod
+    def _streams(recorder):
+        return (
+            [(e.time, e.kind, e.job, e.other)
+             for e in recorder.sched_events],
+            [(e.time, e.job, e.item, e.mode, e.outcome, e.rule, e.blockers)
+             for e in recorder.lock_events],
+            [(s.job, s.start, s.end) for s in recorder.segments],
+            list(recorder.sysceil_samples),
+            list(recorder.priority_changes),
+        )
+
+    def test_round_trip_single_case(self, result):
+        doc = recorder_to_dict(result.trace)
+        rebuilt = recorder_from_dict(doc)
+        assert self._streams(rebuilt) == self._streams(result.trace)
+
+    def test_document_is_json_serialisable(self, result):
+        text = json.dumps(recorder_to_dict(result.trace), sort_keys=True)
+        rebuilt = recorder_from_dict(json.loads(text))
+        assert self._streams(rebuilt) == self._streams(result.trace)
+
+    def test_round_trip_whole_golden_corpus(self):
+        from repro.engine.simulator import Simulator
+        from repro.protocols.base import make_protocol
+        from tests.golden_traces import CORPUS
+
+        assert len(CORPUS) >= 51
+        for name, build, proto, config in CORPUS:
+            sim_result = Simulator(build(), make_protocol(proto), config).run()
+            doc = recorder_to_dict(sim_result.trace)
+            rebuilt = recorder_from_dict(json.loads(json.dumps(doc)))
+            assert self._streams(rebuilt) == self._streams(
+                sim_result.trace
+            ), f"recorder round trip diverged for corpus case {name}"
+
+    def test_result_to_dict_shape_untouched(self, result):
+        # The analytical export's key set is part of the golden-digest
+        # contract: the recorder helpers must not have changed it.
+        assert sorted(result_to_dict(result)) == [
+            "committed", "deadlock", "end_time", "jobs", "lock_events",
+            "priority_changes", "protocol", "restarts", "sched_events",
+            "segments", "sysceil", "transactions",
+        ]
