@@ -6,6 +6,9 @@
 # cases tier-1 excludes. See docs/RELIABILITY.md. `make verify-service`
 # runs the in-process service suites plus the TCP/loadgen soak battery
 # (the only target that opens sockets). See docs/SERVICE.md.
+# `make verify-sharding` runs the sharded-deployment suites (partitioner,
+# coordinator, 1-shard decision equivalence, 4-shard replay) socket-free;
+# SOAK=1 adds the multi-shard TCP soaks. See docs/SHARDING.md.
 #
 # `make bench` is the standing perf-regression harness: the
 # pytest-benchmark suites (whole-run throughput + per-event
@@ -15,10 +18,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify verify-faults verify-service test smoke bench bench-smoke \
-	bench-all
+.PHONY: verify verify-faults verify-service verify-sharding test smoke \
+	bench bench-smoke bench-all
 
-verify: test smoke bench-smoke verify-service
+verify: test smoke bench-smoke verify-service verify-sharding
 
 verify-faults:
 	$(PYTHON) -m pytest -q -m faults
@@ -31,6 +34,17 @@ verify-service:
 		tests/test_service_differential.py tests/test_service_wire.py \
 		tests/test_service_loadgen.py
 	$(if $(SOAK),$(PYTHON) -m pytest -q -m service_soak --override-ini \
+		'addopts=-q',)
+
+# The sharded-deployment battery (no sockets): partitioners, coordinator
+# semantics (routing, gate, guard, cascades, cross-shard deadlock), the
+# 1-shard decision-equivalence differential, and the 4-shard replay
+# acceptance run. The multi-shard TCP soak runs only when SOAK=1.
+verify-sharding:
+	$(PYTHON) -m pytest -q tests/test_sharding_partitioner.py \
+		tests/test_sharding_coordinator.py \
+		tests/test_sharding_equivalence.py tests/test_sharding_replay.py
+	$(if $(SOAK),$(PYTHON) -m pytest -q -m sharding_soak --override-ini \
 		'addopts=-q',)
 
 test:

@@ -246,30 +246,47 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return _run_reproduce(args)
 
 
+def _service_manager(taskset, protocol, config, shards, partitioner):
+    """A plain or sharded lock manager, depending on ``--shards``."""
+    from repro.service import LockManager, ShardedLockManager
+
+    if shards > 1:
+        return ShardedLockManager(
+            taskset, protocol, config, shards=shards, partitioner=partitioner
+        )
+    return LockManager(taskset, protocol, config)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a generated catalog over TCP until interrupted."""
     import asyncio
 
-    from repro.service import LockManager, LockServer, ServiceConfig
+    from repro.service import LockServer, ServiceConfig
 
     taskset = generate_taskset(_workload_from_args(args))
 
     async def run() -> None:
-        manager = LockManager(
+        manager = _service_manager(
             taskset,
             args.protocol,
             ServiceConfig(
                 max_sessions=args.max_sessions,
                 default_deadline_s=args.deadline,
             ),
+            args.shards,
+            args.partitioner,
         )
         server = LockServer(manager, args.host, args.port)
         await server.start()
+        sharding = (
+            f", {args.shards} shards ({args.partitioner})"
+            if args.shards > 1 else ""
+        )
         print(
             f"repro-service listening on {server.host}:{server.port} "
             f"(protocol={args.protocol}, "
             f"{len(taskset.names)} transactions, "
-            f"{len(taskset.items)} items)",
+            f"{len(taskset.items)} items{sharding})",
             flush=True,
         )
         try:
@@ -290,7 +307,6 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from repro.service import (
         LoadgenConfig,
-        LockManager,
         LockServer,
         ServiceConfig,
         connect_tcp,
@@ -325,9 +341,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 target_utilization=args.utilization,
                 seed=args.workload_seed,
             ))
-            manager = LockManager(
-                taskset, args.protocol,
+            manager = _service_manager(
+                taskset,
+                args.protocol,
                 ServiceConfig(max_sessions=args.max_sessions),
+                args.shards,
+                args.partitioner,
             )
             server = LockServer(manager, "127.0.0.1", 0)
             await server.start()
@@ -532,6 +551,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(serve)
     serve.add_argument("--seed", type=int, default=0,
                        help="workload-generator seed for the catalog")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="partition the item space across N shard lock "
+                            "managers behind one coordinator (default 1: "
+                            "unsharded)")
+    serve.add_argument("--partitioner", default="hash",
+                       choices=("hash", "range"),
+                       help="item-to-shard mapping scheme (with --shards > 1)")
     serve.add_argument("--max-sessions", type=int, default=None,
                        help="admission-control cap on live sessions")
     serve.add_argument("--deadline", type=float, default=None, metavar="S",
@@ -572,6 +598,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "catalog")
     loadgen.add_argument("--max-sessions", type=int, default=None,
                          help="admission cap for the self-hosted server")
+    loadgen.add_argument("--shards", type=int, default=1,
+                         help="shard count for the self-hosted server "
+                              "(ignored with --connect)")
+    loadgen.add_argument("--partitioner", default="hash",
+                         choices=("hash", "range"),
+                         help="partitioning scheme for the self-hosted "
+                              "sharded server")
     loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 

@@ -28,26 +28,45 @@ Layers (see docs/SERVICE.md):
 * :mod:`repro.service.client` — the async client library (in-process and
   TCP transports);
 * :mod:`repro.service.loadgen` — open/closed-loop load generation with
-  the serializability replay oracle (``repro loadgen``).
+  the serializability replay oracle (``repro loadgen``);
+* :mod:`repro.service.sharding` — the partitioned deployment: N shard
+  managers behind a coordinator that routes by item, merges the
+  per-shard serialization-constraint registries, and runs the commit
+  gate globally (``repro serve --shards N``, docs/SHARDING.md).
 """
 
 from repro.service.client import ServiceClient, connect_tcp, in_process_client
 from repro.service.loadgen import LoadgenConfig, LoadReport, run_loadgen
 from repro.service.manager import LockManager, ServiceConfig, Session
 from repro.service.server import LockServer
-from repro.service.stats import LatencyHistogram, ServiceStats
+from repro.service.sharding import (
+    GlobalSession,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    ShardedLockManager,
+    make_partitioner,
+)
+from repro.service.stats import LatencyHistogram, ServiceStats, ShardingStats
 
 __all__ = [
+    "GlobalSession",
+    "HashPartitioner",
     "LatencyHistogram",
     "LoadReport",
     "LoadgenConfig",
     "LockManager",
     "LockServer",
+    "Partitioner",
+    "RangePartitioner",
     "ServiceClient",
     "ServiceConfig",
     "ServiceStats",
     "Session",
+    "ShardedLockManager",
+    "ShardingStats",
     "connect_tcp",
     "in_process_client",
+    "make_partitioner",
     "run_loadgen",
 ]

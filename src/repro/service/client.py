@@ -135,6 +135,14 @@ class ServiceClient:
         """The full service-side stats snapshot."""
         return await self.request("stats")
 
+    async def topology(self) -> Dict[str, Any]:
+        """The deployment's shard topology (partitioner and assignment).
+
+        Unsharded services answer with one implicit shard, so callers
+        need not know in advance which kind of deployment they reached.
+        """
+        return await self.request("topology")
+
     async def history(self) -> List[Dict[str, Any]]:
         """The observable history rows, in global order."""
         return (await self.request("history"))["events"]

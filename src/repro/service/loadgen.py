@@ -42,7 +42,12 @@ from repro.exceptions import (
     TransactionAborted,
 )
 from repro.service.client import ServiceClient
-from repro.service.stats import LatencyHistogram, ServiceStats
+from repro.service.stats import (
+    LatencyHistogram,
+    ServiceStats,
+    ShardingStats,
+    _fmt_s,
+)
 
 #: Async factory producing one connected client per worker.
 ClientFactory = Callable[[], Awaitable[ServiceClient]]
@@ -143,6 +148,7 @@ class LoadReport:
         ]
         if self.stats is not None:
             lines += ["", self.stats.render()]
+        lines.extend(self._render_shards())
         lines.append("")
         if self.serializable:
             order = " < ".join(self.serialization_order[:12])
@@ -155,6 +161,44 @@ class LoadReport:
         else:
             lines.append(f"serializability: VIOLATION — {self.violation}")
         return "\n".join(lines)
+
+    def _render_shards(self) -> List[str]:
+        """Per-shard commit/grant table + the silent-misrouting detector.
+
+        Present only when the stats document came from a sharded
+        deployment.  A shard that granted zero lock requests over a run
+        that committed work is suspicious — either the partitioner
+        assigned it no items (intentional but worth seeing) or requests
+        are being misrouted — so the report calls it out explicitly.
+        """
+        shards = self.stats_doc.get("shards") or []
+        if not shards:
+            return []
+        lines = ["", "per-shard breakdown:"]
+        lines.append(
+            f"  {'shard':>5} {'items':>6} {'sessions':>9} {'grants':>7} "
+            f"{'denies':>7} {'commits':>8} {'commit p95':>11}"
+        )
+        for entry in shards:
+            hist = LatencyHistogram.from_dict(entry["commit_latency"])
+            lines.append(
+                f"  {entry['shard']:>5} {entry['items']:>6} "
+                f"{entry['sessions']:>9} {entry['grants']:>7} "
+                f"{entry['denials']:>7} {entry['commits']:>8} "
+                f"{_fmt_s(hist.percentile(95)):>11}"
+            )
+        idle = [str(entry["shard"]) for entry in shards
+                if not entry.get("grants")]
+        if idle and self.completed:
+            lines.append(
+                f"  WARNING: shard(s) {', '.join(idle)} granted zero lock "
+                "requests — possible silent misrouting (or an empty "
+                "partition; check the topology)"
+            )
+        coordinator = self.stats_doc.get("coordinator")
+        if coordinator:
+            lines += ["", ShardingStats.from_dict(coordinator).render()]
+        return lines
 
 
 def history_from_events(events: Sequence[Dict[str, Any]]) -> History:

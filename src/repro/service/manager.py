@@ -191,6 +191,12 @@ class Session:
         """The underlying job's instance name (``"T2#7"``)."""
         return self.job.name
 
+    @property
+    def priority(self) -> int:
+        """The job's base priority (wire ``begin`` reports this; the
+        sharded coordinator exposes the same attribute on its sessions)."""
+        return self.job.base_priority
+
 
 @dataclass
 class _Waiter:
@@ -265,9 +271,19 @@ class LockManager:
     # Session lifecycle
     # ------------------------------------------------------------------
     async def begin(
-        self, transaction: str, *, deadline_s: Optional[float] = None
+        self,
+        transaction: str,
+        *,
+        deadline_s: Optional[float] = None,
+        instance: Optional[int] = None,
     ) -> Session:
         """Open a session executing one instance of ``transaction``.
+
+        ``instance`` pins the instance number instead of drawing from the
+        manager's own counter — the shard coordinator uses this so every
+        leg of one global transaction carries the same name on every
+        shard (the counter is bumped past the pin, so mixed use stays
+        collision-free).
 
         Raises:
             AdmissionError: the ``max_sessions`` backpressure cap is hit.
@@ -283,8 +299,13 @@ class LockManager:
                 f"session limit reached ({limit} live sessions); retry later"
             )
         now = self.now()
-        instance = self._instances.get(transaction, 0)
-        self._instances[transaction] = instance + 1
+        if instance is None:
+            instance = self._instances.get(transaction, 0)
+            self._instances[transaction] = instance + 1
+        else:
+            self._instances[transaction] = max(
+                self._instances.get(transaction, 0), instance + 1
+            )
         job = Job(spec, instance, now)
         session = Session(self._next_session_id, job, now, None)
         self._next_session_id += 1
@@ -908,6 +929,25 @@ class LockManager:
     # ------------------------------------------------------------------
     # Abort / deadlock machinery
     # ------------------------------------------------------------------
+    def force_abort(
+        self,
+        session: Session,
+        reason: str,
+        *,
+        exc: Optional[ServiceError] = None,
+    ) -> None:
+        """Service-initiated abort, then re-service the grant queue.
+
+        The public entry the shard coordinator uses to cascade a global
+        abort onto a leg (and that embedders can use for policy-level
+        kills).  Idempotent: a session that already finished is left
+        alone.
+        """
+        if not session.state.live:
+            return
+        self._abort_session(session, reason, forced=True, exc=exc)
+        self._service_grant_queue()
+
     def _abort_session(
         self,
         session: Session,

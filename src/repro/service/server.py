@@ -33,7 +33,10 @@ class LockServer:
         await server.close()          # drains connections, shuts manager down
 
     ``port=0`` binds an ephemeral port — the tests and the self-hosting
-    loadgen mode rely on this.
+    loadgen mode rely on this.  ``manager`` is anything with the
+    :class:`LockManager` surface; a
+    :class:`~repro.service.sharding.coordinator.ShardedLockManager`
+    serves identically (``repro serve --shards N``).
     """
 
     def __init__(

@@ -1,0 +1,1026 @@
+"""The shard coordinator: routing, span tracking, and the global gate.
+
+A :class:`ShardedLockManager` owns N fully independent
+:class:`~repro.service.manager.LockManager` shards — each with its own
+lock table, wait-for graph, protocol instance (so ceilings and
+inheritance are *per shard*, DPCP-p-style), database partition, and
+history — plus the coordinator state that stitches them back into one
+serializable service:
+
+* **Routing.**  A :class:`~repro.service.sharding.partitioner.Partitioner`
+  maps every item id to its owning shard; ``read``/``write`` forward to a
+  lazily-opened *leg* session there.  All legs of one global session
+  share the same pinned instance number, so every shard knows the
+  transaction by the same name (``"T2#7"``) and the merged history is
+  coherent.
+* **Shard-span.**  Access sets are static (ceilings require it), so the
+  span — the set of shards a session may touch — is known at ``begin``.
+  Single-shard ("local") sessions take the fast path: their commit is
+  delegated wholesale to the home shard, whose local commit gate is
+  provably sufficient (every direct ≺-constraint involving a session is
+  recorded on a shard where it holds locks, i.e. its home).  Multi-shard
+  ("global") sessions pay for coordination.
+* **Global commit gate.**  Before a cross-shard commit installs
+  anything, the coordinator aggregates the per-shard reader≺writer
+  registries (``LockManager._pred``) into one merged, session-level
+  constraint graph and parks the committer until every live predecessor
+  on *every* touched shard has finished.  The install loop that follows
+  contains no ``await`` until the last shard's install lands — per-shard
+  local gates are empty by then (their constraints are a subset of the
+  merged ones), so a multi-shard commit is atomic on the event loop and
+  no concurrent reader can observe a partially-installed transaction.
+* **Global order guard.**  A read is held back while any live
+  *transitive* predecessor on the merged graph — beyond those the owning
+  shard can see locally — declares the item in its write set.  On a
+  1-shard deployment the remote remainder is empty by construction, so
+  the sharded service is decision-equivalent to the unsharded manager
+  (the differential battery in ``tests/test_sharding_equivalence.py``
+  pins this).
+* **Cross-shard deadlock detection.**  Shard-local cycles are the
+  shard's own business (same rules as the unsharded manager), but a
+  cycle may close *across* shards — through coordinator gate/guard waits
+  or through lock waits on two different shards (the per-shard ceilings
+  cannot see each other, so the paper's deadlock-freedom theorem does
+  not survive partitioning; ``docs/SHARDING.md`` discusses this
+  honestly).  Waiters poll a cheap sweep while parked; the sweep builds
+  the session-level union of all shard wait-for graphs plus the
+  coordinator waits, and resolves any cycle not attributable to a
+  single shard by aborting its lowest-priority member.
+
+Deadlines are owned by the coordinator (legs run without deadlines):
+checked at operation boundaries and enforced mid-wait by the watchdog
+that wraps every forwarded operation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.engine.job import Job
+from repro.exceptions import (
+    AdmissionError,
+    DeadlineExceeded,
+    ServiceError,
+    SessionStateError,
+    SpecificationError,
+    TransactionAborted,
+)
+from repro.model.spec import TaskSet, TransactionSpec
+from repro.service.manager import (
+    LockManager,
+    ServiceConfig,
+    Session,
+    SessionState,
+)
+from repro.service.sharding.partitioner import Partitioner, make_partitioner
+from repro.service.stats import ServiceStats, ShardingStats
+
+#: History-row sort rank: reads before installs before outcomes at equal
+#: timestamps.  Serialization-graph edges depend only on per-item version
+#: sequence numbers, so this rank only keeps the merged log readable.
+_HISTORY_RANK = {"read": 0, "install": 1, "commit": 2, "abort": 2}
+
+
+class GlobalSession:
+    """One live transaction as the coordinator sees it.
+
+    The coordinator-side twin of :class:`~repro.service.manager.Session`:
+    it has no job of its own — instead it owns one *leg* session per
+    touched shard, all running under the same pinned instance name.
+    """
+
+    __slots__ = ("id", "spec", "instance", "state", "deadline", "opened_at",
+                 "abort_reason", "legs", "span", "in_flight")
+
+    def __init__(self, session_id: int, spec: TransactionSpec, instance: int,
+                 opened_at: float) -> None:
+        self.id = session_id
+        self.spec = spec
+        self.instance = instance
+        self.state = SessionState.ACTIVE
+        #: Absolute deadline on the service clock (coordinator-enforced;
+        #: legs run deadline-free so no shard can half-abort a commit).
+        self.deadline: Optional[float] = None
+        self.opened_at = opened_at
+        self.abort_reason = ""
+        #: shard id -> leg session, opened lazily on first touch.
+        self.legs: Dict[int, Session] = {}
+        #: Shards the declared access set may touch (static, see begin).
+        self.span: FrozenSet[int] = frozenset()
+        #: One in-flight operation per session, coordinator-enforced.
+        self.in_flight = False
+
+    @property
+    def name(self) -> str:
+        """The instance name every leg shares (``"T2#7"``)."""
+        return f"{self.spec.name}#{self.instance}"
+
+    @property
+    def priority(self) -> int:
+        """The transaction type's base priority."""
+        return self.spec.priority
+
+    @property
+    def scope(self) -> str:
+        """``"local"`` (single-shard span, fast path) or ``"global"``."""
+        return "local" if len(self.span) <= 1 else "global"
+
+
+@dataclass
+class _CoordWait:
+    """One parked coordinator-level wait (gate or guard), for deadlock
+    edges and introspection."""
+
+    kind: str
+    blockers: Tuple[GlobalSession, ...]
+
+
+class ShardedLockManager:
+    """Partitioned lock-manager service behind the unsharded interface.
+
+    Exposes the same surface as :class:`LockManager` (``begin`` /
+    ``read`` / ``write`` / ``commit`` / ``abort`` / ``shutdown`` plus the
+    introspection documents), so the wire layer, the TCP server, and the
+    load generator drive it unchanged.
+
+    Args:
+        catalog: the registered transaction types (shared by all shards —
+            ceilings are static information, and a shard computes its
+            ceilings only from the locks it actually sees).
+        protocol: a protocol *name*; each shard builds its own instance
+            (protocol objects hold per-shard lock-table bindings, so a
+            shared instance cannot be correct).
+        config: coordinator-level :class:`ServiceConfig`; admission
+            control and default deadlines apply globally, while
+            ``record_sysceil`` / ``honor_early_release`` /
+            ``deadlock_action`` are forwarded to every shard.
+        shards: number of partitions (>= 1).
+        partitioner: scheme name (``"hash"`` / ``"range"``) or a prebuilt
+            :class:`Partitioner`.
+        sweep_interval_s: polling period of the parked-waiter watchdog
+            (cascade of shard-side aborts + cross-shard deadlock check).
+    """
+
+    def __init__(
+        self,
+        catalog: TaskSet,
+        protocol: str = "pcp-da",
+        config: Optional[ServiceConfig] = None,
+        *,
+        shards: int = 2,
+        partitioner: Union[str, Partitioner] = "hash",
+        sweep_interval_s: float = 0.05,
+    ) -> None:
+        if not isinstance(protocol, str):
+            raise SpecificationError(
+                "ShardedLockManager needs a protocol *name*: every shard "
+                "builds its own instance (protocol objects bind one lock "
+                "table)"
+            )
+        if sweep_interval_s <= 0:
+            raise SpecificationError("sweep_interval_s must be positive")
+        self.catalog = catalog
+        self.config = config or ServiceConfig()
+        items = sorted(catalog.items)
+        if isinstance(partitioner, str):
+            partitioner = make_partitioner(partitioner, shards, items)
+        elif partitioner.shards != shards:
+            raise SpecificationError(
+                f"partitioner covers {partitioner.shards} shard(s), "
+                f"manager has {shards}"
+            )
+        self.partitioner = partitioner
+        shard_config = ServiceConfig(
+            deadlock_action=self.config.deadlock_action,
+            record_sysceil=self.config.record_sysceil,
+            honor_early_release=self.config.honor_early_release,
+        )
+        self.shards: Tuple[LockManager, ...] = tuple(
+            LockManager(catalog, protocol, shard_config)
+            for _ in range(shards)
+        )
+        # One service clock for the whole deployment: merged histories
+        # and latency figures must be comparable across shards.
+        self._t0 = time.monotonic()
+        for shard in self.shards:
+            shard._t0 = self._t0
+        self.stats = ServiceStats()
+        self.sharding_stats = ShardingStats()
+        self._sweep_interval = sweep_interval_s
+
+        self._sessions: Dict[int, GlobalSession] = {}
+        self._live: Dict[GlobalSession, None] = {}  # insertion-ordered set
+        #: leg job -> owning global session (constraint/wait translation).
+        self._job_sessions: Dict[Job, GlobalSession] = {}
+        #: Parked coordinator-level waits (commit gate / order guard).
+        self._coord_waits: Dict[GlobalSession, _CoordWait] = {}
+        #: Futures fired whenever any global session finishes.
+        self._finish_futures: List["asyncio.Future[None]"] = []
+        #: (kind, instance name, time) terminal rows for the merged history.
+        self._outcomes: List[Tuple[str, str, float]] = []
+        self._instances: Dict[str, int] = {}
+        self._next_session_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Clock and identity
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since the deployment started (shared service clock)."""
+        return time.monotonic() - self._t0
+
+    @property
+    def protocol(self):
+        """The protocol instance of shard 0 (all shards run the same one)."""
+        return self.shards[0].protocol
+
+    @property
+    def shard_count(self) -> int:
+        """Number of partitions in this deployment."""
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    async def begin(
+        self, transaction: str, *, deadline_s: Optional[float] = None
+    ) -> GlobalSession:
+        """Open a global session for one instance of ``transaction``.
+
+        The shard-span is computed here, from the declared access set —
+        it is static by the same argument that makes ceilings static.
+        No leg is opened yet; the first touch of a shard opens one.
+        """
+        self._ensure_open()
+        spec = self.catalog[transaction]
+        limit = self.config.max_sessions
+        if limit is not None and len(self._live) >= limit:
+            self.stats.sessions_rejected += 1
+            raise AdmissionError(
+                f"session limit reached ({limit} live sessions); retry later"
+            )
+        now = self.now()
+        instance = self._instances.get(transaction, 0)
+        self._instances[transaction] = instance + 1
+        session = GlobalSession(self._next_session_id, spec, instance, now)
+        self._next_session_id += 1
+        relative = (
+            deadline_s if deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        if relative is not None:
+            session.deadline = now + relative
+        session.span = frozenset(
+            self.partitioner.shard_of(item) for item in spec.access_set
+        )
+        self._sessions[session.id] = session
+        self._live[session] = None
+        self.stats.sessions_started += 1
+        if session.scope == "local":
+            self.sharding_stats.local_sessions += 1
+        else:
+            self.sharding_stats.cross_shard_sessions += 1
+        return session
+
+    def session(self, session_id: int) -> GlobalSession:
+        """Look up a global session by id (for the wire layer)."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionStateError(f"unknown session {session_id}") from None
+
+    async def read(self, session: GlobalSession, item: str) -> Any:
+        """Read ``item`` through the owning shard's leg.
+
+        The merged-graph order guard runs first: predecessors the owning
+        shard cannot see locally (they hold no constraint edge there)
+        must finish before this read may observe the item they will
+        write.  The shard's own guard then covers the local remainder.
+        """
+        self._pre_op(session)
+        shard_id = self.partitioner.shard_of(item)
+        session.in_flight = True
+        try:
+            await self._await_remote(
+                session, "order guard",
+                lambda: self._remote_guard_blockers(session, shard_id, item),
+            )
+            leg = await self._ensure_leg(session, shard_id)
+            return await self._forward(
+                session, self.shards[shard_id].read(leg, item)
+            )
+        finally:
+            session.in_flight = False
+
+    async def write(self, session: GlobalSession, item: str, value: Any) -> None:
+        """Buffer a deferred write on the owning shard's leg."""
+        self._pre_op(session)
+        shard_id = self.partitioner.shard_of(item)
+        session.in_flight = True
+        try:
+            leg = await self._ensure_leg(session, shard_id)
+            await self._forward(
+                session, self.shards[shard_id].write(leg, item, value)
+            )
+        finally:
+            session.in_flight = False
+
+    async def commit(self, session: GlobalSession) -> Dict[str, Any]:
+        """Commit across every touched shard; returns the merged summary.
+
+        Single-leg sessions delegate to their home shard (the local gate
+        is sufficient — every direct constraint involving this session
+        lives where it holds locks).  Cross-shard sessions park at the
+        global gate until the merged predecessor set drains, then install
+        leg by leg with no intervening ``await`` — atomic on the loop.
+        """
+        self._pre_op(session)
+        session.in_flight = True
+        try:
+            legs = {k: session.legs[k] for k in sorted(session.legs)}
+            if len(legs) <= 1:
+                if legs:
+                    ((shard_id, leg),) = legs.items()
+                    summary = await self._forward(
+                        session, self.shards[shard_id].commit(leg)
+                    )
+                else:
+                    summary = {"installed": [], "blocking_s": 0.0}
+                now = self.now()
+                self._finish_global(session, now)
+                summary["latency_s"] = now - session.opened_at
+                summary["shards"] = list(legs)
+                return summary
+
+            await self._await_remote(
+                session, "commit gate",
+                lambda: self._gate_blockers(session),
+            )
+            # Atomic section: from the (empty) gate check to the last
+            # install there is no await — each leg commit's local gate is
+            # empty (its constraints are a subset of the merged set just
+            # drained), so awaiting it never yields to the loop.
+            installed: List[str] = []
+            blocking = 0.0
+            try:
+                for shard_id, leg in legs.items():
+                    summary = await self.shards[shard_id].commit(leg)
+                    installed.extend(summary["installed"])
+                    blocking += summary["blocking_s"]
+            except BaseException as exc:
+                # Unreachable by construction (legs are ACTIVE and their
+                # gates empty); if it ever fires, fail loudly but do not
+                # leave sibling legs holding locks.
+                self._abort_global(
+                    session, f"commit failure: {exc}", forced=True
+                )
+                raise
+            now = self.now()
+            self._finish_global(session, now)
+            # OCC-style installs may have broadcast-aborted other
+            # sessions' legs; cascade synchronously (no await: the
+            # atomic section stays atomic).
+            self._cascade_dead()
+            return {
+                "installed": sorted(installed),
+                "latency_s": now - session.opened_at,
+                "blocking_s": blocking,
+                "shards": list(legs),
+            }
+        finally:
+            session.in_flight = False
+
+    async def abort(self, session: GlobalSession, reason: str = "client") -> None:
+        """Client-requested abort: tear down every leg, discard buffers."""
+        if not session.state.live:
+            raise SessionStateError(
+                f"{session.name}: cannot abort a {session.state.value} session"
+            )
+        if session.in_flight or session.state is SessionState.WAITING:
+            raise SessionStateError(
+                f"{session.name}: another operation is waiting for a lock"
+            )
+        self._abort_global(session, reason, forced=False)
+
+    async def shutdown(self) -> None:
+        """Abort every live session, shut every shard down, refuse new work."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in list(self._live):
+            self._abort_global(
+                session, "shutdown", forced=True,
+                exc=TransactionAborted("service shutting down"),
+            )
+        for shard in self.shards:
+            await shard.shutdown()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def live_sessions(self) -> Tuple[GlobalSession, ...]:
+        """Currently live global sessions, oldest first."""
+        return tuple(self._live)
+
+    def stats_document(self) -> Dict[str, Any]:
+        """The ``stats`` payload: merged shard stats + coordinator view.
+
+        Lock-level signals (grants, denials, waits, priority bands) are
+        the union of the shards; session-level scalars (sessions,
+        commits, aborts, end-to-end commit latency) come from the
+        coordinator, which is the only place a cross-shard transaction
+        counts once.  ``shards`` carries one summary entry per shard
+        (including its latency histograms) and ``coordinator`` the
+        sharding counters — both ignored by
+        :meth:`ServiceStats.from_dict`, so unsharded consumers read the
+        document unchanged.
+        """
+        merged = ServiceStats()
+        for shard in self.shards:
+            merged.merge(shard.stats)
+        merged.lock_wait.merge(self.stats.lock_wait)  # gate/guard parks
+        doc = merged.to_dict()
+        for scalar in (
+            "sessions_started", "sessions_rejected", "commits",
+            "client_aborts", "forced_aborts", "deadline_aborts", "requests",
+        ):
+            doc[scalar] = getattr(self.stats, scalar)
+        doc["commit_latency"] = self.stats.commit_latency.to_dict()
+        doc["protocol"] = self.protocol.name
+        doc["uptime_s"] = self.now()
+        doc["live_sessions"] = len(self._live)
+        doc["waiting_sessions"] = (
+            sum(len(shard._waiters) for shard in self.shards)
+            + len(self._coord_waits)
+        )
+        ceilings = [
+            shard.protocol.system_ceiling(None) for shard in self.shards
+        ]
+        known = [c for c in ceilings if c is not None]
+        doc["system_ceiling"] = max(known) if known else None
+        assignment = self.partitioner.assignment(self.catalog.items)
+        doc["shard_count"] = self.shard_count
+        doc["partitioner"] = self.partitioner.name
+        doc["shards"] = [
+            {
+                "shard": index,
+                "items": len(assignment[index]),
+                "sessions": shard.stats.sessions_started,
+                "grants": shard.stats.grants,
+                "denials": shard.stats.denials,
+                "commits": shard.stats.commits,
+                "forced_aborts": shard.stats.forced_aborts,
+                "deadlocks": shard.stats.deadlocks,
+                "commit_latency": shard.stats.commit_latency.to_dict(),
+                "lock_wait": shard.stats.lock_wait.to_dict(),
+            }
+            for index, shard in enumerate(self.shards)
+        ]
+        doc["coordinator"] = self.sharding_stats.to_dict()
+        return doc
+
+    def topology_document(self) -> Dict[str, Any]:
+        """The ``topology`` payload: partitioning scheme and assignment."""
+        assignment = self.partitioner.assignment(self.catalog.items)
+        return {
+            "shards": self.shard_count,
+            "partitioner": self.partitioner.name,
+            "scheme": self.partitioner.describe(),
+            "assignment": {
+                str(shard): items for shard, items in assignment.items()
+            },
+        }
+
+    def history_events(self) -> List[Dict[str, Any]]:
+        """The merged observable history as JSON-friendly rows.
+
+        Data rows (reads, installs) come from the shard that executed
+        them; terminal rows (commit, abort) come from the coordinator's
+        outcome log — exactly one per global session, replacing the
+        per-leg terminals each shard recorded.  Rows are ordered by
+        service-clock time (one clock for all shards); the
+        serializability oracle depends only on per-item version
+        sequences, which shard-disjoint item spaces keep consistent, so
+        the merged log replays through ``check_serializable`` unchanged.
+        """
+        rows: List[Tuple[float, int, Dict[str, Any]]] = []
+        for shard in self.shards:
+            for event in shard.history:
+                kind = event.kind.value
+                if kind not in ("read", "install"):
+                    continue  # per-leg terminals: superseded globally
+                rows.append((event.time, _HISTORY_RANK[kind], {
+                    "kind": kind,
+                    "job": event.job,
+                    "item": event.item,
+                    "version_seq": event.version_seq,
+                    "time": event.time,
+                }))
+        for kind, name, when in self._outcomes:
+            rows.append((when, _HISTORY_RANK[kind], {
+                "kind": kind,
+                "job": name,
+                "item": None,
+                "version_seq": None,
+                "time": when,
+            }))
+        rows.sort(key=lambda entry: (entry[0], entry[1]))
+        return [row for _, _, row in rows]
+
+    def catalog_document(self) -> List[Dict[str, Any]]:
+        """The registered transaction types (identical on every shard)."""
+        return self.shards[0].catalog_document()
+
+    # ------------------------------------------------------------------
+    # Operation plumbing
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("lock manager is shut down")
+
+    def _pre_op(self, session: GlobalSession) -> None:
+        """Shared entry checks: liveness, one-in-flight, deadline."""
+        self._ensure_open()
+        if session.in_flight or session.state is SessionState.WAITING:
+            raise SessionStateError(
+                f"{session.name}: a previous operation is still waiting "
+                "for a lock (one in-flight operation per session)"
+            )
+        if not session.state.live:
+            raise SessionStateError(
+                f"{session.name}: session already {session.state.value}"
+            )
+        # A leg may have died shard-side since the last touch (2PL-HP
+        # victim, OCC broadcast abort) without any parked waiter to run
+        # the sweep: mirror the unsharded manager, where such an abort
+        # flips the session state synchronously.
+        self._cascade_session(session)
+        if not session.state.live:
+            raise TransactionAborted(
+                f"{session.name}: {session.abort_reason or 'aborted'}"
+            )
+        if session.deadline is not None and self.now() > session.deadline:
+            self.stats.deadline_aborts += 1
+            self._abort_global(session, "deadline", forced=True)
+            raise DeadlineExceeded(
+                f"{session.name}: deadline passed before the operation"
+            )
+
+    async def _ensure_leg(
+        self, session: GlobalSession, shard_id: int
+    ) -> Session:
+        """The session's leg on ``shard_id``, opened on first touch.
+
+        ``LockManager.begin`` never awaits internally, so awaiting it
+        here runs it to completion without yielding to the loop — leg
+        creation is atomic with the operation that needed it.  Legs run
+        uncapped and deadline-free: admission and deadlines are
+        coordinator concerns.
+        """
+        leg = session.legs.get(shard_id)
+        if leg is not None:
+            if not leg.state.live:
+                # The leg died while this operation was parked at the
+                # coordinator (guard/gate): the whole transaction is gone.
+                self._cascade_session(session)
+                raise TransactionAborted(
+                    f"{session.name}: leg on shard {shard_id} already "
+                    f"{leg.state.value} ({leg.abort_reason or 'aborted'})"
+                )
+            return leg
+        shard = self.shards[shard_id]
+        leg = await shard.begin(session.spec.name, instance=session.instance)
+        # Tie-breakers (grant-queue FIFO, victim choice) must follow the
+        # *global* begin order, not the lazy leg-creation order, or two
+        # equal-priority sessions could be served in a different order
+        # than the unsharded manager would serve them.  ``seq`` is used
+        # purely as a deterministic tie-break, and this leg's job is in
+        # no queue yet, so the override is safe.
+        leg.job.seq = session.id
+        session.legs[shard_id] = leg
+        self._job_sessions[leg.job] = session
+        return leg
+
+    # ------------------------------------------------------------------
+    # Forwarding with the watchdog
+    # ------------------------------------------------------------------
+    async def _forward(self, session: GlobalSession, coro) -> Any:
+        """Await a shard operation under the coordinator's watchdog.
+
+        While the operation is parked shard-side, the watchdog wakes
+        every sweep interval to cascade shard-initiated aborts, run the
+        cross-shard deadlock check, and enforce the session's deadline
+        (legs carry none).  Cancellation (client disconnect) tears the
+        global session down, mirroring the unsharded manager.
+        """
+        task = asyncio.ensure_future(coro)
+        while True:
+            if (
+                session.deadline is not None
+                and self.now() > session.deadline
+            ):
+                await self._reap(task)
+                if session.state.live:
+                    self.stats.deadline_aborts += 1
+                    self._abort_global(session, "deadline", forced=True)
+                raise DeadlineExceeded(
+                    f"{session.name}: deadline passed during the operation"
+                )
+            timeout = self._sweep_interval
+            if session.deadline is not None:
+                timeout = min(
+                    timeout, max(1e-4, session.deadline - self.now())
+                )
+            try:
+                result = await asyncio.wait_for(asyncio.shield(task), timeout)
+                # The operation may have aborted *other* sessions
+                # shard-side (2PL-HP victims, OCC broadcast): cascade
+                # now, synchronously, exactly as the unsharded manager
+                # flips those sessions' states inside the operation.
+                self._cascade_dead()
+                return result
+            except asyncio.TimeoutError:
+                self._sweep()
+            except asyncio.CancelledError:
+                await self._reap(task)
+                if session.state.live:
+                    self._abort_global(session, "cancelled", forced=True)
+                raise
+            except ServiceError as exc:
+                self._on_leg_failure(session, exc)
+                raise
+
+    @staticmethod
+    async def _reap(task: "asyncio.Task") -> None:
+        """Cancel a forwarded task and silence its outcome."""
+        task.cancel()
+        try:
+            await task
+        except BaseException:  # noqa: BLE001 - outcome deliberately dropped
+            pass
+
+    def _on_leg_failure(self, session: GlobalSession, exc: ServiceError) -> None:
+        """Map a shard-side failure onto the global session.
+
+        A leg abort (deadlock victim, OCC validation victim, shard
+        shutdown) kills the whole transaction: the sibling legs are torn
+        down so no shard keeps locks for a dead session.  Client-level
+        errors (session-state, bad item) leave the session alive, same
+        as on the unsharded manager.
+        """
+        if not session.state.live:
+            return
+        if isinstance(exc, (TransactionAborted, DeadlineExceeded)):
+            dead = next(
+                (leg for leg in session.legs.values()
+                 if leg.state is SessionState.ABORTED),
+                None,
+            )
+            reason = dead.abort_reason if dead is not None else "shard abort"
+            self.sharding_stats.cascade_aborts += 1
+            self._abort_global(
+                session, f"shard:{reason}", forced=True,
+                exc=TransactionAborted(f"{session.name}: {reason}"),
+            )
+
+    # ------------------------------------------------------------------
+    # The global gate and guard
+    # ------------------------------------------------------------------
+    def _merged_preds(self, session: GlobalSession) -> Set[GlobalSession]:
+        """Live sessions serialized before this one, on the merged graph.
+
+        Transitive closure over the union of every shard's constraint
+        registry, translated from leg jobs to global sessions.  The
+        registries hold only live jobs, so no staleness filtering is
+        needed.
+        """
+        self.sharding_stats.constraint_merges += 1
+        seen: Set[GlobalSession] = set()
+        stack: List[GlobalSession] = [session]
+        while stack:
+            current = stack.pop()
+            for shard_id, leg in current.legs.items():
+                shard = self.shards[shard_id]
+                for pred_job in shard._pred.get(leg.job, ()):
+                    pred = self._job_sessions.get(pred_job)
+                    if pred is None or pred is session or pred in seen:
+                        continue
+                    seen.add(pred)
+                    stack.append(pred)
+        return seen
+
+    def _remote_guard_blockers(
+        self, session: GlobalSession, shard_id: int, item: str
+    ) -> Tuple[GlobalSession, ...]:
+        """Predecessors that write ``item`` and are invisible locally.
+
+        The owning shard's order guard already holds a read back for
+        every predecessor in *its* transitive closure; the coordinator
+        only has to cover the remainder visible on the merged graph.  On
+        a 1-shard deployment the remainder is empty by construction —
+        the guarantee behind decision-equivalence.
+        """
+        merged = self._merged_preds(session)
+        if not merged:
+            return ()
+        local: Set[GlobalSession] = set()
+        leg = session.legs.get(shard_id)
+        if leg is not None and leg.state.live:
+            shard = self.shards[shard_id]
+            for pred_job in shard._transitive_preds(leg.job):
+                pred = self._job_sessions.get(pred_job)
+                if pred is not None:
+                    local.add(pred)
+        blockers = [
+            pred for pred in merged
+            if pred.state.live
+            and item in pred.spec.write_set
+            and pred not in local
+        ]
+        return tuple(sorted(blockers, key=lambda s: s.id))
+
+    def _gate_blockers(
+        self, session: GlobalSession
+    ) -> Tuple[GlobalSession, ...]:
+        """Live merged predecessors that must finish before this commit."""
+        return tuple(sorted(
+            (pred for pred in self._merged_preds(session)
+             if pred.state.live),
+            key=lambda s: s.id,
+        ))
+
+    async def _await_remote(
+        self,
+        session: GlobalSession,
+        kind: str,
+        blockers_fn: Callable[[], Tuple[GlobalSession, ...]],
+    ) -> None:
+        """Park until ``blockers_fn`` drains (finish-wakes + sweep polls).
+
+        Registers the wait for the cross-shard deadlock detector, counts
+        it in the sharding stats, and enforces liveness/deadline on
+        every wake.  Returns synchronously once the blocker set is empty
+        — callers rely on there being no trailing ``await``.
+        """
+        blockers = blockers_fn()
+        if not blockers:
+            return
+        if kind == "commit gate":
+            self.sharding_stats.gate_waits += 1
+        else:
+            self.sharding_stats.guard_waits += 1
+        started = self.now()
+        previous_state = session.state
+        session.state = SessionState.WAITING
+        try:
+            while True:
+                blockers = blockers_fn()
+                if not blockers:
+                    return
+                loop = asyncio.get_running_loop()
+                future: "asyncio.Future[None]" = loop.create_future()
+                self._finish_futures.append(future)
+                self._coord_waits[session] = _CoordWait(kind, blockers)
+                self._check_global_deadlock()
+                try:
+                    if session.state.live:
+                        timeout = self._sweep_interval
+                        if session.deadline is not None:
+                            timeout = min(
+                                timeout,
+                                max(1e-4, session.deadline - self.now()),
+                            )
+                        try:
+                            await asyncio.wait_for(
+                                asyncio.shield(future), timeout
+                            )
+                        except asyncio.TimeoutError:
+                            self._sweep()
+                        except asyncio.CancelledError:
+                            if session.state.live:
+                                self._abort_global(
+                                    session, "cancelled", forced=True
+                                )
+                            raise
+                finally:
+                    self._coord_waits.pop(session, None)
+                    if future in self._finish_futures:
+                        self._finish_futures.remove(future)
+                if not session.state.live:
+                    raise TransactionAborted(
+                        f"{session.name}: "
+                        f"{session.abort_reason or 'aborted'} "
+                        f"(while parked at the {kind})"
+                    )
+                if (
+                    session.deadline is not None
+                    and self.now() > session.deadline
+                ):
+                    self.stats.deadline_aborts += 1
+                    self._abort_global(session, "deadline", forced=True)
+                    raise DeadlineExceeded(
+                        f"{session.name}: deadline passed at the {kind}"
+                    )
+        finally:
+            if session.state is SessionState.WAITING:
+                session.state = previous_state
+            self.stats.record_wait(session.priority, self.now() - started)
+
+    def _wake_finish_waiters(self) -> None:
+        """Fire every parked coordinator wait to re-evaluate its blockers."""
+        for future in self._finish_futures:
+            if not future.done():
+                future.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Terminal transitions
+    # ------------------------------------------------------------------
+    def _finish_global(self, session: GlobalSession, now: float) -> None:
+        """Commit bookkeeping: outcome row, stats, wake-ups."""
+        session.state = SessionState.COMMITTED
+        self._live.pop(session, None)
+        for leg in session.legs.values():
+            self._job_sessions.pop(leg.job, None)
+        self._outcomes.append(("commit", session.name, now))
+        self.stats.record_commit(session.priority, now - session.opened_at)
+        if len(session.legs) > 1:
+            self.sharding_stats.cross_shard_commits += 1
+        self._wake_finish_waiters()
+
+    def _abort_global(
+        self,
+        session: GlobalSession,
+        reason: str,
+        *,
+        forced: bool = True,
+        exc: Optional[ServiceError] = None,
+    ) -> None:
+        """Tear a global session down: every live leg, then bookkeeping."""
+        if not session.state.live:
+            return
+        session.state = SessionState.ABORTED
+        session.abort_reason = reason
+        self._live.pop(session, None)
+        failure = exc or TransactionAborted(f"{session.name}: {reason}")
+        for shard_id, leg in session.legs.items():
+            if leg.state.live:
+                self.shards[shard_id].force_abort(leg, reason, exc=failure)
+            self._job_sessions.pop(leg.job, None)
+        self._outcomes.append(("abort", session.name, self.now()))
+        self.stats.record_abort(session.priority, forced=forced)
+        self._wake_finish_waiters()
+
+    # ------------------------------------------------------------------
+    # Sweep: cascades and cross-shard deadlock detection
+    # ------------------------------------------------------------------
+    def _cascade_session(self, session: GlobalSession) -> None:
+        """Kill ``session`` globally if any of its legs was *aborted*
+        shard-side.
+
+        Only ABORTED counts as dead here: during a commit there is an
+        instant where a leg is already COMMITTED while the global
+        session is still live — that is the commit path's own business,
+        not a cascade.
+        """
+        if not session.state.live:
+            return
+        dead = next(
+            (leg for leg in session.legs.values()
+             if leg.state is SessionState.ABORTED),
+            None,
+        )
+        if dead is not None:
+            self.sharding_stats.cascade_aborts += 1
+            self._abort_global(
+                session,
+                f"shard:{dead.abort_reason or 'abort'}",
+                forced=True,
+            )
+
+    def _cascade_dead(self) -> None:
+        """Cascade every live session that lost a leg shard-side.
+
+        A shard may abort a leg with no coordinator frame on the stack —
+        a 2PL-HP victim displaced by a higher-priority writer, an OCC
+        broadcast abort at a neighbour's commit, a shard deadlock
+        victim.  The global session must follow, so sibling legs release
+        their locks and subsequent client operations see the abort
+        rather than a half-dead transaction.
+        """
+        for session in list(self._live):
+            self._cascade_session(session)
+
+    def _sweep(self) -> None:
+        """Periodic watchdog body (runs while anything is parked).
+
+        1. Cascade: a leg aborted shard-side (deadlock victim, OCC
+           validation) without the coordinator on the call stack kills
+           its global session, so sibling legs release their locks.
+        2. Cross-shard deadlock detection (see module docstring).
+        """
+        self._cascade_dead()
+        self._check_global_deadlock()
+
+    def _check_global_deadlock(self) -> None:
+        """Find and resolve wait cycles spanning shards or the coordinator.
+
+        Builds a session-level wait graph from every shard's wait-for
+        edges plus the coordinator's parked gate/guard waits, each edge
+        tagged with its sources.  A cycle whose edges are all
+        attributable to one single shard is left to that shard's own
+        detector (identical rules to the unsharded manager); any other
+        cycle exists only because of partitioning, so it is resolved by
+        aborting the lowest-base-priority member — the same policy the
+        unsharded manager applies to service-level cycles.
+        """
+        edges: Dict[GlobalSession, Dict[GlobalSession, Set[Any]]] = {}
+        for index, shard in enumerate(self.shards):
+            for waiter_job in shard.waits.waiters():
+                waiter = self._job_sessions.get(waiter_job)
+                if waiter is None or not waiter.state.live:
+                    continue
+                for blocker_job in shard.waits.blockers_of(waiter_job):
+                    blocker = self._job_sessions.get(blocker_job)
+                    if (
+                        blocker is None or blocker is waiter
+                        or not blocker.state.live
+                    ):
+                        continue
+                    edges.setdefault(waiter, {}).setdefault(
+                        blocker, set()
+                    ).add(index)
+        for waiter, wait in self._coord_waits.items():
+            if not waiter.state.live:
+                continue
+            for blocker in wait.blockers:
+                if blocker.state.live and blocker is not waiter:
+                    edges.setdefault(waiter, {}).setdefault(
+                        blocker, set()
+                    ).add("coordinator")
+        cycle = self._find_cycle(edges)
+        if cycle is None:
+            return
+        pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+        for index in range(len(self.shards)):
+            if all(index in edges[a][b] for a, b in pairs):
+                return  # purely shard-local: that shard's own business
+        self.sharding_stats.cross_shard_deadlocks += 1
+        names = " -> ".join(s.name for s in cycle)
+        victim = min(cycle, key=lambda s: (s.priority, -s.id))
+        self._abort_global(
+            victim, "deadlock", forced=True,
+            exc=TransactionAborted(
+                f"{victim.name} chosen as cross-shard deadlock victim "
+                f"({names})"
+            ),
+        )
+
+    @staticmethod
+    def _find_cycle(
+        edges: Dict[GlobalSession, Dict[GlobalSession, Set[Any]]]
+    ) -> Optional[List[GlobalSession]]:
+        """One cycle in the session wait graph, or ``None`` (iterative DFS)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[GlobalSession, int] = {}
+        for root in sorted(edges, key=lambda s: s.id):
+            if color.get(root, WHITE) is not WHITE:
+                continue
+            path: List[GlobalSession] = []
+            stack: List[Tuple[GlobalSession, bool]] = [(root, False)]
+            while stack:
+                node, done = stack.pop()
+                if done:
+                    color[node] = BLACK
+                    path.pop()
+                    continue
+                state = color.get(node, WHITE)
+                if state is BLACK:
+                    continue
+                if state is GRAY:
+                    continue
+                color[node] = GRAY
+                path.append(node)
+                stack.append((node, True))
+                for target in sorted(
+                    edges.get(node, ()), key=lambda s: s.id
+                ):
+                    target_state = color.get(target, WHITE)
+                    if target_state is GRAY:
+                        start = path.index(target)
+                        return path[start:]
+                    if target_state is WHITE:
+                        stack.append((target, False))
+        return None

@@ -1,0 +1,135 @@
+"""Item-space partitioners: which shard owns which data item.
+
+A partitioner is a pure, deterministic function ``item id -> shard id``
+fixed at deployment time.  Determinism matters twice over: every
+coordinator instance (and every test re-run) must route an item to the
+same shard, and the shard assignment is part of what the client-side
+serializability replay implicitly verifies — a wobbling partitioner
+would manifest as a shard granting nothing (the loadgen report flags
+exactly that).
+
+Two schemes, mirroring the classic trade-off:
+
+* :class:`HashPartitioner` — a stable digest of the item id modulo the
+  shard count.  Spreads hot neighbouring keys apart; assignment is
+  independent of the catalog, so items can be added without resharding
+  everything (only the new ids hash somewhere).  Uses ``zlib.crc32``
+  rather than the builtin ``hash()``, which is salted per process and
+  therefore *not* stable across runs.
+* :class:`RangePartitioner` — the sorted item universe is cut into
+  contiguous slices of near-equal size.  Keeps key ranges co-located
+  (scans of adjacent items stay on one shard, more transactions stay
+  shard-local when their access sets are clustered), at the cost of
+  sensitivity to skewed key popularity.
+
+``docs/FAQ.md`` discusses when to prefer which.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import SpecificationError
+
+
+class Partitioner:
+    """Deterministic mapping from item ids to shard ids in ``[0, shards)``."""
+
+    #: Scheme name, as shown in ``topology`` documents and CLI flags.
+    name = "abstract"
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise SpecificationError("shard count must be >= 1")
+        self.shards = shards
+
+    def shard_of(self, item: str) -> int:
+        """The shard id owning ``item`` (stable across runs and processes)."""
+        raise NotImplementedError
+
+    def assignment(self, items: Iterable[str]) -> Dict[int, List[str]]:
+        """Group ``items`` by owning shard (every shard id is present)."""
+        groups: Dict[int, List[str]] = {shard: [] for shard in range(self.shards)}
+        for item in sorted(items):
+            groups[self.shard_of(item)].append(item)
+        return groups
+
+    def describe(self) -> str:
+        """One-line human description of the scheme."""
+        return f"{self.name} over {self.shards} shard(s)"
+
+
+class HashPartitioner(Partitioner):
+    """Stable-digest partitioning: ``crc32(item) % shards``.
+
+    The digest is process- and run-independent (unlike builtin ``hash``,
+    which is randomized by ``PYTHONHASHSEED``), so a client, a test, and
+    a server restarted tomorrow all agree on the owner of every item.
+    """
+
+    name = "hash"
+
+    def shard_of(self, item: str) -> int:
+        """Owner of ``item``: CRC-32 of its UTF-8 bytes, modulo shards."""
+        return zlib.crc32(item.encode("utf-8")) % self.shards
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous-range partitioning over a known item universe.
+
+    The sorted universe is split into ``shards`` slices whose sizes
+    differ by at most one; slice ``k`` belongs to shard ``k``.  Items
+    outside the universe still map deterministically (they fall into the
+    range their sort position selects), so a catalog extension does not
+    crash routing — it merely lands new keys on the neighbouring shard
+    until the deployment is re-split.
+    """
+
+    name = "range"
+
+    def __init__(self, shards: int, items: Sequence[str]) -> None:
+        super().__init__(shards)
+        universe = sorted(set(items))
+        if not universe:
+            raise SpecificationError(
+                "range partitioning needs a non-empty item universe"
+            )
+        size, extra = divmod(len(universe), shards)
+        #: First item of slice k for k >= 1; ``bisect`` against these
+        #: boundaries answers ``shard_of`` in O(log shards).
+        bounds: List[str] = []
+        index = 0
+        for shard in range(shards):
+            width = size + (1 if shard < extra else 0)
+            if shard > 0:
+                bounds.append(universe[min(index, len(universe) - 1)])
+            index += width
+        self._bounds: Tuple[str, ...] = tuple(bounds)
+
+    def shard_of(self, item: str) -> int:
+        """Owner of ``item``: the contiguous slice its sort position hits."""
+        return bisect_right(self._bounds, item)
+
+    def describe(self) -> str:
+        """One-line human description including the cut points."""
+        cuts = ", ".join(self._bounds) or "single range"
+        return f"range over {self.shards} shard(s); cuts at [{cuts}]"
+
+
+#: Registered scheme names, for the CLI and ``make_partitioner``.
+PARTITIONER_KINDS: Tuple[str, ...] = ("hash", "range")
+
+
+def make_partitioner(
+    kind: str, shards: int, items: Sequence[str]
+) -> Partitioner:
+    """Build a partitioner by scheme name (``"hash"`` or ``"range"``)."""
+    if kind == "hash":
+        return HashPartitioner(shards)
+    if kind == "range":
+        return RangePartitioner(shards, items)
+    raise SpecificationError(
+        f"unknown partitioner {kind!r} (expected one of {PARTITIONER_KINDS})"
+    )

@@ -14,6 +14,12 @@ Three kinds of signal, all cheap enough to record on every request:
 * monotonic counters — sessions, grants, denials, aborts, deadlocks,
   admission rejections, deadline aborts.
 
+Sharded deployments add a fourth: :class:`ShardingStats`, the
+coordinator-side counters (span classification, cross-shard commit
+ratio, constraint-merge and gate/guard wait counts).  Per-shard
+:class:`ServiceStats` fold into one lock-level union via
+:meth:`ServiceStats.merge`.
+
 Everything renders to text (the ``repro loadgen`` report) and to a plain
 dict (the ``stats`` wire command), and is deliberately decoupled from the
 manager so tests can assert on it in isolation.
@@ -206,6 +212,16 @@ class PriorityBandStats:
         band.wait_hist = LatencyHistogram.from_dict(doc["wait_hist"])
         return band
 
+    def merge(self, other: "PriorityBandStats") -> None:
+        """Fold another band record for the same priority into this one."""
+        self.commits += other.commits
+        self.grants += other.grants
+        self.denials += other.denials
+        self.aborts += other.aborts
+        self.blocking_total_s += other.blocking_total_s
+        self.blocking_max_s = max(self.blocking_max_s, other.blocking_max_s)
+        self.wait_hist.merge(other.wait_hist)
+
 
 class ServiceStats:
     """All service-side counters and histograms, in one introspectable bag."""
@@ -264,6 +280,27 @@ class ServiceStats:
         else:
             self.client_aborts += 1
         self.band(priority).aborts += 1
+
+    def merge(self, other: "ServiceStats") -> None:
+        """Fold another stats bag into this one (shard aggregation).
+
+        Counters add, histograms merge bucket-wise, priority bands merge
+        per priority.  The shard coordinator uses this to build the
+        lock-level union of its shards; note that session-level scalars
+        (sessions, commits, aborts) then count a cross-shard transaction
+        once per touched shard — the coordinator overrides them with its
+        own global counts in the stats document.
+        """
+        for name in (
+            "sessions_started", "sessions_rejected", "commits",
+            "client_aborts", "forced_aborts", "deadline_aborts", "grants",
+            "denials", "abort_grants", "deadlocks", "requests",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.commit_latency.merge(other.commit_latency)
+        self.lock_wait.merge(other.lock_wait)
+        for priority, band in other._bands.items():
+            self.band(priority).merge(band)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -342,3 +379,79 @@ class ServiceStats:
                     f"{_fmt_s(band.wait_hist.percentile(95)):>9}"
                 )
         return "\n".join(lines)
+
+
+@dataclass
+class ShardingStats:
+    """Coordinator-level counters of a sharded deployment.
+
+    Everything lock-level lives in the per-shard :class:`ServiceStats`;
+    this bag counts what only the coordinator can see: span
+    classification, cross-shard commits, how often the merged constraint
+    graph was computed, and the waits/aborts the global gate, guard, and
+    deadlock detector caused.  Shipped under the ``coordinator`` key of
+    the sharded ``stats`` document.
+    """
+
+    #: Sessions whose declared access set spans exactly one shard.
+    local_sessions: int = 0
+    #: Sessions whose declared access set spans two or more shards.
+    cross_shard_sessions: int = 0
+    #: Commits that installed on more than one shard (atomic loop path).
+    cross_shard_commits: int = 0
+    #: Commits parked at the global gate at least once.
+    gate_waits: int = 0
+    #: Reads held back by the merged-graph order guard at least once.
+    guard_waits: int = 0
+    #: Merged-constraint-closure computations (gate/guard evaluations).
+    constraint_merges: int = 0
+    #: Global sessions torn down because a shard leg died underneath them.
+    cascade_aborts: int = 0
+    #: Wait cycles spanning shards/coordinator, resolved by victim abort.
+    cross_shard_deadlocks: int = 0
+
+    @property
+    def cross_shard_ratio(self) -> float:
+        """Fraction of sessions classified cross-shard (0 when none)."""
+        total = self.local_sessions + self.cross_shard_sessions
+        return self.cross_shard_sessions / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (the ``coordinator`` stats section)."""
+        return {
+            "local_sessions": self.local_sessions,
+            "cross_shard_sessions": self.cross_shard_sessions,
+            "cross_shard_ratio": self.cross_shard_ratio,
+            "cross_shard_commits": self.cross_shard_commits,
+            "gate_waits": self.gate_waits,
+            "guard_waits": self.guard_waits,
+            "constraint_merges": self.constraint_merges,
+            "cascade_aborts": self.cascade_aborts,
+            "cross_shard_deadlocks": self.cross_shard_deadlocks,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ShardingStats":
+        """Rebuild coordinator counters shipped over the wire."""
+        stats = cls()
+        for name in (
+            "local_sessions", "cross_shard_sessions", "cross_shard_commits",
+            "gate_waits", "guard_waits", "constraint_merges",
+            "cascade_aborts", "cross_shard_deadlocks",
+        ):
+            setattr(stats, name, int(doc[name]))
+        return stats
+
+    def render(self) -> str:
+        """One-paragraph text summary for the loadgen report footer."""
+        return (
+            "coordinator: sessions local={0} cross-shard={1} "
+            "(ratio {2:.2f}) cross_shard_commits={3}\n"
+            "  gate_waits={4} guard_waits={5} constraint_merges={6} "
+            "cascade_aborts={7} cross_shard_deadlocks={8}".format(
+                self.local_sessions, self.cross_shard_sessions,
+                self.cross_shard_ratio, self.cross_shard_commits,
+                self.gate_waits, self.guard_waits, self.constraint_merges,
+                self.cascade_aborts, self.cross_shard_deadlocks,
+            )
+        )

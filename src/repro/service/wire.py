@@ -107,13 +107,17 @@ def exception_to_error(request_id: Any, exc: BaseException) -> Dict[str, Any]:
 
 
 async def dispatch_request(
-    manager: LockManager, request: Dict[str, Any]
+    manager: "LockManager", request: Dict[str, Any]
 ) -> Dict[str, Any]:
     """Execute one wire request against a manager; never raises.
 
     This is the single entry point shared by the TCP server and the
     in-process transport — the differential guarantee between them is
-    that there is only one code path.
+    that there is only one code path.  ``manager`` is any object with
+    the :class:`LockManager` service surface — in particular a
+    :class:`~repro.service.sharding.coordinator.ShardedLockManager`
+    works unchanged (sharding adds the ``topology`` op and per-shard
+    stats fields, nothing else on the wire).
     """
     request_id = request.get("id")
     manager.stats.requests += 1
@@ -128,11 +132,12 @@ async def dispatch_request(
 
 
 async def _execute(
-    manager: LockManager, op: str, request: Dict[str, Any]
+    manager: "LockManager", op: str, request: Dict[str, Any]
 ) -> Dict[str, Any]:
     if op == "ping":
         return {"pong": True, "version": PROTOCOL_VERSION,
-                "protocol": manager.protocol.name}
+                "protocol": manager.protocol.name,
+                "shards": getattr(manager, "shard_count", 1)}
     if op == "catalog":
         return {
             "protocol": manager.protocol.name,
@@ -146,7 +151,7 @@ async def _execute(
         return {
             "session": session.id,
             "name": session.name,
-            "priority": session.job.base_priority,
+            "priority": session.priority,
         }
     if op == "read":
         session = manager.session(request["session"])
@@ -167,4 +172,14 @@ async def _execute(
         return manager.stats_document()
     if op == "history":
         return {"events": manager.history_events()}
+    if op == "topology":
+        if hasattr(manager, "topology_document"):
+            return manager.topology_document()
+        # Unsharded manager: one implicit shard owning the whole catalog.
+        return {
+            "shards": 1,
+            "partitioner": "none",
+            "scheme": "unsharded (single lock manager)",
+            "assignment": {"0": sorted(manager.catalog.items)},
+        }
     raise ValueError(f"unknown operation {op!r}")

@@ -53,6 +53,9 @@ def test_parallel_sweep_modules_are_covered():
         "repro.experiments.spec",
         "repro.experiments.faults",
         "repro.experiments.retry",
+        "repro.service.sharding",
+        "repro.service.sharding.partitioner",
+        "repro.service.sharding.coordinator",
     } <= names
 
 

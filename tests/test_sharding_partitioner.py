@@ -1,0 +1,99 @@
+"""Tests for the item-space partitioners (repro.service.sharding.partitioner).
+
+Routing is correctness-critical: a partitioner that maps the same item to
+two different shards would split one item's version chain across two
+databases.  These tests pin determinism, totality (every item maps to a
+valid shard), and the documented structural properties of each scheme —
+hash spread for ``HashPartitioner``, contiguity and balance for
+``RangePartitioner``.
+"""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.service.sharding import (
+    HashPartitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+
+ITEMS = tuple(f"item-{i:02d}" for i in range(17))
+
+
+class TestHashPartitioner:
+    def test_deterministic_and_in_range(self):
+        p = HashPartitioner(4)
+        first = [p.shard_of(item) for item in ITEMS]
+        again = [p.shard_of(item) for item in ITEMS]
+        assert first == again
+        assert all(0 <= shard < 4 for shard in first)
+
+    def test_stable_across_instances(self):
+        # crc32 is a fixed function of the bytes: two partitioner objects
+        # (two processes, two sessions) must agree on every routing.
+        a, b = HashPartitioner(8), HashPartitioner(8)
+        assert [a.shard_of(i) for i in ITEMS] == [b.shard_of(i) for i in ITEMS]
+
+    def test_single_shard_maps_everything_to_zero(self):
+        p = HashPartitioner(1)
+        assert {p.shard_of(item) for item in ITEMS} == {0}
+
+    def test_spreads_over_shards(self):
+        # Not a uniformity proof, just a tripwire against a constant map.
+        p = HashPartitioner(4)
+        used = {p.shard_of(f"k{i}") for i in range(64)}
+        assert len(used) == 4
+
+    def test_assignment_covers_every_item_once(self):
+        p = HashPartitioner(3)
+        assignment = p.assignment(ITEMS)
+        assert sorted(assignment) == [0, 1, 2]
+        flat = [item for items in assignment.values() for item in items]
+        assert sorted(flat) == sorted(ITEMS)
+        for shard, items in assignment.items():
+            assert all(p.shard_of(item) == shard for item in items)
+
+
+class TestRangePartitioner:
+    def test_contiguous_over_sorted_universe(self):
+        p = RangePartitioner(4, ITEMS)
+        shards = [p.shard_of(item) for item in sorted(ITEMS)]
+        assert shards == sorted(shards)  # non-decreasing: ranges, not stripes
+
+    def test_balanced_slices(self):
+        p = RangePartitioner(4, ITEMS)
+        sizes = [len(items) for items in p.assignment(ITEMS).values()]
+        assert sum(sizes) == len(ITEMS)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_unknown_item_routed_deterministically(self):
+        # An item outside the declared universe still lands on one valid
+        # shard, by its sort position against the range bounds.
+        p = RangePartitioner(3, ITEMS)
+        shard = p.shard_of("zzz-not-declared")
+        assert 0 <= shard < 3
+        assert p.shard_of("zzz-not-declared") == shard
+
+    def test_more_shards_than_items_leaves_empty_tail(self):
+        p = RangePartitioner(5, ("a", "b", "c"))
+        assignment = p.assignment(("a", "b", "c"))
+        assert sorted(assignment) == [0, 1, 2, 3, 4]
+        assert [len(v) for v in assignment.values()].count(0) == 2
+
+
+class TestFactory:
+    def test_make_hash_and_range(self):
+        assert isinstance(make_partitioner("hash", 2, ITEMS), HashPartitioner)
+        assert isinstance(make_partitioner("range", 2, ITEMS),
+                          RangePartitioner)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            make_partitioner("modulo-of-vibes", 2, ITEMS)
+
+    @pytest.mark.parametrize("bad", (0, -1))
+    def test_nonpositive_shard_count_rejected(self, bad):
+        with pytest.raises(SpecificationError):
+            HashPartitioner(bad)
+        with pytest.raises(SpecificationError):
+            RangePartitioner(bad, ITEMS)

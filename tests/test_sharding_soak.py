@@ -1,0 +1,101 @@
+"""Multi-shard TCP soak battery (``sharding_soak`` marker, not tier-1).
+
+The ISSUE-6 acceptance scenario end to end over real sockets: a
+``LockServer`` fronting a 4-shard :class:`ShardedLockManager` on a
+loopback TCP port, concurrent loadgen clients each on their own
+connection, and the client-side serializability replay as the verdict.
+
+Run with ``make verify-sharding SOAK=1`` (or
+``pytest -m sharding_soak --override-ini 'addopts=-q'``).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import ServiceConfig, ShardedLockManager
+from repro.service.client import connect_tcp
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+from repro.service.server import LockServer
+from repro.workloads.generator import WorkloadConfig, generate_taskset
+
+pytestmark = pytest.mark.sharding_soak
+
+
+def serve_and_load(workload, loadcfg, *, shards=4, partitioner="hash",
+                   protocol="pcp-da"):
+    """Start a sharded TCP server, run the loadgen, return the report."""
+
+    async def body():
+        catalog = generate_taskset(workload)
+        manager = ShardedLockManager(
+            catalog, protocol, ServiceConfig(),
+            shards=shards, partitioner=partitioner,
+        )
+        server = LockServer(manager, port=0)
+        await server.start()
+        try:
+            async def connect():
+                return await connect_tcp("127.0.0.1", server.port)
+
+            return await run_loadgen(loadcfg, connect)
+        finally:
+            await server.close()
+
+    return asyncio.run(body())
+
+
+class TestShardedAcceptanceSoak:
+    def test_four_shards_over_tcp_serializable_and_complete(self):
+        report = serve_and_load(
+            WorkloadConfig(
+                n_transactions=8, n_items=10, write_probability=0.5, seed=11,
+            ),
+            LoadgenConfig(clients=24, transactions_per_client=8, seed=5),
+        )
+        assert report.serializable, report.violation
+        assert report.completed == 24 * 8
+        assert report.forced_aborts == 0
+        assert report.transport_errors == 0
+        doc = report.stats_doc
+        assert doc["shard_count"] == 4
+        assert len(doc["shards"]) == 4
+        assert doc["coordinator"]["cross_shard_commits"] > 0
+        text = report.render()
+        assert "serializability: OK" in text
+        assert "per-shard breakdown:" in text
+
+    def test_range_partitioned_deployment_over_tcp(self):
+        report = serve_and_load(
+            WorkloadConfig(
+                n_transactions=6, n_items=12, write_probability=0.5, seed=3,
+            ),
+            LoadgenConfig(clients=16, transactions_per_client=6, seed=7),
+            partitioner="range",
+        )
+        assert report.serializable, report.violation
+        assert report.completed == 16 * 6
+
+    def test_topology_is_served_over_tcp(self):
+        async def body():
+            catalog = generate_taskset(WorkloadConfig(
+                n_transactions=4, n_items=8, write_probability=0.5, seed=1,
+            ))
+            manager = ShardedLockManager(
+                catalog, "pcp-da", ServiceConfig(), shards=4,
+            )
+            server = LockServer(manager, port=0)
+            await server.start()
+            try:
+                client = await connect_tcp("127.0.0.1", server.port)
+                async with client:
+                    assert (await client.ping())["shards"] == 4
+                    topology = await client.topology()
+                    assert topology["shards"] == 4
+                    routed = [item for items in topology["assignment"].values()
+                              for item in items]
+                    assert sorted(routed) == sorted(catalog.items)
+            finally:
+                await server.close()
+
+        asyncio.run(body())
