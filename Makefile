@@ -14,14 +14,18 @@
 # pytest-benchmark suites (whole-run throughput + per-event
 # microbenchmarks) followed by benchmarks/perf_report.py, which writes
 # BENCH_<date>.json — the ledger perf PRs are judged against.
+# `make bench-compare BASE=old.json HEAD=new.json` diffs two ledgers and
+# fails on a >10% events/s drop — the review gate for perf PRs.
+# `make kernel-smoke` pins the array kernel to the object reference path
+# on a corpus slice (socket-free, seconds); part of `make verify`.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify verify-faults verify-service verify-sharding test smoke \
-	bench bench-smoke bench-all
+	kernel-smoke bench bench-smoke bench-compare bench-all
 
-verify: test smoke bench-smoke verify-service verify-sharding
+verify: test smoke kernel-smoke bench-smoke verify-service verify-sharding
 
 verify-faults:
 	$(PYTHON) -m pytest -q -m faults
@@ -56,6 +60,11 @@ smoke:
 	$(PYTHON) -m repro reproduce --jobs 2 --cache-dir $$CACHE_DIR && \
 	rm -rf $$CACHE_DIR
 
+# Array-kernel equivalence smoke: representative corpus cases through
+# kernel and object paths must emit byte-identical traces.
+kernel-smoke:
+	$(PYTHON) -m tests.kernel_smoke
+
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_simulator_throughput.py \
 		benchmarks/bench_event_microbench.py --benchmark-only -q \
@@ -63,11 +72,24 @@ bench:
 	$(PYTHON) benchmarks/perf_report.py --out BENCH_$$(date +%F).json
 
 # Tiny deterministic perf run (seconds): exercises the same measurement
-# and validation code as `make bench` without the full grid.
+# and validation code as `make bench` without the full grid, then diffs
+# the result against the checked-in smoke baseline with a loose 50%
+# threshold — loose enough to ride out container noise, tight enough to
+# catch an order-of-magnitude regression on every `make verify`.
 bench-smoke:
 	OUT=$$(mktemp -u) && \
 	$(PYTHON) benchmarks/perf_report.py --smoke --out $$OUT && \
+	$(PYTHON) benchmarks/bench_compare.py \
+		benchmarks/BENCH_smoke_baseline.json $$OUT \
+		--threshold 0.5 --total-only && \
 	rm -f $$OUT
+
+# Diff two BENCH ledgers (review gate for perf PRs): non-zero exit when
+# any protocol row or the total drops >10% events/s vs BASE.
+# Usage: make bench-compare BASE=BENCH_old.json HEAD=BENCH_new.json
+bench-compare:
+	$(PYTHON) benchmarks/bench_compare.py $(BASE) $(HEAD) \
+		$(if $(THRESHOLD),--threshold $(THRESHOLD),)
 
 # Every benchmark, including the slow full-ledger comparison cases.
 bench-all:

@@ -1,0 +1,163 @@
+"""Diff two BENCH ledgers; fail on events/s regressions past a threshold.
+
+This is the review gate for perf PRs (docs/PERFORMANCE.md): run
+``make bench`` on the base and head commits, then::
+
+    make bench-compare BASE=BENCH_old.json HEAD=BENCH_new.json
+
+The tool matches result rows on ``(benchmark, protocol)``, prints a
+per-benchmark delta table, and exits non-zero when any matched row — or
+the aggregate total — is more than ``--threshold`` (default 10%) slower
+in events/s than the base.  Rows present on only one side are listed but
+never fail the gate (protocol grids may legitimately grow).
+
+``make bench-smoke`` uses the same comparator with a loose threshold to
+guard against order-of-magnitude regressions on every ``make verify``,
+diffing a fresh ``--smoke`` run against the checked-in
+``benchmarks/BENCH_smoke_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compare.py BASE HEAD \
+        [--threshold 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # runnable both as a module and as a script from the repo root
+    from benchmarks.perf_report import validate_bench_document
+except ImportError:  # pragma: no cover
+    from perf_report import validate_bench_document
+
+
+def load_ledger(path: pathlib.Path) -> Dict[str, Any]:
+    """Read and schema-validate one ``repro-bench/1`` document."""
+    doc = json.loads(path.read_text())
+    validate_bench_document(doc)
+    return doc
+
+
+def _rows_by_key(doc: Dict[str, Any]) -> Dict[Tuple[str, str], Dict[str, Any]]:
+    return {(r["benchmark"], r["protocol"]): r for r in doc["results"]}
+
+
+def compare(
+    base: Dict[str, Any],
+    head: Dict[str, Any],
+    threshold: float = 0.10,
+    total_only: bool = False,
+) -> Dict[str, Any]:
+    """Structured comparison of two BENCH documents.
+
+    Returns a dict with ``rows`` (one entry per matched ``(benchmark,
+    protocol)`` pair: base/head events-per-second, the relative delta,
+    and whether it regressed past the threshold), ``only_base`` /
+    ``only_head`` key lists, the totals delta, and the overall ``ok``
+    verdict the CLI turns into an exit code.
+
+    With ``total_only`` the verdict considers only the aggregate row —
+    the smoke gate's mode, where each per-protocol wall time is a few
+    milliseconds and its relative delta is dominated by timer noise.
+    """
+    base_rows = _rows_by_key(base)
+    head_rows = _rows_by_key(head)
+    rows: List[Dict[str, Any]] = []
+    for key in sorted(base_rows.keys() & head_rows.keys()):
+        b = base_rows[key]["events_per_sec"]
+        h = head_rows[key]["events_per_sec"]
+        delta = (h - b) / b if b else 0.0
+        rows.append({
+            "benchmark": key[0],
+            "protocol": key[1],
+            "base_events_per_sec": b,
+            "head_events_per_sec": h,
+            "delta": delta,
+            "regressed": not total_only and delta < -threshold,
+        })
+    tb = base["totals"]["events_per_sec"]
+    th = head["totals"]["events_per_sec"]
+    total_delta = (th - tb) / tb if tb else 0.0
+    totals = {
+        "base_events_per_sec": tb,
+        "head_events_per_sec": th,
+        "delta": total_delta,
+        "regressed": total_delta < -threshold,
+    }
+    return {
+        "threshold": threshold,
+        "total_only": total_only,
+        "rows": rows,
+        "only_base": sorted(base_rows.keys() - head_rows.keys()),
+        "only_head": sorted(head_rows.keys() - base_rows.keys()),
+        "totals": totals,
+        "ok": not totals["regressed"]
+        and not any(r["regressed"] for r in rows),
+    }
+
+
+def render(report: Dict[str, Any]) -> str:
+    """Human-readable delta table for one comparison report."""
+    lines = [
+        f"{'benchmark':<24}{'protocol':<12}{'base ev/s':>12}"
+        f"{'head ev/s':>12}{'delta':>9}",
+    ]
+    for row in report["rows"]:
+        flag = "  REGRESSION" if row["regressed"] else ""
+        lines.append(
+            f"{row['benchmark']:<24}{row['protocol']:<12}"
+            f"{row['base_events_per_sec']:>12,.0f}"
+            f"{row['head_events_per_sec']:>12,.0f}"
+            f"{row['delta']:>+8.1%}{flag}"
+        )
+    t = report["totals"]
+    flag = "  REGRESSION" if t["regressed"] else ""
+    lines.append(
+        f"{'TOTAL':<24}{'':<12}{t['base_events_per_sec']:>12,.0f}"
+        f"{t['head_events_per_sec']:>12,.0f}{t['delta']:>+8.1%}{flag}"
+    )
+    for side, keys in (("base", report["only_base"]),
+                       ("head", report["only_head"])):
+        for benchmark, protocol in keys:
+            lines.append(f"only in {side}: {benchmark}/{protocol}")
+    lines.append(
+        f"gate: fail below -{report['threshold']:.0%} events/s -> "
+        + ("OK" if report["ok"] else "FAIL")
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", metavar="BASE", type=pathlib.Path,
+                        help="baseline BENCH JSON (the commit under review's parent)")
+    parser.add_argument("head", metavar="HEAD", type=pathlib.Path,
+                        help="candidate BENCH JSON (the commit under review)")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="maximum tolerated events/s drop per row and in total "
+             "(default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--total-only", action="store_true",
+        help="gate on the aggregate row only (for smoke ledgers whose "
+             "per-protocol timings are too short to be stable)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be a fraction in (0, 1)")
+    report = compare(
+        load_ledger(args.base), load_ledger(args.head), args.threshold,
+        total_only=args.total_only,
+    )
+    print(render(report))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

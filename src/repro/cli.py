@@ -261,8 +261,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a generated catalog over TCP until interrupted."""
     import asyncio
 
-    from repro.service import LockServer, ServiceConfig
+    from repro.service import LockServer, ServiceConfig, install_uvloop
 
+    loop_impl = install_uvloop(args.uvloop)
     taskset = generate_taskset(_workload_from_args(args))
 
     async def run() -> None:
@@ -286,7 +287,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"repro-service listening on {server.host}:{server.port} "
             f"(protocol={args.protocol}, "
             f"{len(taskset.names)} transactions, "
-            f"{len(taskset.items)} items{sharding})",
+            f"{len(taskset.items)} items{sharding}, "
+            f"event loop {loop_impl})",
             flush=True,
         )
         try:
@@ -310,9 +312,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         LockServer,
         ServiceConfig,
         connect_tcp,
+        install_uvloop,
         run_loadgen,
     )
 
+    install_uvloop(args.uvloop)
     config = LoadgenConfig(
         clients=args.clients,
         transactions_per_client=args.per_client,
@@ -562,6 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission-control cap on live sessions")
     serve.add_argument("--deadline", type=float, default=None, metavar="S",
                        help="default relative deadline for sessions")
+    serve.add_argument("--uvloop", action="store_true",
+                       help="run on uvloop when installed (falls back to "
+                            "the stock asyncio loop with a notice; the "
+                            "stats payload reports which is active)")
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -605,6 +613,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("hash", "range"),
                          help="partitioning scheme for the self-hosted "
                               "sharded server")
+    loadgen.add_argument("--uvloop", action="store_true",
+                         help="run on uvloop when installed (clean "
+                              "fallback to the stock asyncio loop)")
     loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 

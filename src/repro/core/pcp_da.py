@@ -109,6 +109,29 @@ class PCPDA(ConcurrencyControlProtocol):
         """``Sysceil`` with respect to ``exclude`` (global when ``None``)."""
         return system_ceiling(self.table, self.ceilings, exclude)
 
+    def compile_table(self):
+        """PCP-DA's decision table for the array kernel: read-lock-only
+        ``Wceil`` ceilings, waiter-exempt exclusion, LC1..LC4 plus the
+        Table-1 footnote, with the ablation flags carried through."""
+        from repro.engine.kernel.tables import (
+            FAMILY_PCPDA,
+            LEVEL_READ_WCEIL,
+            ProtocolTable,
+        )
+
+        return ProtocolTable(
+            protocol=self.name,
+            family=FAMILY_PCPDA,
+            level_source=LEVEL_READ_WCEIL,
+            select_readers=True,
+            ceilings=self.ceilings,
+            waiter_exempt=True,
+            enable_lc3=self._enable_lc3,
+            enable_lc4=self._enable_lc4,
+            enable_table1=self._enable_table1_check,
+            read_grant_rules=("LC2", "LC3", "LC4"),
+        )
+
     def describe(self) -> str:
         suffix = []
         if not self._enable_lc3:

@@ -20,6 +20,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro._compat import DATACLASS_SLOTS
+
 
 class HistoryEventKind(enum.Enum):
     READ = "read"
@@ -28,7 +30,7 @@ class HistoryEventKind(enum.Enum):
     ABORT = "abort"
 
 
-@dataclass(frozen=True)
+@dataclass(**DATACLASS_SLOTS)
 class HistoryEvent:
     """One observable event of a committed history.
 

@@ -35,9 +35,14 @@ _KIND_RANK = {"op_done": 0, "arrival": 1, "deadline": 2}
 _DEFAULT_RANK = 9
 
 
-@dataclass(frozen=True, **DATACLASS_SLOTS)
+@dataclass(**DATACLASS_SLOTS)
 class ScheduledEvent:
     """An entry in the calendar.
+
+    Not frozen: a frozen dataclass routes every ``__init__`` field store
+    through ``object.__setattr__``, and one event is allocated per
+    arrival/completion/deadline on the hot path.  Treat instances as
+    immutable anyway.
 
     Attributes:
         time: simulation time at which the event fires.

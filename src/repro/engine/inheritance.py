@@ -29,10 +29,19 @@ class WaitForGraph:
         #: Waiters whose blockers do NOT inherit (2PL-HP, plain 2PL).  The
         #: edges still exist for deadlock detection.
         self._no_inherit: Set[Job] = set()
+        #: Optional mirror of the edges (the array kernel's blocked
+        #: bitsets); notified on every block/unblock/forget.
+        self._listener = None
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def attach_listener(self, listener) -> None:
+        """Install an edge mirror (one per graph); it is rebuilt from the
+        current edges and then notified of every mutation."""
+        self._listener = listener
+        listener.rebuild_waits(self)
+
     def block(self, waiter: Job, blockers: Iterable[Job], inherit: bool = True) -> None:
         """Record that ``waiter`` waits on ``blockers`` (replacing old edges)."""
         blockers = tuple(blockers)
@@ -42,11 +51,15 @@ class WaitForGraph:
             self._no_inherit.discard(waiter)
         else:
             self._no_inherit.add(waiter)
+        if self._listener is not None:
+            self._listener.on_block(waiter, blockers)
 
     def unblock(self, waiter: Job) -> None:
         """Remove ``waiter``'s wait edges (its request was granted)."""
         self._blocked_on.pop(waiter, None)
         self._no_inherit.discard(waiter)
+        if self._listener is not None:
+            self._listener.on_unblock(waiter)
 
     def forget(self, job: Job) -> None:
         """Remove the job entirely (commit/abort): as waiter and as blocker."""
@@ -61,6 +74,8 @@ class WaitForGraph:
                     # The waiter's retry is triggered by the caller; keep an
                     # empty edge set out of the graph.
                     del self._blocked_on[waiter]
+        if self._listener is not None:
+            self._listener.on_forget(job)
 
     # ------------------------------------------------------------------
     # Queries
@@ -76,6 +91,12 @@ class WaitForGraph:
     def is_blocked(self, job: Job) -> bool:
         """Whether ``job`` currently waits on anyone."""
         return job in self._blocked_on
+
+    @property
+    def has_edges(self) -> bool:
+        """Whether any wait edge exists at all (cheap guard letting the
+        engine skip whole inheritance passes on uncontended stretches)."""
+        return bool(self._blocked_on)
 
     def waiters_on(self, blocker: Job) -> Tuple[Job, ...]:
         """Jobs directly waiting on ``blocker``."""
@@ -113,11 +134,20 @@ class WaitForGraph:
         """Reset every job to its base priority (lifted to the protocol's
         floor, e.g. IPCP's lock ceilings), then propagate inheritance
         along wait-for edges to a fixpoint."""
-        jobs = list(jobs)
-        for job in jobs:
-            job.running_priority = job.base_priority
-            if floor is not None:
-                job.running_priority = max(job.running_priority, floor(job))
+        if floor is None:
+            for job in jobs:
+                base = job.base_priority
+                if job.running_priority != base:
+                    job.running_priority = base
+                    job.dkey = (-base, job.arrival, job.seq)
+        else:
+            for job in jobs:
+                lifted = max(job.base_priority, floor(job))
+                if job.running_priority != lifted:
+                    job.running_priority = lifted
+                    job.dkey = (-lifted, job.arrival, job.seq)
+        if not self._blocked_on:
+            return
         changed = True
         while changed:
             changed = False
@@ -125,8 +155,10 @@ class WaitForGraph:
                 if waiter in self._no_inherit:
                     continue
                 for blocker in blockers:
-                    if blocker.running_priority < waiter.running_priority:
-                        blocker.running_priority = waiter.running_priority
+                    inherited = waiter.running_priority
+                    if blocker.running_priority < inherited:
+                        blocker.running_priority = inherited
+                        blocker.dkey = (-inherited, blocker.arrival, blocker.seq)
                         changed = True
 
     # ------------------------------------------------------------------

@@ -174,6 +174,18 @@ class ConcurrencyControlProtocol(abc.ABC):
     def on_granted(self, job: "Job", item: str, mode: LockMode) -> None:
         """Hook after a grant was recorded in the lock table."""
 
+    def compile_table(self):
+        """Compiled decision table for the array kernel, or ``None``.
+
+        Called after :meth:`bind`.  A protocol returning a
+        :class:`repro.engine.kernel.tables.ProtocolTable` has its
+        ``decide`` / ``system_ceiling`` answered by the integer kernel
+        (byte-identically); returning ``None`` — the default — keeps the
+        object path.  Subclasses whose ``decide`` diverges from an
+        inherited implementation must override this back to ``None``.
+        """
+        return None
+
     def after_operation(self, job: "Job", op_index: int) -> Tuple[Tuple[str, LockMode], ...]:
         """Locks to release early after the job finished operation ``op_index``.
 

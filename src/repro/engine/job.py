@@ -72,7 +72,7 @@ class Job:
     __slots__ = (
         "spec", "instance", "arrival", "name", "seq", "state", "pc",
         "op_remaining", "op_started", "completion_token",
-        "scheduled_completion", "base_priority", "running_priority",
+        "scheduled_completion", "base_priority", "running_priority", "dkey",
         "workspace", "data_read", "pending_request", "block_intervals",
         "finish_time", "restarts", "preemptions", "grant_rules",
     )
@@ -103,6 +103,10 @@ class Job:
 
         self.base_priority: int = spec.priority
         self.running_priority: int = spec.priority
+        #: Materialised :meth:`dispatch_key`, rebuilt whenever
+        #: ``running_priority`` changes (the dispatcher compares keys on
+        #: every event; priority changes are orders of magnitude rarer).
+        self.dkey: Tuple[int, float, int] = (-spec.priority, arrival, self.seq)
 
         self.workspace = Workspace()
         self.data_read: Set[str] = set()
@@ -200,6 +204,7 @@ class Job:
         self.data_read.clear()
         self.pending_request = None
         self.running_priority = self.base_priority
+        self.dkey = (-self.base_priority, self.arrival, self.seq)
         self.restarts += 1
         self.state = JobState.READY
 
@@ -207,8 +212,12 @@ class Job:
     # Ordering for the dispatcher
     # ------------------------------------------------------------------
     def dispatch_key(self) -> Tuple[int, float, int]:
-        """Sort key: higher running priority first, then FIFO by release."""
-        return (-self.running_priority, self.arrival, self.seq)
+        """Sort key: higher running priority first, then FIFO by release.
+
+        Hot paths read the materialised :attr:`dkey` directly; this method
+        is the readable accessor for everyone else.
+        """
+        return self.dkey
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

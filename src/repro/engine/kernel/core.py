@@ -1,0 +1,531 @@
+"""The array kernel: table-driven integer admission decisions.
+
+One :class:`Kernel` instance serves one run (or one live lock-manager
+shard).  It mirrors the run's :class:`~repro.engine.lock_table.LockTable`
+and :class:`~repro.engine.inheritance.WaitForGraph` into flat integer
+state —
+
+* per-item **lock-mode words**: one int bitset of reader slots and one of
+  writer slots per item id;
+* per-item **ceiling levels** plus a lazy max-heap of ``(-level, item)``,
+  maintained with the same bump-on-grant / lazy-repair scheme as
+  :class:`~repro.engine.lock_table.CeilingIndex` but over interned ints;
+* **blocked bitsets**: one word of currently blocked job slots and a
+  per-slot word of its blockers, from which transitive waiter sets (the
+  PCP-DA exemption) are closed with a few machine-word operations —
+
+and answers every admission decision from the bound
+:class:`~repro.engine.kernel.tables.ProtocolTable` without touching
+``Job``/``frozenset`` machinery until a ``Deny`` must name its blockers.
+
+The mirrors are fed by the lock table's and wait graph's notification
+hooks, so object state and array state can never drift silently;
+``self_check()`` re-derives everything from the object structures and is
+wired into the differential battery via ``SimConfig.debug_invariants``.
+
+Decisions are **byte-identical** to the object path by construction: the
+rule/reason strings come from the compiled table, ``Deny`` blocker tuples
+are sorted by job release sequence exactly like the protocol objects sort
+them, and the golden-trace corpus plus the Hypothesis differential tests
+pin the equivalence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.interfaces import Deny, Grant
+from repro.engine.kernel.interning import Interner
+from repro.engine.kernel.tables import (
+    FAMILY_IPCP,
+    FAMILY_PCPDA,
+    FAMILY_SYSCEIL,
+    FAMILY_WEAK_PCPDA,
+    LEVEL_ACEIL,
+    LEVEL_READ_WCEIL,
+    LEVEL_RW,
+    PCPDA_CEILING_REASON,
+    ProtocolTable,
+    TABLE1_REASON,
+    WEAK_CEILING_REASON,
+)
+from repro.model.spec import DUMMY_PRIORITY, LockMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.inheritance import WaitForGraph
+    from repro.engine.job import Job
+    from repro.engine.lock_table import LockTable
+
+
+def _seq_of(job: "Job") -> int:
+    return job.seq
+
+
+class Kernel:
+    """Array-state admission engine for one (protocol, table, graph) run."""
+
+    __slots__ = (
+        "table_spec", "interner", "_lock_table", "_wait_graph",
+        "_reader_word", "_writer_word", "_cur_level", "_heap",
+        "_blocked_word", "_blockers_word",
+        "_family", "_level_source", "_select_readers", "_waiter_exempt",
+        "_wceil", "_aceil",
+        "_grant_write", "_read_grants", "_decide_read",
+    )
+
+    def __init__(
+        self,
+        table_spec: ProtocolTable,
+        taskset,
+        lock_table: "LockTable",
+        wait_graph: "Optional[WaitForGraph]" = None,
+    ) -> None:
+        self.table_spec = table_spec
+        self.interner = Interner(taskset, table_spec.ceilings)
+        n = len(self.interner.items)
+        self._lock_table = lock_table
+        self._wait_graph = wait_graph
+        # ---- lock-mode words + ceiling levels ---------------------------
+        self._reader_word: List[int] = [0] * n
+        self._writer_word: List[int] = [0] * n
+        self._cur_level: List[int] = [0] * n
+        self._heap: List[Tuple[int, int]] = []
+        # ---- blocked bitsets -------------------------------------------
+        self._blocked_word = 0
+        self._blockers_word: List[int] = []
+        # ---- compiled table unpacked into slots ------------------------
+        self._family = table_spec.family
+        self._level_source = table_spec.level_source
+        self._select_readers = table_spec.select_readers
+        self._waiter_exempt = table_spec.waiter_exempt
+        self._wceil = self.interner.wceil
+        self._aceil = self.interner.aceil
+        self._grant_write = Grant(table_spec.write_grant_rule)
+        self._read_grants = tuple(
+            Grant(rule) for rule in table_spec.read_grant_rules
+        )
+        self._decide_read = {
+            FAMILY_PCPDA: self._decide_read_pcpda,
+            FAMILY_WEAK_PCPDA: self._decide_read_weak,
+            FAMILY_SYSCEIL: self._decide_sysceil,
+            FAMILY_IPCP: self._decide_ipcp,
+        }[self._family]
+        lock_table.attach_kernel_state(self)
+        if wait_graph is not None:
+            wait_graph.attach_listener(self)
+
+    # ==================================================================
+    # Mirror maintenance — driven by LockTable / WaitForGraph hooks
+    # ==================================================================
+    def rebuild(self, lock_table: "LockTable") -> None:
+        """Re-derive the lock words and levels from the table's entries."""
+        self._lock_table = lock_table
+        n = len(self.interner.items)
+        self._reader_word = [0] * n
+        self._writer_word = [0] * n
+        self._cur_level = [0] * n
+        self._heap = []
+        intern = self.interner
+        for item, entry in lock_table.all_entries().items():
+            iid = intern.item_ids[item]
+            for job in entry.readers:
+                self._reader_word[iid] |= 1 << intern.intern_job(job)
+            for job in entry.writers:
+                self._writer_word[iid] |= 1 << intern.intern_job(job)
+            self._refresh_level(iid)
+
+    def rebuild_waits(self, wait_graph: "WaitForGraph") -> None:
+        """Re-derive the blocked bitsets from the graph's edges."""
+        self._wait_graph = wait_graph
+        self._blocked_word = 0
+        for jid in range(len(self._blockers_word)):
+            self._blockers_word[jid] = 0
+        for waiter, blockers in wait_graph._blocked_on.items():
+            self.on_block(waiter, blockers)
+
+    def _jid(self, job: "Job") -> int:
+        jid = self.interner.job_ids.get(job)
+        if jid is not None:
+            return jid  # known job: skip the intern + grow path
+        jid = self.interner.intern_job(job)
+        blockers = self._blockers_word
+        while len(blockers) <= jid:
+            blockers.append(0)
+        return jid
+
+    def on_grant(self, job: "Job", item: str, mode: LockMode) -> None:
+        """Lock-table hook: set the holder bit and refresh the level."""
+        iid = self.interner.item_ids[item]
+        bit = 1 << self._jid(job)
+        if mode is LockMode.READ:
+            self._reader_word[iid] |= bit
+        else:
+            self._writer_word[iid] |= bit
+        self._refresh_level(iid)
+
+    def on_release(self, job: "Job", item: str, mode: LockMode) -> None:
+        """Lock-table hook: clear the holder bit and refresh the level."""
+        iid = self.interner.item_ids[item]
+        bit = 1 << self._jid(job)
+        if mode is LockMode.READ:
+            self._reader_word[iid] &= ~bit
+        else:
+            self._writer_word[iid] &= ~bit
+        self._refresh_level(iid)
+
+    def _refresh_level(self, iid: int) -> None:
+        readers = self._reader_word[iid]
+        writers = self._writer_word[iid]
+        source = self._level_source
+        if source == LEVEL_READ_WCEIL:
+            new = self._wceil[iid] if readers else 0
+        elif source == LEVEL_RW:
+            new = (
+                (self._aceil[iid] if writers else self._wceil[iid])
+                if (readers or writers)
+                else 0
+            )
+        else:  # LEVEL_ACEIL
+            new = self._aceil[iid] if (readers or writers) else 0
+        if new != self._cur_level[iid]:
+            self._cur_level[iid] = new
+            if new:
+                heapq.heappush(self._heap, (-new, iid))
+
+    # ---- wait-graph listener -----------------------------------------
+    def on_block(self, waiter: "Job", blockers: Iterable["Job"]) -> None:
+        """Wait-graph hook: record ``waiter``'s blockers as a bitset."""
+        jid = self._jid(waiter)
+        word = 0
+        for blocker in blockers:
+            word |= 1 << self._jid(blocker)
+        self._blockers_word[jid] = word
+        self._blocked_word |= 1 << jid
+
+    def on_unblock(self, waiter: "Job") -> None:
+        """Wait-graph hook: drop ``waiter`` from the blocked bitset."""
+        jid = self.interner.job_ids.get(waiter)
+        if jid is None:
+            return
+        bit = 1 << jid
+        if self._blocked_word & bit:
+            self._blocked_word &= ~bit
+            self._blockers_word[jid] = 0
+
+    def on_forget(self, job: "Job") -> None:
+        """Wait-graph hook: erase ``job`` as both waiter and blocker."""
+        jid = self.interner.job_ids.get(job)
+        if jid is None:
+            return
+        self.on_unblock(job)
+        bit = 1 << jid
+        blocked = self._blocked_word
+        blockers = self._blockers_word
+        word = blocked
+        while word:
+            low = word & -word
+            word ^= low
+            waiter = low.bit_length() - 1
+            if blockers[waiter] & bit:
+                remaining = blockers[waiter] & ~bit
+                blockers[waiter] = remaining
+                if not remaining:
+                    # Mirror of WaitForGraph.forget: a waiter whose last
+                    # blocker vanished leaves the graph entirely.
+                    self._blocked_word &= ~low
+
+    def retire(self, job: "Job") -> None:
+        """Recycle a finished job's slot (service sessions churn jobs).
+
+        Callers must have released the job's locks and forgotten its wait
+        edges first; the slot is kept (not recycled) if any holder bit is
+        still live, so a misuse degrades to the old grow-only behaviour
+        instead of corrupting another job's bitsets.
+        """
+        jid = self.interner.job_ids.get(job)
+        if jid is None:
+            return
+        self.on_forget(job)
+        bit = 1 << jid
+        for iid in range(len(self._reader_word)):
+            if (self._reader_word[iid] | self._writer_word[iid]) & bit:
+                return
+        self._blockers_word[jid] = 0
+        self.interner.release_job(job)
+
+    # ==================================================================
+    # Ceiling queries
+    # ==================================================================
+    def _transitive_waiters_word(self, jid: int) -> int:
+        """Bitset of slots transitively blocked waiting on ``jid``."""
+        blocked = self._blocked_word
+        if not blocked:
+            return 0
+        blockers = self._blockers_word
+        targets = 1 << jid
+        changed = True
+        while changed:
+            changed = False
+            word = blocked
+            while word:
+                low = word & -word
+                word ^= low
+                if not (targets & low) and blockers[low.bit_length() - 1] & targets:
+                    targets |= low
+                    changed = True
+        return targets & ~(1 << jid)
+
+    def _scan(self, excluded_word: int) -> Tuple[int, int]:
+        """Highest current level among items with a relevant holder outside
+        ``excluded_word``, plus the bit-union of those holders over every
+        item at that level.  ``(0, 0)`` when nothing qualifies.
+
+        The integer re-expression of :meth:`CeilingIndex.scan` plus the
+        per-item holder collection that used to follow it: stale heap
+        entries are dropped permanently, valid ones restored.
+        """
+        heap = self._heap
+        current = self._cur_level
+        readers = self._reader_word
+        writers = self._writer_word
+        select_readers = self._select_readers
+        restore: List[Tuple[int, int]] = []
+        seen = set()
+        level = 0
+        holders = 0
+        while heap:
+            neg, iid = heap[0]
+            if current[iid] != -neg:
+                heapq.heappop(heap)  # outdated: drop for good
+                continue
+            if level and -neg < level:
+                break
+            heapq.heappop(heap)
+            if iid in seen:
+                continue
+            seen.add(iid)
+            restore.append((neg, iid))
+            word = readers[iid] if select_readers else readers[iid] | writers[iid]
+            word &= ~excluded_word
+            if word:
+                if not level:
+                    level = -neg
+                holders |= word
+        for entry in restore:
+            heapq.heappush(heap, entry)
+        return level, holders
+
+    def system_ceiling(self, exclude: "Optional[Job]" = None) -> int:
+        """Current system ceiling (global when ``exclude`` is ``None``).
+
+        The global query is amortised O(1): with no exclusions the first
+        *current* heap entry qualifies by construction (a non-zero level
+        implies a relevant holder), so only stale entries are popped.
+        """
+        if exclude is None:
+            heap = self._heap
+            current = self._cur_level
+            while heap:
+                neg, iid = heap[0]
+                if current[iid] == -neg:
+                    return -neg
+                heapq.heappop(heap)
+            return DUMMY_PRIORITY
+        jid = self.interner.job_ids.get(exclude)
+        if jid is None:
+            return self.system_ceiling(None)
+        level, _ = self._scan(1 << jid)
+        return level
+
+    # ==================================================================
+    # Decisions
+    # ==================================================================
+    def decide(self, job: "Job", item: str, mode: LockMode):
+        """Admission decision; mirrors ``protocol.decide`` byte-for-byte."""
+        iid = self.interner.item_ids[item]
+        if mode is LockMode.WRITE and self._family != FAMILY_SYSCEIL \
+                and self._family != FAMILY_IPCP:
+            # Shared-read families (PCP-DA, weak PCP-DA): LC1.
+            me = 1 << self._jid(job)
+            others = self._reader_word[iid] & ~me
+            if not others:
+                return self._grant_write
+            return Deny(
+                self._sorted_jobs(others),
+                self.table_spec.write_conflict_reason,
+            )
+        return self._decide_read(job, iid)
+
+    def decide_batch(self, requests: Sequence, on_deny=None):
+        """Decide ``requests`` (``(job, item, mode)`` or ``(job, item,
+        mode, pre_decision)`` tuples) in order, stopping after the first
+        non-``Deny`` decision; returns the decisions made.
+
+        ``on_deny(request, decision)`` runs after each denial *before* the
+        next request is decided, so callers can refresh wait-graph blame
+        between decisions exactly like the one-at-a-time loop did (a
+        denial's inheritance edges can change the next requester's
+        transitive-waiter exemption).
+        """
+        out = []
+        for request in requests:
+            pre = request[3] if len(request) > 3 else None
+            decision = (
+                pre
+                if pre is not None
+                else self.decide(request[0], request[1], request[2])
+            )
+            out.append(decision)
+            if not isinstance(decision, Deny):
+                break
+            if on_deny is not None:
+                on_deny(request, decision)
+        return out
+
+    def _sorted_jobs(self, word: int) -> Tuple["Job", ...]:
+        jobs = self.interner.jobs_from_word(word)
+        jobs.sort(key=_seq_of)
+        return tuple(jobs)
+
+    # ---- family: PCP-DA ----------------------------------------------
+    def _decide_read_pcpda(self, job: "Job", iid: int):
+        intern = self.interner
+        jid = self._jid(job)
+        me = 1 << jid
+        excluded = me
+        if self._waiter_exempt and self._blocked_word:
+            excluded |= self._transitive_waiters_word(jid)
+        sysceil, tstar = self._scan(excluded)
+        spec = self.table_spec
+        priority = job.running_priority
+
+        # Table-1 footnote against the item's current write holders.
+        violators = 0
+        write_mask = intern.job_write_mask[jid]
+        if spec.enable_table1:
+            word = self._writer_word[iid] & ~me
+            while word:
+                low = word & -word
+                word ^= low
+                if intern.read_mask(low.bit_length() - 1) & write_mask:
+                    violators |= low
+
+        lc2 = priority > sysceil
+        if lc2 and not violators:
+            return self._read_grants[0]  # LC2
+        lc3 = lc4 = False
+        if tstar:
+            union_writes = 0
+            word = tstar
+            while word:
+                low = word & -word
+                word ^= low
+                union_writes |= intern.job_write_mask[low.bit_length() - 1]
+            item_outside = not (union_writes >> iid) & 1
+            hpw = self._wceil[iid]
+            if spec.enable_lc3 and priority > hpw and item_outside:
+                lc3 = True
+            elif (
+                spec.enable_lc4
+                and priority == hpw
+                and item_outside
+                and not self._reader_word[iid] & ~excluded
+            ):
+                lc4 = True
+                word = tstar
+                while word:
+                    low = word & -word
+                    word ^= low
+                    if intern.read_mask(low.bit_length() - 1) & write_mask:
+                        lc4 = False
+                        break
+        if not violators and (lc2 or lc3 or lc4):
+            return self._read_grants[0 if lc2 else (1 if lc3 else 2)]
+        if violators:
+            return Deny(self._sorted_jobs(violators), TABLE1_REASON)
+        return Deny(self._sorted_jobs(tstar), PCPDA_CEILING_REASON)
+
+    # ---- family: weak PCP-DA -----------------------------------------
+    def _decide_read_weak(self, job: "Job", iid: int):
+        me = 1 << self._jid(job)
+        sysceil, holders = self._scan(me)
+        priority = job.running_priority
+        if priority > sysceil:
+            return self._read_grants[0]  # cond(1) P>Sysceil
+        if priority >= self._wceil[iid]:
+            return self._read_grants[1]  # cond(2) P>=HPW
+        return Deny(self._sorted_jobs(holders), WEAK_CEILING_REASON)
+
+    # ---- family: RW-PCP / CCP / original PCP -------------------------
+    def _decide_sysceil(self, job: "Job", iid: int):
+        me = 1 << self._jid(job)
+        sysceil, holders = self._scan(me)
+        if job.running_priority > sysceil:
+            return self._read_grants[0]  # P>Sysceil
+        spec = self.table_spec
+        locked = (self._reader_word[iid] | self._writer_word[iid]) & ~me
+        reason = spec.conflict_reason if locked else spec.ceiling_reason
+        return Deny(self._sorted_jobs(holders), reason)
+
+    # ---- family: IPCP ------------------------------------------------
+    def _decide_ipcp(self, job: "Job", iid: int):
+        me = 1 << self._jid(job)
+        holders = (self._reader_word[iid] | self._writer_word[iid]) & ~me
+        if not holders:
+            return self._read_grants[0]  # ceiling-elevated
+        return Deny(self._sorted_jobs(holders), self.table_spec.conflict_reason)
+
+    # ==================================================================
+    # Differential verification
+    # ==================================================================
+    def self_check(self) -> None:
+        """Assert the array mirrors equal a from-scratch re-derivation
+        of the lock table and wait graph (differential-battery hook)."""
+        intern = self.interner
+        n = len(intern.items)
+        readers = [0] * n
+        writers = [0] * n
+        for item, entry in self._lock_table.all_entries().items():
+            iid = intern.item_ids[item]
+            for job in entry.readers:
+                readers[iid] |= 1 << intern.job_ids[job]
+            for job in entry.writers:
+                writers[iid] |= 1 << intern.job_ids[job]
+        if readers != self._reader_word or writers != self._writer_word:
+            raise AssertionError("kernel lock words diverged from the table")
+        represented = {iid for _, iid in self._heap}
+        for iid in range(n):
+            rw, ww = self._reader_word[iid], self._writer_word[iid]
+            source = self._level_source
+            if source == LEVEL_READ_WCEIL:
+                expect = self._wceil[iid] if rw else 0
+            elif source == LEVEL_RW:
+                expect = (self._aceil[iid] if ww else self._wceil[iid]) \
+                    if (rw or ww) else 0
+            else:
+                expect = self._aceil[iid] if (rw or ww) else 0
+            if expect != self._cur_level[iid]:
+                raise AssertionError(
+                    f"kernel ceiling level diverged for {intern.items[iid]}: "
+                    f"incremental={self._cur_level[iid]} rescan={expect}"
+                )
+            if expect and iid not in represented:
+                raise AssertionError(
+                    f"kernel ceiling heap lost live item {intern.items[iid]}"
+                )
+        if self._wait_graph is not None:
+            blocked = 0
+            expect_blockers = [0] * len(self._blockers_word)
+            for waiter, blockers in self._wait_graph._blocked_on.items():
+                jid = intern.job_ids[waiter]
+                blocked |= 1 << jid
+                word = 0
+                for blocker in blockers:
+                    word |= 1 << intern.job_ids[blocker]
+                expect_blockers[jid] = word
+            if blocked != self._blocked_word \
+                    or expect_blockers != self._blockers_word:
+                raise AssertionError(
+                    "kernel blocked bitsets diverged from the wait graph"
+                )

@@ -1,0 +1,140 @@
+"""Interning: dense integer ids for items, jobs, and their static attributes.
+
+The interning pass runs once per kernel build (i.e. at ``bind()`` time):
+
+* **items** — the task set's item names, sorted, become ids ``0..n-1``;
+  their static ``Wceil``/``Aceil`` priorities become flat int lists and
+  each transaction spec's write set becomes an item *bitmask*;
+* **jobs** — job slots are assigned dynamically on a job's first contact
+  with the kernel (jobs are created during the run, not at bind time) and
+  live for the job's lifetime; per-slot arrays hold the job object, its
+  spec's write mask, and a memoised bitmask of ``DataRead`` (see
+  :meth:`Interner.read_mask`).
+
+Sets of jobs are then plain Python ints used as bitsets (one bit per job
+slot), which makes the kernel's exclusion tests and holder collection
+single machine-word operations for realistic run sizes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.job import Job
+    from repro.model.spec import TaskSet, TransactionSpec
+
+
+class Interner:
+    """Bidirectional item/job ↔ id maps plus flattened static attributes."""
+
+    __slots__ = (
+        "items", "item_ids", "wceil", "aceil", "spec_write_mask",
+        "jobs", "job_ids", "job_write_mask", "_read_len", "_read_mask",
+        "_free_slots",
+    )
+
+    def __init__(self, taskset: "TaskSet", ceilings) -> None:
+        #: Item names in id order (ids are ranks in the sorted name list).
+        self.items: Tuple[str, ...] = tuple(sorted(taskset.items))
+        self.item_ids: Dict[str, int] = {
+            name: iid for iid, name in enumerate(self.items)
+        }
+        #: Static ceilings by item id (0 = DUMMY_PRIORITY = no ceiling).
+        self.wceil: List[int] = [ceilings.wceil(name) for name in self.items]
+        self.aceil: List[int] = [ceilings.aceil(name) for name in self.items]
+        #: Item bitmask of each spec's write set, by spec name.
+        self.spec_write_mask: Dict[str, int] = {
+            spec.name: self._mask_of(spec.write_set) for spec in taskset
+        }
+        # ---- job slots (assigned on first contact) ----------------------
+        self.jobs: List["Job"] = []
+        self.job_ids: Dict["Job", int] = {}
+        self.job_write_mask: List[int] = []
+        # DataRead bitmask memo: valid while len(job.data_read) is
+        # unchanged.  Safe because a job's DataRead content is a
+        # deterministic function of its length — it grows along the spec's
+        # program order and restart() clears it back to length 0.
+        self._read_len: List[int] = []
+        self._read_mask: List[int] = []
+        # Slots of retired jobs, reusable by the next first contact.  The
+        # service churns through sessions (each a fresh Job), so without
+        # recycling slot indices — and with them the magnitude of every
+        # bitset word — would grow without bound.
+        self._free_slots: List[int] = []
+
+    def _mask_of(self, names) -> int:
+        mask = 0
+        ids = self.item_ids
+        for name in names:
+            mask |= 1 << ids[name]
+        return mask
+
+    # ------------------------------------------------------------------
+    # Ids → names → ids
+    # ------------------------------------------------------------------
+    def item_id(self, name: str) -> int:
+        """The dense id of item ``name``."""
+        return self.item_ids[name]
+
+    def item_name(self, iid: int) -> str:
+        """The item name behind id ``iid``."""
+        return self.items[iid]
+
+    def intern_job(self, job: "Job") -> int:
+        """The job's slot id, assigning a fresh slot on first contact."""
+        jid = self.job_ids.get(job)
+        if jid is None:
+            if self._free_slots:
+                jid = self._free_slots.pop()
+                self.job_ids[job] = jid
+                self.jobs[jid] = job
+                self.job_write_mask[jid] = self.spec_write_mask[job.spec.name]
+                self._read_len[jid] = -1
+                self._read_mask[jid] = 0
+            else:
+                jid = len(self.jobs)
+                self.job_ids[job] = jid
+                self.jobs.append(job)
+                self.job_write_mask.append(self.spec_write_mask[job.spec.name])
+                self._read_len.append(-1)
+                self._read_mask.append(0)
+        return jid
+
+    def release_job(self, job: "Job") -> None:
+        """Return ``job``'s slot to the free pool (caller guarantees no
+        live bitset references its bit any more)."""
+        jid = self.job_ids.pop(job, None)
+        if jid is None:
+            return
+        self.jobs[jid] = None
+        self.job_write_mask[jid] = 0
+        self._read_len[jid] = -1
+        self._read_mask[jid] = 0
+        self._free_slots.append(jid)
+
+    def job_of(self, jid: int) -> "Job":
+        """The job occupying slot ``jid``."""
+        return self.jobs[jid]
+
+    # ------------------------------------------------------------------
+    # Dynamic per-job masks
+    # ------------------------------------------------------------------
+    def read_mask(self, jid: int) -> int:
+        """Bitmask of ``DataRead(job)``, memoised by current length."""
+        data_read = self.jobs[jid].data_read
+        n = len(data_read)
+        if self._read_len[jid] != n:
+            self._read_len[jid] = n
+            self._read_mask[jid] = self._mask_of(data_read)
+        return self._read_mask[jid]
+
+    def jobs_from_word(self, word: int) -> List["Job"]:
+        """The job objects whose slot bits are set in ``word``."""
+        jobs = self.jobs
+        out: List["Job"] = []
+        while word:
+            bit = word & -word
+            out.append(jobs[bit.bit_length() - 1])
+            word ^= bit
+        return out

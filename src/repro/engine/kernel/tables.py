@@ -1,0 +1,100 @@
+"""Per-protocol transition tables for the array kernel.
+
+A :class:`ProtocolTable` is the *compiled* form of a ceiling protocol's
+admission rules: every quantity the kernel's integer inner loop needs —
+which family of decision logic applies, where per-item ceiling levels come
+from, which side of a lock entry gates the exclusion test, which ablation
+flags are on, and the exact rule/reason strings the object path emits — is
+frozen here at ``compile_table()`` time.  The kernel itself then contains
+no protocol-specific branching beyond one dispatch on ``family``.
+
+Tables are produced by each protocol's ``compile_table()`` hook (see
+:mod:`repro.protocols.base`); protocols that return ``None`` (plain 2PL,
+2PL-HP, PIP-2PL, OCC-BC, RW-PCP-A) keep the object path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+# ---------------------------------------------------------------------------
+# Decision families — which admission logic the kernel runs.
+# ---------------------------------------------------------------------------
+#: PCP-DA: LC1 writes, LC2/LC3/LC4 + Table-1 footnote reads, waiter-exempt
+#: ceilings (Lemma 8 / Theorem 2).
+FAMILY_PCPDA = 0
+#: Weak PCP-DA (Example 5): LC1 writes, naive conditions (1)/(2) reads.
+FAMILY_WEAK_PCPDA = 1
+#: RW-PCP / CCP / original PCP: grant iff P > Sysceil, blame the holders.
+FAMILY_SYSCEIL = 2
+#: IPCP: grant iff the item is free (ceiling elevation happens via the
+#: priority floor, not the admission test).
+FAMILY_IPCP = 3
+
+# ---------------------------------------------------------------------------
+# Level sources — how a locked item's current ceiling level is derived.
+# All levels are plain ints; 0 (= DUMMY_PRIORITY) means "no ceiling".
+# ---------------------------------------------------------------------------
+#: ``Wceil(x)`` while read-locked, nothing while only write-locked (PCP-DA).
+LEVEL_READ_WCEIL = 0
+#: ``Aceil(x)`` while write-locked, ``Wceil(x)`` while only read-locked
+#: (RW-PCP's runtime r/w ceiling).
+LEVEL_RW = 1
+#: ``Aceil(x)`` while locked in any mode (original PCP, IPCP).
+LEVEL_ACEIL = 2
+
+
+@dataclass(frozen=True)
+class ProtocolTable:
+    """One protocol's compiled decision table.
+
+    Attributes:
+        protocol: registry name (diagnostics only).
+        family: one of the ``FAMILY_*`` opcodes.
+        level_source: one of the ``LEVEL_*`` opcodes.
+        select_readers: whether only read holders gate the ceiling
+            exclusion test (PCP-DA semantics) or all holders do.
+        waiter_exempt: exempt transitive waiters on the requester from the
+            ceiling computations (PCP-DA's Lemma 8 machinery).
+        enable_lc3 / enable_lc4 / enable_table1: PCP-DA ablation flags.
+        write_grant_rule / write_conflict_reason: the LC1 write path
+            strings (families with a shared-read write path).
+        read_grant_rules: grant-rule strings in precedence order —
+            ("LC2","LC3","LC4") for PCP-DA, the naive conditions for weak
+            PCP-DA, and the single rule for the sysceil/IPCP families.
+        conflict_reason: denial text when the requested item itself is
+            held by another transaction (Table-1 text for PCP-DA).
+        ceiling_reason: denial text for pure ceiling blocking.
+        ceilings: the protocol's bound static ceiling table (supplies the
+            Wceil/Aceil integers the interning pass flattens).
+    """
+
+    protocol: str
+    family: int
+    level_source: int
+    select_readers: bool
+    ceilings: object
+    waiter_exempt: bool = False
+    enable_lc3: bool = True
+    enable_lc4: bool = True
+    enable_table1: bool = True
+    write_grant_rule: str = "LC1"
+    write_conflict_reason: str = (
+        "conflict blocking: write-lock denied, item is read-locked"
+    )
+    read_grant_rules: Tuple[str, ...] = ()
+    conflict_reason: str = ""
+    ceiling_reason: str = ""
+
+
+#: Denial text of the Table-1 footnote condition (must match
+#: repro.core.locking_conditions verbatim for byte-identical traces).
+TABLE1_REASON = (
+    "conflict blocking: DataRead(holder) ∩ WriteSet(requester) ≠ ∅ "
+    "(Table 1 * condition)"
+)
+#: Denial text when LC2/LC3/LC4 all fail.
+PCPDA_CEILING_REASON = "ceiling blocking: LC2/LC3/LC4 all false"
+#: Denial text of the weakened protocol's conditions (1)/(2).
+WEAK_CEILING_REASON = "ceiling blocking: conditions (1) and (2) false"

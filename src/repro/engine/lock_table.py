@@ -217,12 +217,13 @@ class CeilingIndex:
 class LockTable:
     """Mapping of item name to :class:`LockEntry`, plus per-job indexes."""
 
-    __slots__ = ("_entries", "_held_by_job", "_ceiling_index")
+    __slots__ = ("_entries", "_held_by_job", "_ceiling_index", "_kernel_state")
 
     def __init__(self) -> None:
         self._entries: Dict[str, LockEntry] = {}
         self._held_by_job: "Dict[Job, Dict[str, Set[LockMode]]]" = {}
         self._ceiling_index: Optional[CeilingIndex] = None
+        self._kernel_state = None
 
     # ------------------------------------------------------------------
     # Ceiling index
@@ -238,6 +239,13 @@ class LockTable:
     def ceiling_index(self) -> Optional[CeilingIndex]:
         """The attached :class:`CeilingIndex`, if any."""
         return self._ceiling_index
+
+    def attach_kernel_state(self, state) -> None:
+        """Install the array kernel's lock-word mirror (one per table); it
+        is rebuilt from the live entries and then notified of every
+        grant/release (see :mod:`repro.engine.kernel.core`)."""
+        self._kernel_state = state
+        state.rebuild(self)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -255,9 +263,17 @@ class LockTable:
         if job in side:
             raise ProtocolError(f"{job.name} already holds {mode} lock on {item!r}")
         side.add(job)
-        self._held_by_job.setdefault(job, {}).setdefault(item, set()).add(mode)
+        by_job = self._held_by_job.get(job)
+        if by_job is None:
+            by_job = self._held_by_job[job] = {}
+        modes = by_job.get(item)
+        if modes is None:
+            modes = by_job[item] = set()
+        modes.add(mode)
         if self._ceiling_index is not None:
             self._ceiling_index.update(item, entry)
+        if self._kernel_state is not None:
+            self._kernel_state.on_grant(job, item, mode)
 
     def release(self, job: "Job", item: str, mode: LockMode) -> None:
         """Release one lock (CCP's early unlock path)."""
@@ -277,6 +293,8 @@ class LockTable:
             del self._entries[item]
         if self._ceiling_index is not None:
             self._ceiling_index.update(item, entry)
+        if self._kernel_state is not None:
+            self._kernel_state.on_release(job, item, mode)
 
     def release_all(self, job: "Job") -> Tuple[Tuple[str, LockMode], ...]:
         """Release every lock ``job`` holds; returns what was released."""
@@ -313,6 +331,13 @@ class LockTable:
     def holds_any(self, job: "Job", item: str) -> bool:
         """Whether ``job`` holds ``item`` in any mode."""
         return bool(self._held_by_job.get(job, {}).get(item))
+
+    def held_modes(self, job: "Job", item: str) -> "Optional[Set[LockMode]]":
+        """Modes ``job`` holds on ``item`` (``None`` when none) — one dict
+        walk where a pair of ``holds()`` calls would take two (the
+        dispatcher's per-pick needs-lock test lives on this)."""
+        held = self._held_by_job.get(job)
+        return held.get(item) if held is not None else None
 
     def items_held_by(self, job: "Job") -> "Dict[str, FrozenSet[LockMode]]":
         """``{item: modes}`` for every lock ``job`` currently holds."""

@@ -31,6 +31,7 @@ from repro.engine.interfaces import (
     InstallPolicy,
 )
 from repro.engine.job import Job, JobState
+from repro.engine.kernel import build_kernel
 from repro.engine.lock_table import LockTable
 from repro.exceptions import (
     DeadlockError,
@@ -79,12 +80,19 @@ class SimConfig:
         record_sysceil: sample the global system ceiling after every event
             (the ``Max_Sysceil`` traces of Figures 4/5).
         max_events: hard cap on processed events (runaway guard).
+        kernel: answer admission decisions and ceiling samples from the
+            array kernel (:mod:`repro.engine.kernel`) when the protocol
+            compiles to a decision table; protocols without a table (and
+            ``kernel=False`` runs) use the object path.  Byte-identical
+            by construction and pinned by the golden/differential
+            batteries; under ``debug_invariants`` the object path decides
+            and every kernel answer is cross-checked against it.
         debug_invariants: after every event batch, cross-check the
             incremental scheduler state (ready heap, blocked set, active
-            index, ceiling index) against a from-scratch recomputation.
-            Slow; exists for the differential battery, which uses it to
-            prove the fast path is observationally identical to filtering
-            ``jobs`` per event.
+            index, ceiling index, kernel mirrors) against a from-scratch
+            recomputation.  Slow; exists for the differential battery,
+            which uses it to prove the fast path is observationally
+            identical to filtering ``jobs`` per event.
     """
 
     horizon: Optional[float] = None
@@ -95,6 +103,7 @@ class SimConfig:
     context_switch_overhead: float = 0.0
     record_sysceil: bool = True
     max_events: int = 1_000_000
+    kernel: bool = True
     debug_invariants: bool = False
 
     def __post_init__(self) -> None:
@@ -180,6 +189,11 @@ class Simulator:
         self._running: Optional[Job] = None
         self._run_start = 0.0
         self._locks_dirty = False
+        #: True when every active job is known to sit at its base priority
+        #: (no inheritance in effect).  Lets ``_recompute_priorities`` skip
+        #: the fixpoint entirely on uncontended stretches — by far the most
+        #: frequent case in the benchmark workloads.
+        self._prio_clean = True
         # ---- incremental scheduler state --------------------------------
         # Maintained on state transitions instead of recomputed by
         # filtering ``self.jobs`` per event; see docs/ENGINE.md
@@ -207,6 +221,52 @@ class Simulator:
         self._end_time = 0.0
         self.protocol.bind(taskset, self.table)
         self.protocol.bind_runtime(self.waits)
+        # Skip the priority-floor calls entirely for protocols using the
+        # inert default (max(base, DUMMY) is a no-op); IPCP keeps its floor.
+        self._floor = (
+            None
+            if type(self.protocol).priority_floor
+            is ConcurrencyControlProtocol.priority_floor
+            else self.protocol.priority_floor
+        )
+        # Same inert-default elision for the other per-event protocol
+        # hooks: only CCP releases early, only OCC-BC aborts at commit,
+        # and nothing in the library overrides the grant/release hooks —
+        # ``None`` here means "don't even make the call".
+        proto_type = type(self.protocol)
+        base = ConcurrencyControlProtocol
+        self._after_op = (
+            None if proto_type.after_operation is base.after_operation
+            else self.protocol.after_operation
+        )
+        self._before_commit = (
+            None if proto_type.before_commit is base.before_commit
+            else self.protocol.before_commit
+        )
+        self._on_granted = (
+            None if proto_type.on_granted is base.on_granted
+            else self.protocol.on_granted
+        )
+        self._on_release_all = (
+            None if proto_type.on_release_all is base.on_release_all
+            else self.protocol.on_release_all
+        )
+        # ---- array kernel ----------------------------------------------
+        self.kernel = (
+            build_kernel(self.protocol, self.table, self.waits)
+            if self.config.kernel
+            else None
+        )
+        if self.kernel is None:
+            self._decide = self.protocol.decide
+            self._sysceil = self.protocol.system_ceiling
+        elif self.config.debug_invariants:
+            # Reference path decides; every kernel answer is cross-checked.
+            self._decide = self._decide_checked
+            self._sysceil = self._sysceil_checked
+        else:
+            self._decide = self.kernel.decide
+            self._sysceil = self.kernel.system_ceiling
 
         if (
             self.config.on_miss == "abort"
@@ -278,25 +338,33 @@ class Simulator:
             raise SimulationError("advance() before start()")
         if self._finalized:
             raise SimulationError("simulation already finalized")
-        while self.queue:
-            if self._events_processed >= self.config.max_events:
+        # Loop-invariant lookups, hoisted: the body runs once per calendar
+        # event and these attribute chains show up in profiles.
+        queue = self.queue
+        max_events = self.config.max_events
+        horizon = self._horizon
+        record_sysceil = self.config.record_sysceil
+        debug_invariants = self.config.debug_invariants
+        while queue:
+            if self._events_processed >= max_events:
                 raise SimulationError(
-                    f"event cap ({self.config.max_events}) exceeded; "
+                    f"event cap ({max_events}) exceeded; "
                     "likely a livelock in the protocol under test"
                 )
-            next_time = self.queue.peek_time()
+            next_time = queue.peek_time()
             if (
-                self._horizon is not None
+                horizon is not None
                 and next_time is not None
-                and next_time > self._horizon + _EPS
+                and next_time > horizon + _EPS
             ):
                 break
             if until is not None and next_time is not None and next_time > until + _EPS:
                 break
-            event = self.queue.pop()
+            event = queue.pop()
             self._events_processed += 1
             now = event.time
-            self._end_time = max(self._end_time, now)
+            if now > self._end_time:
+                self._end_time = now
             self._charge_running(now)
             self._handle(event)
             # Drain every event scheduled for this same instant before
@@ -306,10 +374,10 @@ class Simulator:
             # whose operation completed at t must not request its next
             # lock until same-time arrivals have been released.
             while self._halted is None:
-                next_time = self.queue.peek_time()
+                next_time = queue.peek_time()
                 if next_time is None or next_time > now + _EPS:
                     break
-                same_time_event = self.queue.pop()
+                same_time_event = queue.pop()
                 self._events_processed += 1
                 self._handle(same_time_event)
             if self._halted is not None:
@@ -317,11 +385,11 @@ class Simulator:
             self._dispatch(now)
             if self._halted is not None:
                 break
-            if self.config.record_sysceil:
-                self.trace.sysceil(now, self.protocol.system_ceiling(None))
-            if self.config.debug_invariants:
+            if record_sysceil:
+                self.trace.sysceil(now, self._sysceil(None))
+            if debug_invariants:
                 self._verify_incremental_state()
-        return self.queue.now
+        return queue.now
 
     def finalize(self) -> SimulationResult:
         """Close the run (horizon accounting) and build the result."""
@@ -364,7 +432,7 @@ class Simulator:
         """Add/refresh the heap entry for a job that is (now) READY."""
         self._ready_pushes += 1
         heapq.heappush(
-            self._ready_heap, (job.dispatch_key(), self._ready_pushes, job)
+            self._ready_heap, (job.dkey, self._ready_pushes, job)
         )
 
     def _peek_ready(self) -> Optional[Job]:
@@ -372,7 +440,7 @@ class Simulator:
         heap = self._ready_heap
         while heap:
             key, _, job = heap[0]
-            if job.state is JobState.READY and key == job.dispatch_key():
+            if job.state is JobState.READY and key == job.dkey:
                 return job
             heapq.heappop(heap)
         return None
@@ -419,6 +487,44 @@ class Simulator:
         index = self.table.ceiling_index
         if index is not None:
             index.self_check()
+        if self.kernel is not None:
+            self.kernel.self_check()
+
+    # ------------------------------------------------------------------
+    # Kernel cross-checking (debug_invariants only)
+    # ------------------------------------------------------------------
+    def _decide_checked(self, job: Job, item: str, mode: LockMode):
+        """Object-path decision, with the kernel's answer asserted equal
+        field-by-field (the per-request half of the differential battery;
+        the object decision is the one acted on)."""
+        reference = self.protocol.decide(job, item, mode)
+        fast = self.kernel.decide(job, item, mode)
+        mismatch = type(fast) is not type(reference)
+        if not mismatch:
+            if isinstance(reference, Grant):
+                mismatch = fast.rule != reference.rule
+            else:  # the kernel never emits AbortAndGrant
+                mismatch = (
+                    fast.blockers != reference.blockers
+                    or fast.reason != reference.reason
+                    or fast.inherit != reference.inherit
+                )
+        if mismatch:
+            raise SimulationError(
+                f"kernel decision diverged for {job.name}/{item}/{mode}: "
+                f"kernel={fast!r} reference={reference!r}"
+            )
+        return reference
+
+    def _sysceil_checked(self, exclude: Optional[Job]) -> int:
+        reference = self.protocol.system_ceiling(exclude)
+        fast = self.kernel.system_ceiling(exclude)
+        if fast != reference:
+            raise SimulationError(
+                f"kernel system ceiling diverged: "
+                f"kernel={fast} reference={reference}"
+            )
+        return reference
 
     # ------------------------------------------------------------------
     # Time accounting
@@ -477,7 +583,8 @@ class Simulator:
         if self._running is job:
             self._running = None
         self.table.release_all(job)
-        self.protocol.on_release_all(job)
+        if self._on_release_all is not None:
+            self._on_release_all(job)
         self.waits.forget(job)
         self._recompute_priorities()
         job.workspace.discard()
@@ -507,13 +614,14 @@ class Simulator:
         job.pc += 1
         job.op_started = False
 
-        released_early = False
-        for item, mode in self.protocol.after_operation(job, op_index):
-            self.table.release(job, item, mode)
-            released_early = True
-            self._locks_dirty = True
-        if released_early:
-            self._recompute_priorities()
+        if self._after_op is not None:
+            released_early = False
+            for item, mode in self._after_op(job, op_index):
+                self.table.release(job, item, mode)
+                released_early = True
+                self._locks_dirty = True
+            if released_early:
+                self._recompute_priorities()
 
         if job.finished_program:
             self._commit(job, now)
@@ -531,9 +639,10 @@ class Simulator:
             job.workspace.buffer_write(item, value)
 
     def _commit(self, job: Job, now: float) -> None:
-        victims = self.protocol.before_commit(job)
-        if victims:
-            self._apply_aborts(victims, job, now)
+        if self._before_commit is not None:
+            victims = self._before_commit(job)
+            if victims:
+                self._apply_aborts(victims, job, now)
         if self.protocol.install_policy is InstallPolicy.AT_COMMIT:
             # Deferred writes install as deterministic functions of the
             # job's committed reads (see repro.db.values) so that the
@@ -545,7 +654,8 @@ class Simulator:
                 self.history.record_install(job.name, item, version.seq, now)
         self.history.record_commit(job.name, now)
         self.table.release_all(job)
-        self.protocol.on_release_all(job)
+        if self._on_release_all is not None:
+            self._on_release_all(job)
         self.waits.forget(job)
         self._recompute_priorities()
         job.state = JobState.COMMITTED
@@ -571,10 +681,10 @@ class Simulator:
         if mode is None:
             return None
         assert op.item is not None
-        if self.table.holds(job, op.item, mode):
+        held = self.table.held_modes(job, op.item)
+        if held is not None and (mode in held or LockMode.WRITE in held):
+            # Already holds the mode — or reads an item it write-locked.
             return None
-        if mode is LockMode.READ and self.table.holds(job, op.item, LockMode.WRITE):
-            return None  # read of an item the job itself write-locked
         return (op.item, mode)
 
     def _start_op(self, job: Job, now: float) -> None:
@@ -604,7 +714,8 @@ class Simulator:
         blockers: Tuple[str, ...] = (),
     ) -> None:
         self.table.grant(job, item, mode)
-        self.protocol.on_granted(job, item, mode)
+        if self._on_granted is not None:
+            self._on_granted(job, item, mode)
         # A grant can raise the holder's priority floor (IPCP-style
         # ceiling elevation), so priorities are refreshed immediately.
         self._recompute_priorities()
@@ -661,7 +772,8 @@ class Simulator:
             if victim.state is JobState.BLOCKED:
                 victim.end_block(now)
             self.table.release_all(victim)
-            self.protocol.on_release_all(victim)
+            if self._on_release_all is not None:
+                self._on_release_all(victim)
             self.waits.forget(victim)
             self.history.record_abort(victim.name, now)
             if self._running is victim:
@@ -698,10 +810,27 @@ class Simulator:
         # filter over ``self.jobs`` it replaced — the order in which
         # priority changes are recorded is part of the trace format.
         active = self._active
+        if self._floor is None and not self.waits.has_edges:
+            # No floor and no wait edge: the fixpoint degenerates to
+            # "everyone at base".  When the previous pass already left
+            # priorities there (``_prio_clean``), there is nothing to do;
+            # otherwise reset-and-record is the whole recompute.
+            if self._prio_clean:
+                return
+            now = self.queue.now
+            for job in active:
+                base = job.base_priority
+                if job.running_priority != base:
+                    job.running_priority = base
+                    job.dkey = (-base, job.arrival, job.seq)
+                    self.trace.priority(now, job.name, base)
+                    if job.state is JobState.READY:
+                        self._push_ready(job)
+            self._prio_clean = True
+            return
+        self._prio_clean = False
         before = [(j, j.running_priority) for j in active]
-        self.waits.recompute_priorities(
-            active, floor=self.protocol.priority_floor
-        )
+        self.waits.recompute_priorities(active, floor=self._floor)
         now = self.queue.now
         for job, prev in before:
             if job.running_priority != prev:
@@ -769,7 +898,7 @@ class Simulator:
             if (
                 running is not None
                 and running.state is JobState.RUNNING
-                and (best is None or running.dispatch_key() < best.dispatch_key())
+                and (best is None or running.dkey < best.dkey)
             ):
                 best = running
             if best is None:
@@ -780,7 +909,7 @@ class Simulator:
                     self._start_op(best, now)
                 return best
             item, mode = need
-            decision = self.protocol.decide(best, item, mode)
+            decision = self._decide(best, item, mode)
             if isinstance(decision, Grant):
                 self._apply_grant(best, item, mode, decision.rule, now)
                 return best

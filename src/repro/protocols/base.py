@@ -74,6 +74,28 @@ class CeilingProtocolBase(ConcurrencyControlProtocol):
         the protocol has no ceiling queries worth accelerating)."""
         return None
 
+    # ------------------------------------------------------------------
+    # Array-kernel compilation
+    # ------------------------------------------------------------------
+    def _compile_sysceil_table(
+        self, level_source: int, conflict_reason: str
+    ):
+        """Shared ``compile_table()`` body for the P>Sysceil family
+        (RW-PCP, CCP, original PCP): only the level semantics and the
+        conflict-denial text differ between them."""
+        from repro.engine.kernel.tables import FAMILY_SYSCEIL, ProtocolTable
+
+        return ProtocolTable(
+            protocol=self.name,
+            family=FAMILY_SYSCEIL,
+            level_source=level_source,
+            select_readers=False,
+            ceilings=self.ceilings,
+            read_grant_rules=("P>Sysceil",),
+            conflict_reason=conflict_reason,
+            ceiling_reason="ceiling blocking: P <= Sysceil",
+        )
+
     def _scan_sysceil_and_holders(
         self, exclude: "Optional[Job]"
     ) -> Optional[Tuple[int, Tuple["Job", ...]]]:
@@ -87,10 +109,14 @@ class CeilingProtocolBase(ConcurrencyControlProtocol):
         level, items = index.scan(excluded)
         if level is None:
             return DUMMY_PRIORITY, ()
+        # Membership via a set: the ``job not in holders`` list scan this
+        # replaces was quadratic in the holder count.
+        seen: "set" = set()
         holders: "List[Job]" = []
         for item in items:
             for job in self.table.holders_of(item):
-                if job is not exclude and job not in holders:
+                if job is not exclude and job not in seen:
+                    seen.add(job)
                     holders.append(job)
         return level, tuple(sorted(holders, key=lambda j: j.seq))
 

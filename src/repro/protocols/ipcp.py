@@ -24,7 +24,7 @@ The worst-case analysis is the original PCP's (``bts_original_pcp``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 from repro.engine.interfaces import Deny, Grant, InstallPolicy
 from repro.engine.lock_table import CeilingIndex
@@ -50,6 +50,12 @@ class IPCP(CeilingProtocolBase):
     deadlock_free_requires_scheduler = True
     _index_kind = "aceil"
 
+    def __init__(self) -> None:
+        super().__init__()
+        #: Per-job running maximum of held-lock ceilings (see
+        #: :meth:`priority_floor` for why this cache is exact).
+        self._floor_of: "Dict[Job, int]" = {}
+
     def _make_ceiling_index(self) -> CeilingIndex:
         aceil = self.ceilings.aceil
 
@@ -63,15 +69,23 @@ class IPCP(CeilingProtocolBase):
         """The job runs at least at the highest ceiling it holds.
 
         Called for every active job on every priority recomputation, so
-        it iterates the per-job lock index without building new sets.
+        the answer is served from :attr:`_floor_of` — a per-job running
+        maximum bumped on every grant and cleared when the job's locks go
+        away together.  The cache is exact because IPCP never releases a
+        single lock early (no ``after_operation``): a job's held-ceiling
+        maximum only grows until ``on_release_all`` resets it.
         """
-        return max(
-            (
-                self.ceilings.aceil(item)
-                for item in self.table.iter_items_held_by(job)
-            ),
-            default=DUMMY_PRIORITY,
-        )
+        return self._floor_of.get(job, DUMMY_PRIORITY)
+
+    def on_granted(self, job: "Job", item: str, mode: LockMode) -> None:
+        """Bump the job's cached priority floor to the item's ceiling."""
+        level = self.ceilings.aceil(item)
+        if level > self._floor_of.get(job, DUMMY_PRIORITY):
+            self._floor_of[job] = level
+
+    def on_release_all(self, job: "Job") -> None:
+        """Drop the cached floor with the job's last lock."""
+        self._floor_of.pop(job, None)
 
     def decide(self, job: "Job", item: str, mode: LockMode):
         holders = self.table.holders_of(item) - {job}
@@ -94,3 +108,23 @@ class IPCP(CeilingProtocolBase):
         for item in self.table.locked_items(exclude=exclude):
             level = max(level, self.ceilings.aceil(item))
         return level
+
+    def compile_table(self):
+        """IPCP for the array kernel: grant iff the item is free; the
+        ceiling shows up through :meth:`priority_floor` (object-side),
+        while the Aceil levels back the ``system_ceiling`` samples."""
+        from repro.engine.kernel.tables import (
+            FAMILY_IPCP,
+            LEVEL_ACEIL,
+            ProtocolTable,
+        )
+
+        return ProtocolTable(
+            protocol=self.name,
+            family=FAMILY_IPCP,
+            level_source=LEVEL_ACEIL,
+            select_readers=False,
+            ceilings=self.ceilings,
+            read_grant_rules=("ceiling-elevated",),
+            conflict_reason="conflict blocking: item held (unexpected under IPCP)",
+        )

@@ -87,3 +87,12 @@ class OriginalPCP(CeilingProtocolBase):
     def system_ceiling(self, exclude: "Optional[Job]" = None) -> int:
         level, _ = self._sysceil_and_holders(exclude)
         return level
+
+    def compile_table(self):
+        """Original PCP for the array kernel: every lock is exclusive and
+        raises ``Aceil`` under the P>Sysceil rule."""
+        from repro.engine.kernel.tables import LEVEL_ACEIL
+
+        return self._compile_sysceil_table(
+            LEVEL_ACEIL, "conflict blocking: item locked (exclusive access)"
+        )

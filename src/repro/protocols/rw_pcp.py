@@ -127,3 +127,14 @@ class RWPCP(CeilingProtocolBase):
     def system_ceiling(self, exclude: "Optional[Job]" = None) -> int:
         level, _ = self._sysceil_and_holders(exclude)
         return level
+
+    def compile_table(self):
+        """RW-PCP for the array kernel: the runtime r/w ceiling (Aceil
+        while write-locked, Wceil otherwise) under the P>Sysceil rule.
+        CCP inherits this table — its early-unlock hook stays object-side
+        and only changes *when* locks are released, not the admission."""
+        from repro.engine.kernel.tables import LEVEL_RW
+
+        return self._compile_sysceil_table(
+            LEVEL_RW, "conflict blocking: item locked and P <= Sysceil"
+        )

@@ -54,3 +54,8 @@ class RWPCPAbort(RWPCP):
             else "ceiling blocking: P <= Sysceil"
         )
         return Deny(holders, reason)
+
+    def compile_table(self):
+        """Object path: the abort branch above diverges from the RW-PCP
+        table this class would otherwise inherit."""
+        return None

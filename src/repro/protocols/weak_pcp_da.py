@@ -69,3 +69,21 @@ class WeakPCPDA(CeilingProtocolBase):
 
     def system_ceiling(self, exclude: "Optional[Job]" = None) -> int:
         return system_ceiling(self.table, self.ceilings, exclude)
+
+    def compile_table(self):
+        """Same ceilings as full PCP-DA, but the naive conditions (1)/(2)
+        and no waiter exemption (which is why it deadlocks)."""
+        from repro.engine.kernel.tables import (
+            FAMILY_WEAK_PCPDA,
+            LEVEL_READ_WCEIL,
+            ProtocolTable,
+        )
+
+        return ProtocolTable(
+            protocol=self.name,
+            family=FAMILY_WEAK_PCPDA,
+            level_source=LEVEL_READ_WCEIL,
+            select_readers=True,
+            ceilings=self.ceilings,
+            read_grant_rules=("cond(1) P>Sysceil", "cond(2) P>=HPW"),
+        )

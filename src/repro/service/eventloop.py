@@ -1,0 +1,50 @@
+"""Opt-in uvloop support for the service entry points.
+
+uvloop is a drop-in libuv-based replacement for the stock asyncio event
+loop that roughly halves per-request loop overhead under socket-heavy
+load.  It is an *optional* accelerator, never a dependency: ``repro
+serve --uvloop`` / ``repro loadgen --uvloop`` request it, and when the
+package is not installed the request degrades to the stock loop with a
+one-line notice instead of an error — deployments pick up the speedup
+where available and behave identically everywhere else.
+
+The active implementation is surfaced as the ``event_loop`` field of the
+``stats`` payload, so a remote client can tell which loop a server is
+actually running.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+
+def install_uvloop(requested: bool) -> str:
+    """Install uvloop's event-loop policy when requested and available.
+
+    Returns the implementation that will actually drive ``asyncio.run``
+    afterwards: ``"uvloop"`` on success, ``"asyncio"`` when not requested
+    or when uvloop is not installed (the fallback prints a one-line
+    notice to stderr — the run proceeds on the stock loop).
+    """
+    if not requested:
+        return "asyncio"
+    try:
+        import uvloop
+    except ImportError:
+        print(
+            "uvloop requested but not installed; using the stock asyncio "
+            "event loop",
+            file=sys.stderr,
+        )
+        return "asyncio"
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return "uvloop"
+
+
+def loop_implementation() -> str:
+    """The event-loop implementation the current policy will produce
+    (``"uvloop"`` or ``"asyncio"``); feeds the ``stats`` payload."""
+    policy = asyncio.get_event_loop_policy()
+    module = type(policy).__module__ or ""
+    return "uvloop" if module.split(".")[0] == "uvloop" else "asyncio"

@@ -86,6 +86,7 @@ from repro.engine.interfaces import (
     InstallPolicy,
 )
 from repro.engine.job import Job
+from repro.engine.kernel import build_kernel
 from repro.engine.lock_table import LockTable
 from repro.engine.simulator import SimulationResult
 from repro.exceptions import (
@@ -100,6 +101,7 @@ from repro.exceptions import (
 from repro.model.spec import LockMode, TaskSet
 from repro.model.validation import validate_taskset
 from repro.protocols import make_protocol
+from repro.service.eventloop import loop_implementation
 from repro.service.stats import ServiceStats
 from repro.trace.recorder import LockOutcome, SchedEventKind, TraceRecorder
 
@@ -143,6 +145,12 @@ class ServiceConfig:
             the simulator provides, so the service holds every lock to
             commit unless explicitly asked to reproduce simulator
             behaviour.
+        kernel: serve admissions from the array kernel
+            (:mod:`repro.engine.kernel`) when the protocol compiles to a
+            decision table; the object path remains the reference.  The
+            grant/deny behaviour is identical by construction (the
+            simulator's golden corpus and the service differential battery
+            both pin it), so this is purely a throughput switch.
     """
 
     max_sessions: Optional[int] = None
@@ -150,6 +158,7 @@ class ServiceConfig:
     deadlock_action: str = "abort_lowest"
     record_sysceil: bool = True
     honor_early_release: bool = False
+    kernel: bool = True
 
     def __post_init__(self) -> None:
         if self.deadlock_action not in ("abort_lowest", "raise"):
@@ -244,6 +253,27 @@ class LockManager:
         self.stats = ServiceStats()
         self.protocol.bind(catalog, self.table)
         self.protocol.bind_runtime(self.waits)
+        #: Array kernel serving decide/system_ceiling when the protocol
+        #: compiles to a table; ``None`` keeps the object path.
+        self.kernel = (
+            build_kernel(self.protocol, self.table, self.waits)
+            if self.config.kernel
+            else None
+        )
+        if self.kernel is not None:
+            self._decide = self.kernel.decide
+            self._sysceil = self.kernel.system_ceiling
+        else:
+            self._decide = self.protocol.decide
+            self._sysceil = self.protocol.system_ceiling
+        # Skip priority_floor calls for protocols using the inert default
+        # (recompute_priorities then resets to base without N floor calls).
+        self._floor = (
+            None
+            if type(self.protocol).priority_floor
+            is ConcurrencyControlProtocol.priority_floor
+            else self.protocol.priority_floor
+        )
 
         self._sessions: Dict[int, Session] = {}
         self._by_job: Dict[Job, Session] = {}
@@ -454,6 +484,10 @@ class LockManager:
         """Currently live (active or waiting) sessions, oldest first."""
         return tuple(self._live)
 
+    def system_ceiling(self) -> int:
+        """The current global system ceiling (kernel-backed when active)."""
+        return self._sysceil(None)
+
     def stats_document(self) -> Dict[str, Any]:
         """The ``stats`` command payload: counters + live-state gauges."""
         doc = self.stats.to_dict()
@@ -461,7 +495,9 @@ class LockManager:
         doc["waiting_sessions"] = len(self._waiters)
         doc["protocol"] = self.protocol.name
         doc["uptime_s"] = self.now()
-        doc["system_ceiling"] = self.protocol.system_ceiling(None)
+        doc["system_ceiling"] = self.system_ceiling()
+        doc["decision_path"] = "kernel" if self.kernel is not None else "object"
+        doc["event_loop"] = loop_implementation()
         return doc
 
     def history_events(self) -> List[Dict[str, Any]]:
@@ -653,10 +689,10 @@ class LockManager:
                 self._service_grant_queue()
             raise
 
-    def _service_decide(
+    def _order_guard(
         self, job: Job, item: str, mode: LockMode
-    ) -> Union[Grant, AbortAndGrant, Deny]:
-        """The protocol's decision, tightened by the order guard.
+    ) -> Optional[Deny]:
+        """The service-level guard decision, or ``None`` to pass through.
 
         A read of an item inside a live transitive ``≺``-predecessor's
         write set must wait: granting it would let the requester observe
@@ -664,19 +700,30 @@ class LockManager:
         overwrite (or would close a cycle in the constraint graph).  This
         is the Table-1 footnote condition applied forward in time.
         """
-        if mode is LockMode.READ:
-            guard = tuple(sorted(
-                (p for p in self._transitive_preds(job)
-                 if item in p.spec.write_set),
-                key=lambda j: j.seq,
-            ))
-            if guard:
-                return Deny(
-                    guard,
-                    "order guard: item is writable by a transaction "
-                    "serialized before the requester",
-                )
-        return self.protocol.decide(job, item, mode)
+        if mode is not LockMode.READ or not self._pred:
+            return None
+        guard = tuple(sorted(
+            (p for p in self._transitive_preds(job)
+             if item in p.spec.write_set),
+            key=lambda j: j.seq,
+        ))
+        if guard:
+            return Deny(
+                guard,
+                "order guard: item is writable by a transaction "
+                "serialized before the requester",
+            )
+        return None
+
+    def _service_decide(
+        self, job: Job, item: str, mode: LockMode
+    ) -> Union[Grant, AbortAndGrant, Deny]:
+        """The protocol's decision (kernel or object path), tightened by
+        the order guard (see :meth:`_order_guard`)."""
+        guard = self._order_guard(job, item, mode)
+        if guard is not None:
+            return guard
+        return self._decide(job, item, mode)
 
     def _transitive_preds(self, job: Job) -> Set[Job]:
         """All live jobs serialized before ``job`` (transitively)."""
@@ -764,14 +811,15 @@ class LockManager:
         progressed = True
         while progressed and self._waiters:
             progressed = False
-            for waiter in sorted(
-                self._waiters.values(), key=self._grant_queue_order
-            ):
-                if waiter.future.done():
-                    continue  # being cleaned up by its own coroutine
+            ordered = [
+                w for w in sorted(
+                    self._waiters.values(), key=self._grant_queue_order
+                )
+                if not w.future.done()  # done: cleaned up by its own coro
+            ]
+            decisions = self._decide_queue(ordered)
+            for waiter, decision in zip(ordered, decisions):
                 session = waiter.session
-                job = session.job
-                decision = self._service_decide(job, waiter.item, waiter.mode)
                 now = self.now()
                 if isinstance(decision, Grant):
                     self._pop_waiter(session)
@@ -792,17 +840,6 @@ class LockManager:
                     progressed = True
                     break
                 assert isinstance(decision, Deny)
-                # Still parked: refresh the blame so inheritance tracks the
-                # *current* holders (the open block interval keeps its
-                # original start — the wait is one interval).
-                waiter.reason = decision.reason
-                self.waits.block(job, decision.blockers, inherit=decision.inherit)
-                if job.block_intervals and job.block_intervals[-1].end is None:
-                    last = job.block_intervals[-1]
-                    last.blockers = tuple(
-                        sorted(b.name for b in decision.blockers)
-                    )
-                    last.reason = decision.reason
         self._recompute_priorities()
         # Blocker refreshes above can *redirect* wait edges (the denial's
         # blame set tracks the current holders), so a cycle can appear
@@ -810,6 +847,62 @@ class LockManager:
         # redirected waiters could starve each other forever.
         if self._waiters:
             self._check_deadlock(None)
+
+    def _decide_queue(self, ordered: List[_Waiter]) -> List[
+        Union[Grant, AbortAndGrant, Deny]
+    ]:
+        """Decisions for one grant-queue pass, stopping after the first
+        non-``Deny``; every denial's blame is refreshed *before* the next
+        waiter is decided (the new inheritance edges feed the next
+        decision's transitive-waiter exemption).
+
+        With the kernel active this is one :meth:`Kernel.decide_batch`
+        call — the order guard rides along as a per-request pre-decision,
+        and the blame refresh plugs into the batch's ``on_deny`` hook.
+        """
+        if self.kernel is not None:
+            requests = []
+            for waiter in ordered:
+                job = waiter.session.job
+                guard = self._order_guard(job, waiter.item, waiter.mode)
+                if guard is None:
+                    requests.append((job, waiter.item, waiter.mode))
+                else:
+                    requests.append((job, waiter.item, waiter.mode, guard))
+            # Denials are exactly the processed prefix of ``ordered`` (the
+            # batch stops at the first grant), so the callback walks the
+            # same list in lock-step.
+            denied = iter(ordered)
+            return self.kernel.decide_batch(
+                requests,
+                on_deny=lambda request, decision: self._refresh_blame(
+                    next(denied), decision
+                ),
+            )
+        out: List[Union[Grant, AbortAndGrant, Deny]] = []
+        for waiter in ordered:
+            decision = self._service_decide(
+                waiter.session.job, waiter.item, waiter.mode
+            )
+            out.append(decision)
+            if not isinstance(decision, Deny):
+                break
+            self._refresh_blame(waiter, decision)
+        return out
+
+    def _refresh_blame(self, waiter: _Waiter, decision: Deny) -> None:
+        """Point a still-parked waiter's blame at the *current* holders
+        (the open block interval keeps its original start — one wait is
+        one interval)."""
+        waiter.reason = decision.reason
+        job = waiter.session.job
+        self.waits.block(job, decision.blockers, inherit=decision.inherit)
+        if job.block_intervals and job.block_intervals[-1].end is None:
+            last = job.block_intervals[-1]
+            last.blockers = tuple(
+                sorted(b.name for b in decision.blockers)
+            )
+            last.reason = decision.reason
 
     def _pop_waiter(self, session: Session) -> Optional[_Waiter]:
         """Remove a session's grant-queue entry and close its wait.
@@ -980,6 +1073,8 @@ class LockManager:
         self.table.release_all(job)
         self.protocol.on_release_all(job)
         self.waits.forget(job)
+        if self.kernel is not None:
+            self.kernel.retire(job)
         job.workspace.discard()
         session.state = SessionState.ABORTED
         session.abort_reason = reason
@@ -998,6 +1093,8 @@ class LockManager:
         self.table.release_all(job)
         self.protocol.on_release_all(job)
         self.waits.forget(job)
+        if self.kernel is not None:
+            self.kernel.retire(job)
         session.state = state
         self._live.pop(session, None)
         self._drop_constraints(job)
@@ -1068,9 +1165,7 @@ class LockManager:
     def _recompute_priorities(self) -> None:
         active_jobs = [s.job for s in self._live]
         before = [(j, j.running_priority) for j in active_jobs]
-        self.waits.recompute_priorities(
-            active_jobs, floor=self.protocol.priority_floor
-        )
+        self.waits.recompute_priorities(active_jobs, floor=self._floor)
         now = self.now()
         for job, prev in before:
             if job.running_priority != prev:
@@ -1078,4 +1173,4 @@ class LockManager:
 
     def _sample_sysceil(self) -> None:
         if self.config.record_sysceil:
-            self.trace.sysceil(self.now(), self.protocol.system_ceiling(None))
+            self.trace.sysceil(self.now(), self._sysceil(None))

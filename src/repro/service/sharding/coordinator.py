@@ -466,9 +466,7 @@ class ShardedLockManager:
             sum(len(shard._waiters) for shard in self.shards)
             + len(self._coord_waits)
         )
-        ceilings = [
-            shard.protocol.system_ceiling(None) for shard in self.shards
-        ]
+        ceilings = [shard.system_ceiling() for shard in self.shards]
         known = [c for c in ceilings if c is not None]
         doc["system_ceiling"] = max(known) if known else None
         assignment = self.partitioner.assignment(self.catalog.items)

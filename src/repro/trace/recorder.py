@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.model.spec import LockMode
 
 
@@ -30,7 +31,7 @@ class SchedEventKind(enum.Enum):
     HORIZON = "horizon"
 
 
-@dataclass(frozen=True)
+@dataclass(**DATACLASS_SLOTS)
 class SchedEvent:
     """One scheduling event.
 
@@ -50,7 +51,7 @@ class LockOutcome(enum.Enum):
     ABORT_GRANTED = "abort_granted"  # granted after aborting victims
 
 
-@dataclass(frozen=True)
+@dataclass(**DATACLASS_SLOTS)
 class LockEvent:
     """One protocol decision.
 
@@ -74,7 +75,7 @@ class LockEvent:
     blockers: Tuple[str, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(**DATACLASS_SLOTS)
 class ExecSegment:
     """A half-open interval [start, end) during which ``job`` ran on the CPU."""
 
@@ -94,6 +95,9 @@ class TraceRecorder:
         #: (time, job, new running priority) — recorded whenever priority
         #: inheritance (or an IPCP ceiling floor) changes a job's level.
         self.priority_changes: List[Tuple[float, str, int]] = []
+        #: Last recorded level per job — the duplicate-collapse test in
+        #: :meth:`priority` without scanning the stream backwards.
+        self._last_priority: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Scheduling stream
@@ -133,13 +137,13 @@ class TraceRecorder:
         """Record a CPU slice; adjacent slices of the same job coalesce."""
         if end <= start:
             return
-        if self.segments and self.segments[-1].job == job and (
-            abs(self.segments[-1].end - start) < 1e-12
-        ):
-            last = self.segments[-1]
-            self.segments[-1] = ExecSegment(job, last.start, end)
-        else:
-            self.segments.append(ExecSegment(job, start, end))
+        segments = self.segments
+        if segments:
+            last = segments[-1]
+            if last.job == job and abs(last.end - start) < 1e-12:
+                last.end = end  # coalesce in place
+                return
+        segments.append(ExecSegment(job, start, end))
 
     # ------------------------------------------------------------------
     # Priority stream
@@ -147,11 +151,9 @@ class TraceRecorder:
     def priority(self, time: float, job: str, level: int) -> None:
         """Record a running-priority change; consecutive duplicates for
         the same job collapse."""
-        for prev_time, prev_job, prev_level in reversed(self.priority_changes):
-            if prev_job == job:
-                if prev_level == level:
-                    return
-                break
+        if self._last_priority.get(job) == level:
+            return
+        self._last_priority[job] = level
         self.priority_changes.append((time, job, level))
 
     def priority_history(self, job: str) -> List[Tuple[float, int]]:

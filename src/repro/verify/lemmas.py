@@ -47,6 +47,12 @@ class LemmaCheckingPCPDA(PCPDA):
 
     name = "pcp-da-checked"
 
+    def compile_table(self):
+        """Opt out of the array kernel: the whole point of this protocol
+        is that ``decide()`` runs the lemma assertions, so the engine must
+        not route decisions around it."""
+        return None
+
     # ------------------------------------------------------------------
     # Helpers over the live lock table
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ is made, and say so in the commit message.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import pathlib
@@ -127,8 +128,16 @@ def run_case(
     build: Callable[[], object],
     protocol: str,
     config: Optional[SimConfig],
+    *,
+    kernel: Optional[bool] = None,
 ) -> str:
-    """Simulate one corpus case and return its canonical JSON trace."""
+    """Simulate one corpus case and return its canonical JSON trace.
+
+    ``kernel`` overrides :attr:`SimConfig.kernel` (the array-kernel vs
+    object-path switch); ``None`` keeps the case's configured default.
+    """
+    if kernel is not None:
+        config = dataclasses.replace(config or SimConfig(), kernel=kernel)
     result = Simulator(build(), make_protocol(protocol), config).run()
     return result_to_json(result)
 

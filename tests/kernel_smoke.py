@@ -1,0 +1,59 @@
+"""Kernel-vs-reference smoke equivalence (the ``make kernel-smoke`` gate).
+
+Runs a representative slice of the golden-trace corpus twice — once on
+the array kernel (``SimConfig(kernel=True)``), once on the object
+reference path — and demands byte-identical ``result_to_json`` output.
+Socket-free and finishes in seconds; ``make verify`` runs it so a kernel
+divergence is caught before the full batteries even start.
+
+The slice covers every compiled table family (PCP-DA, weak PCP-DA, the
+Sysceil family via RW-PCP/CCP/PCP, and IPCP) plus one fallback protocol
+(2PL-HP) where both runs take the object path by construction.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.kernel_smoke
+"""
+
+from __future__ import annotations
+
+import sys
+
+from tests.golden_traces import CORPUS, run_case
+
+#: Corpus case names exercised by the smoke gate (one per table family,
+#: plus deadlock halting, contention, and a fallback protocol).
+SMOKE_CASES = (
+    "example1/pcp-da",
+    "example1/rw-pcp",
+    "example1/ccp",
+    "example1/pcp",
+    "example1/ipcp",
+    "example4/pcp-da",
+    "example5/weak-pcp-da-halt",
+    "workload-hot/pcp-da",
+    "workload-hot/2pl-hp",
+)
+
+
+def main() -> int:
+    """Run the smoke slice in both modes; non-zero exit on divergence."""
+    cases = {name: (build, proto, config)
+             for name, build, proto, config in CORPUS}
+    failures = 0
+    for name in SMOKE_CASES:
+        build, proto, config = cases[name]
+        fast = run_case(name, build, proto, config, kernel=True)
+        reference = run_case(name, build, proto, config, kernel=False)
+        ok = fast == reference
+        failures += not ok
+        print(f"{'ok  ' if ok else 'FAIL'} {name}")
+    if failures:
+        print(f"kernel smoke: {failures}/{len(SMOKE_CASES)} cases diverged")
+        return 1
+    print(f"kernel smoke: {len(SMOKE_CASES)} cases byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,11 +36,16 @@ def test_corpus_and_golden_file_agree_on_case_names():
     )
 
 
+@pytest.mark.parametrize("kernel", [True, False], ids=["kernel", "object"])
 @pytest.mark.parametrize("name", CASE_NAMES)
-def test_trace_is_byte_identical_to_seed_engine(name):
+def test_trace_is_byte_identical_to_seed_engine(name, kernel):
+    """Both the array-kernel path and the object reference path must
+    reproduce the seed engine's traces byte-for-byte — which also proves
+    the two paths identical to *each other* on every corpus case."""
     build, proto, config = _CASES[name]
-    assert trace_digest(run_case(name, build, proto, config)) == _GOLDEN[name], (
-        f"{name}: trace diverged from the seed engine "
+    live = run_case(name, build, proto, config, kernel=kernel)
+    assert trace_digest(live) == _GOLDEN[name], (
+        f"{name} (kernel={kernel}): trace diverged from the seed engine "
         f"(see {HASH_FILE} and tests/golden_traces.py)"
     )
 

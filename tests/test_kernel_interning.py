@@ -1,0 +1,132 @@
+"""Property tests for the array kernel's interning layer.
+
+The kernel's correctness rests on the id maps being true bijections while
+a job is live: item ids must round-trip through names, job slots through
+job objects, and bitset words through job lists.  Slot recycling (the
+service churns through sessions) must preserve all of that for the jobs
+still live.  Hypothesis drives random task-set shapes and random
+intern/retire interleavings.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ceilings import CeilingTable
+from repro.engine.job import Job
+from repro.engine.kernel.interning import Interner
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TransactionSpec, read, write
+
+_ITEMS = ("a", "b", "c", "d", "e")
+
+
+@st.composite
+def tasksets(draw):
+    """Small task sets with varied read/write footprints."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    specs = []
+    for i in range(n):
+        footprint = draw(
+            st.lists(
+                st.tuples(st.sampled_from(_ITEMS), st.booleans()),
+                min_size=1, max_size=4, unique=True,
+            )
+        )
+        ops = tuple(
+            write(item, 1.0) if is_write else read(item, 1.0)
+            for item, is_write in footprint
+        )
+        specs.append(TransactionSpec(f"T{i + 1}", ops))
+    return assign_by_order(specs)
+
+
+def _interner(taskset) -> Interner:
+    return Interner(taskset, CeilingTable(taskset))
+
+
+@given(tasksets())
+def test_item_ids_round_trip(taskset):
+    """ids → names → ids is the identity, and ids are dense ranks."""
+    intern = _interner(taskset)
+    assert len(intern.items) == len(taskset.items)
+    for iid, name in enumerate(intern.items):
+        assert intern.item_id(name) == iid
+        assert intern.item_name(iid) == name
+    for name in taskset.items:
+        assert intern.item_name(intern.item_id(name)) == name
+
+
+@given(tasksets())
+def test_static_tables_match_ceilings_and_write_sets(taskset):
+    """Flattened Wceil/Aceil lists and spec write masks agree with the
+    object-level sources they were compiled from."""
+    ceilings = CeilingTable(taskset)
+    intern = Interner(taskset, ceilings)
+    for iid, name in enumerate(intern.items):
+        assert intern.wceil[iid] == ceilings.wceil(name)
+        assert intern.aceil[iid] == ceilings.aceil(name)
+    for spec in taskset:
+        mask = intern.spec_write_mask[spec.name]
+        named = {intern.item_name(i) for i in range(len(intern.items))
+                 if mask >> i & 1}
+        assert named == set(spec.write_set)
+
+
+@given(tasksets(), st.data())
+def test_job_slots_round_trip_through_interleaved_retirement(taskset, data):
+    """Jobs → slots → jobs stays a bijection across intern/release
+    interleavings, and recycled slots never alias a live job."""
+    intern = _interner(taskset)
+    specs = list(taskset)
+    live = []
+    for step in range(8):
+        spec = data.draw(st.sampled_from(specs), label=f"spec{step}")
+        job = Job(spec, step, 0.0)
+        jid = intern.intern_job(job)
+        assert intern.intern_job(job) == jid  # idempotent while live
+        live.append(job)
+        if data.draw(st.booleans(), label=f"retire{step}"):
+            victim = data.draw(st.sampled_from(live), label=f"victim{step}")
+            live.remove(victim)
+            intern.release_job(victim)
+        # The bijection holds for every live job at every step.
+        assert len({intern.job_ids[j] for j in live}) == len(live)
+        for j in live:
+            assert intern.job_of(intern.job_ids[j]) is j
+            assert (intern.job_write_mask[intern.job_ids[j]]
+                    == intern.spec_write_mask[j.spec.name])
+
+
+@given(tasksets())
+def test_words_round_trip_through_jobs_from_word(taskset):
+    """word → jobs → word is the identity for every subset of slots."""
+    intern = _interner(taskset)
+    jobs = [Job(spec, i, 0.0) for i, spec in enumerate(taskset)]
+    for job in jobs:
+        intern.intern_job(job)
+    n = len(jobs)
+    for word in range(1 << n):
+        members = intern.jobs_from_word(word)
+        back = 0
+        for job in members:
+            back |= 1 << intern.job_ids[job]
+        assert back == word
+
+
+@given(tasksets())
+def test_read_mask_tracks_data_read_length(taskset):
+    """The DataRead memo refreshes whenever the set's length changes
+    (the only way the engine ever mutates it)."""
+    intern = _interner(taskset)
+    spec = next(iter(taskset))
+    job = Job(spec, 0, 0.0)
+    jid = intern.intern_job(job)
+    assert intern.read_mask(jid) == 0
+    for item in sorted(spec.read_set):
+        job.data_read.add(item)
+        mask = intern.read_mask(jid)
+        named = {intern.item_name(i) for i in range(len(intern.items))
+                 if mask >> i & 1}
+        assert named == set(job.data_read)
+    job.data_read.clear()  # restart() path
+    assert intern.read_mask(jid) == 0
