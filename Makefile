@@ -23,9 +23,11 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify verify-faults verify-service verify-sharding test smoke \
-	kernel-smoke bench bench-smoke bench-compare bench-all
+	kernel-smoke bench bench-smoke bench-compare bench-all stress \
+	stress-smoke
 
-verify: test smoke kernel-smoke bench-smoke verify-service verify-sharding
+verify: test smoke kernel-smoke bench-smoke stress-smoke verify-service \
+	verify-sharding
 
 verify-faults:
 	$(PYTHON) -m pytest -q -m faults
@@ -90,6 +92,23 @@ bench-smoke:
 bench-compare:
 	$(PYTHON) benchmarks/bench_compare.py $(BASE) $(HEAD) \
 		$(if $(THRESHOLD),--threshold $(THRESHOLD),)
+
+# Heavy-traffic parity harness (docs/TESTING.md), all phases socket-free:
+# sequential decision parity across every execution path, the virtual-time
+# simulator oracle, then a >=100k-arrival overload trace with bursts and
+# chaos against live 1-shard and 4-shard deployments — serializability,
+# conservation, and abort-attribution checked. Appends committed-throughput
+# trend rows to BENCH_stress_<date>.json (diffable via make bench-compare).
+# Usage: make stress [STRESS_TXNS=200000] [STRESS_LEDGER=path.json]
+stress:
+	$(PYTHON) -m repro stress \
+		--transactions $(if $(STRESS_TXNS),$(STRESS_TXNS),100000) \
+		--ledger $(if $(STRESS_LEDGER),$(STRESS_LEDGER),BENCH_stress_$$(date +%F).json)
+
+# Small deterministic slice of the same harness (seconds); part of
+# `make verify`. No ledger write — this is a gate, not a measurement.
+stress-smoke:
+	$(PYTHON) -m repro stress --smoke
 
 # Every benchmark, including the slow full-ledger comparison cases.
 bench-all:

@@ -16,6 +16,12 @@ guard against order-of-magnitude regressions on every ``make verify``,
 diffing a fresh ``--smoke`` run against the checked-in
 ``benchmarks/BENCH_smoke_baseline.json``.
 
+Stress ledgers (``mode="stress"``, written by ``make stress`` /
+``repro stress --ledger``) diff through the same gate: their rows carry
+``benchmark="stress_loadgen"`` and a ``protocol@Nsh`` key, so committed
+throughput per deployment shape is matched and thresholded exactly like
+engine-throughput rows — one comparator for both trend families.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_compare.py BASE HEAD \

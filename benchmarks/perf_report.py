@@ -133,8 +133,8 @@ def validate_bench_document(doc: Dict[str, Any]) -> None:
     for key in ("generated_at", "mode", "python", "platform"):
         if not isinstance(doc.get(key), str):
             raise ValueError(f"missing or non-string field {key!r}")
-    if doc["mode"] not in ("smoke", "full"):
-        raise ValueError(f"mode must be smoke|full, got {doc['mode']!r}")
+    if doc["mode"] not in ("smoke", "full", "stress"):
+        raise ValueError(f"mode must be smoke|full|stress, got {doc['mode']!r}")
     results = doc.get("results")
     if not isinstance(results, list) or not results:
         raise ValueError("results must be a non-empty list")

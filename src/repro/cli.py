@@ -12,7 +12,11 @@ Subcommands:
 * ``repro serve`` — serve a lock-manager catalog to concurrent TCP
   clients (NDJSON protocol, see docs/SERVICE.md);
 * ``repro loadgen`` — drive a service with concurrent clients and verify
-  the run's serializability from its shipped history.
+  the run's serializability from its shipped history;
+* ``repro stress`` — the heavy-traffic parity harness: one seeded
+  workload through every execution path (simulator kernel/object,
+  service, sharded coordinator), decision-level parity sequentially and
+  invariant-level parity under overload (docs/TESTING.md).
 """
 
 from __future__ import annotations
@@ -323,6 +327,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         think_time_s=args.think_time,
         arrival_rate_hz=args.arrival_rate,
+        burst_factor=args.burst_factor,
+        burst_period_s=args.burst_period,
+        burst_duty=args.burst_duty,
         deadline_s=args.deadline,
         seed=args.seed,
         abort_probability=args.abort_probability,
@@ -364,6 +371,123 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     report = asyncio.run(run())
     print(report.render())
     return 0 if report.serializable else 1
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    """Run the parity + overload stress harness and gate on its verdicts.
+
+    Three phases (docs/TESTING.md):
+
+    1. **decision parity** — a battery of seeded workloads replayed
+       sequentially through the simulator (both kernel modes), the
+       in-process service, and the sharded coordinator; every execution
+       must make identical decisions with identical rule strings;
+    2. **simulator oracle** — a bounded prefix of the overload schedule
+       in virtual time: kernel/object byte-identity plus the Theorem 1–3
+       oracles;
+    3. **concurrent overload** — the full arrival schedule against live
+       deployments (each ``--shards`` entry), checked for
+       serializability, conservation, and abort attribution.
+
+    Exits non-zero when any phase fails.  ``--ledger`` appends one
+    ``repro-bench/1`` trend row per concurrent run.
+    """
+    import asyncio
+
+    from repro.verify.parity import ParityError, parity_battery
+    from repro.verify.stress import (
+        StressSpec,
+        append_trend_rows,
+        run_stress,
+        simulator_stress_check,
+    )
+
+    if args.smoke:
+        transactions = 400
+        parity_seeds = range(2)
+        parity_transactions = 10
+        sim_limit = 150
+        shard_counts = [1, 2]
+        overload = 1.5
+    else:
+        transactions = args.transactions
+        parity_seeds = range(args.parity_seeds)
+        parity_transactions = args.parity_transactions
+        sim_limit = args.sim_limit
+        shard_counts = [int(s) for s in args.shards.split(",") if s]
+        overload = args.overload
+
+    spec = StressSpec(
+        seed=args.seed,
+        transactions=transactions,
+        overload=overload,
+        arrival_rate_hz=args.arrival_rate,
+        burst_factor=args.burst_factor,
+        burst_period_s=args.burst_period,
+        burst_duty=args.burst_duty,
+        abort_probability=args.abort_probability,
+    )
+    failed = False
+
+    if not args.skip_parity:
+        try:
+            reports = parity_battery(
+                seeds=parity_seeds,
+                transactions=parity_transactions,
+                coordinator_shards=args.parity_shards,
+            )
+        except ParityError as exc:
+            print(f"decision parity: FAIL — {exc}")
+            failed = True
+        else:
+            decisions = sum(r.decisions for r in reports)
+            print(
+                f"decision parity: OK — {len(reports)} workload×protocol "
+                f"cases, {decisions} decisions, 4 executions each "
+                f"(coordinator at {args.parity_shards} shard(s))"
+            )
+
+    try:
+        result = simulator_stress_check(
+            spec, args.protocol, limit=sim_limit
+        )
+    except Exception as exc:  # oracle violations are terse; show them all
+        print(f"simulator oracle: FAIL — {exc}")
+        failed = True
+    else:
+        print(
+            f"simulator oracle: OK — {len(result.jobs)} jobs in virtual "
+            "time, kernel/object byte-identical, Theorem 1-3 oracles pass"
+        )
+
+    rows = []
+    for shards in shard_counts:
+        # The coordinator's cross-shard gate goes quadratic with hundreds
+        # of live sessions, so multi-shard runs get a small admission cap
+        # by default; overload shedding is part of conservation.
+        max_sessions = args.max_sessions
+        if max_sessions is None:
+            max_sessions = 64 if shards > 1 else 512
+        report = asyncio.run(run_stress(
+            spec,
+            args.protocol,
+            shards=shards,
+            partitioner=args.partitioner,
+            max_sessions=max_sessions,
+        ))
+        print(report.render())
+        if report.ok:
+            rows.append(report.trend_row())
+        else:
+            failed = True
+
+    if args.ledger and rows:
+        doc = append_trend_rows(args.ledger, rows)
+        print(
+            f"appended {len(rows)} trend row(s) to {args.ledger} "
+            f"({len(doc['results'])} total)"
+        )
+    return 1 if failed else 0
 
 
 def _run_reproduce(args: argparse.Namespace) -> int:
@@ -594,6 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="HZ",
                          help="switch to the open loop: per-client "
                               "transaction start rate")
+    loadgen.add_argument("--burst-factor", type=float, default=1.0,
+                         help="open-loop burst multiplier (square-wave "
+                              "arrival bursts; 1.0 = steady)")
+    loadgen.add_argument("--burst-period", type=float, default=0.5,
+                         metavar="S", help="length of one burst cycle")
+    loadgen.add_argument("--burst-duty", type=float, default=0.25,
+                         help="fraction of each cycle at the bursty rate")
     loadgen.add_argument("--deadline", type=float, default=None, metavar="S",
                          help="per-session relative deadline")
     loadgen.add_argument("--abort-probability", type=float, default=0.0,
@@ -617,6 +748,57 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run on uvloop when installed (clean "
                               "fallback to the stock asyncio loop)")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    stress = sub.add_parser(
+        "stress",
+        help="heavy-traffic parity harness: decision parity + overload "
+             "invariant checks across every execution path",
+    )
+    stress.add_argument("--protocol", default="pcp-da",
+                        help="protocol for the oracle and overload phases")
+    stress.add_argument("--seed", type=int, default=0,
+                        help="workload seed (catalog + arrival schedule)")
+    stress.add_argument("--transactions", type=int, default=100_000,
+                        help="arrivals in the overload schedule "
+                             "(streamed; can be millions)")
+    stress.add_argument("--overload", type=float, default=2.0,
+                        help="offered-load multiplier over --arrival-rate")
+    stress.add_argument("--arrival-rate", type=float, default=2000.0,
+                        metavar="HZ", help="base arrival rate")
+    stress.add_argument("--burst-factor", type=float, default=4.0,
+                        help="arrival-rate multiplier during bursts")
+    stress.add_argument("--burst-period", type=float, default=0.5,
+                        metavar="S", help="burst cycle length")
+    stress.add_argument("--burst-duty", type=float, default=0.25,
+                        help="fraction of each cycle at the burst rate")
+    stress.add_argument("--abort-probability", type=float, default=0.02,
+                        help="chaos knob: chance an arrival aborts "
+                             "instead of committing")
+    stress.add_argument("--shards", default="1,4",
+                        help="comma list of shard counts for the "
+                             "concurrent phase (default '1,4')")
+    stress.add_argument("--partitioner", default="hash",
+                        choices=("hash", "range"))
+    stress.add_argument("--max-sessions", type=int, default=None,
+                        help="admission cap for the concurrent phase "
+                             "(default: 512 unsharded, 64 sharded)")
+    stress.add_argument("--parity-seeds", type=int, default=20, metavar="N",
+                        help="decision-parity workload seeds 0..N-1")
+    stress.add_argument("--parity-transactions", type=int, default=25,
+                        help="arrivals per parity workload")
+    stress.add_argument("--parity-shards", type=int, default=2,
+                        help="coordinator shard count in the parity phase")
+    stress.add_argument("--sim-limit", type=int, default=500,
+                        help="schedule prefix replayed in the simulator "
+                             "oracle phase")
+    stress.add_argument("--ledger", default=None, metavar="PATH",
+                        help="append repro-bench/1 trend rows here")
+    stress.add_argument("--smoke", action="store_true",
+                        help="small deterministic run (seconds): the "
+                             "make stress-smoke / make verify gate")
+    stress.add_argument("--skip-parity", action="store_true",
+                        help="skip the decision-parity battery")
+    stress.set_defaults(func=_cmd_stress)
     return parser
 
 

@@ -16,7 +16,11 @@ This package provides:
 from repro.db.database import Database, DataItem, Version
 from repro.db.history import History, HistoryEvent
 from repro.db.serialization_graph import SerializationGraph
-from repro.db.serializability import check_serializable, serialization_order
+from repro.db.serializability import (
+    check_serializable,
+    check_serializable_fast,
+    serialization_order,
+)
 
 __all__ = [
     "DataItem",
@@ -26,5 +30,6 @@ __all__ = [
     "SerializationGraph",
     "Version",
     "check_serializable",
+    "check_serializable_fast",
     "serialization_order",
 ]

@@ -73,7 +73,7 @@ import asyncio
 import enum
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.db.database import Database
 from repro.db.history import History
@@ -103,7 +103,12 @@ from repro.model.validation import validate_taskset
 from repro.protocols import make_protocol
 from repro.service.eventloop import loop_implementation
 from repro.service.stats import ServiceStats
-from repro.trace.recorder import LockOutcome, SchedEventKind, TraceRecorder
+from repro.trace.recorder import (
+    LockEvent,
+    LockOutcome,
+    SchedEventKind,
+    TraceRecorder,
+)
 
 
 class SessionState(enum.Enum):
@@ -250,6 +255,12 @@ class LockManager:
         self.db = Database(sorted(catalog.items))
         self.history = History()
         self.trace = TraceRecorder()
+        #: Callbacks fired synchronously on every recorded lock decision
+        #: (grants, denials, abort-grants) with the :class:`LockEvent`.
+        #: The parity harness (:mod:`repro.verify.parity`) uses this to
+        #: capture a decision sequence in global order — including across
+        #: the shards of a coordinator, where per-shard traces interleave.
+        self.decision_listeners: List[Callable[[LockEvent], None]] = []
         self.stats = ServiceStats()
         self.protocol.bind(catalog, self.table)
         self.protocol.bind_runtime(self.waits)
@@ -558,6 +569,22 @@ class LockManager:
         if self._closed:
             raise ServiceError("lock manager is shut down")
 
+    def _trace_lock(
+        self,
+        time: float,
+        job_name: str,
+        item: str,
+        mode: LockMode,
+        outcome: LockOutcome,
+        rule: str,
+        blockers: Tuple[str, ...] = (),
+    ) -> None:
+        """Record one lock decision and fan it out to the listeners."""
+        event = LockEvent(time, job_name, item, mode, outcome, rule, blockers)
+        self.trace.lock_events.append(event)
+        for listener in self.decision_listeners:
+            listener(event)
+
     def _pre_op(
         self,
         session: Session,
@@ -636,7 +663,7 @@ class LockManager:
         self.stats.record_denial(job.base_priority)
         blocker_names = tuple(sorted(b.name for b in decision.blockers))
         job.begin_block(now, item, mode, blocker_names, decision.reason)
-        self.trace.lock(
+        self._trace_lock(
             now, job.name, item, mode, LockOutcome.DENIED, decision.reason,
             blocker_names,
         )
@@ -759,7 +786,7 @@ class LockManager:
         self._recompute_priorities()
         job.grant_rules.append((now, item, mode, rule))
         self.stats.record_grant(job.base_priority)
-        self.trace.lock(now, job.name, item, mode, outcome, rule, blockers)
+        self._trace_lock(now, job.name, item, mode, outcome, rule, blockers)
         self._sample_sysceil()
 
     def _resolve_abort_grant(

@@ -252,6 +252,18 @@ class ShardedLockManager:
         """Number of partitions in this deployment."""
         return len(self.shards)
 
+    def add_decision_listener(self, listener) -> None:
+        """Subscribe ``listener`` to every shard's lock decisions.
+
+        The callback receives each :class:`repro.trace.recorder.LockEvent`
+        at the moment a shard records it, so a single listener observes
+        the deployment-wide decision sequence in true global order —
+        per-shard traces alone cannot reconstruct the interleaving.  Used
+        by the parity harness (:mod:`repro.verify.parity`).
+        """
+        for shard in self.shards:
+            shard.decision_listeners.append(listener)
+
     # ------------------------------------------------------------------
     # Session lifecycle
     # ------------------------------------------------------------------

@@ -12,6 +12,16 @@ property fails:
 
 :func:`verify_pcp_da_run` bundles all four; the property-based tests run it
 over thousands of random workloads.
+
+Two harness modules build on the oracles (docs/TESTING.md):
+
+* :mod:`repro.verify.parity` — decision-level parity: one seeded workload
+  replayed sequentially through the simulator (both kernel modes), the
+  in-process service, and the sharded coordinator must produce identical
+  grant/block/abort decisions with identical rule strings;
+* :mod:`repro.verify.stress` — invariant-level parity under true
+  concurrency: overload traces with bursts and chaos knobs, checked for
+  serializability, conservation, and abort attribution.
 """
 
 from repro.verify.invariants import (
@@ -24,11 +34,33 @@ from repro.verify.invariants import (
     verify_pcp_da_run,
 )
 from repro.verify.lemmas import LemmaCheckingPCPDA
+from repro.verify.parity import (
+    ParityError,
+    ParityReport,
+    check_decision_parity,
+    parity_battery,
+)
+from repro.verify.stress import (
+    CEILING_FAMILY,
+    StressReport,
+    StressSpec,
+    run_stress,
+    simulator_stress_check,
+)
 from repro.verify.value_replay import assert_value_replay_consistent
 
 __all__ = [
+    "CEILING_FAMILY",
     "LemmaCheckingPCPDA",
+    "ParityError",
+    "ParityReport",
+    "StressReport",
+    "StressSpec",
     "assert_value_replay_consistent",
+    "check_decision_parity",
+    "parity_battery",
+    "run_stress",
+    "simulator_stress_check",
     "assert_all_committed",
     "assert_deadlock_free",
     "assert_no_restarts",

@@ -211,3 +211,74 @@ class TestReproduceProfileFlag:
         # The report still runs (and must not mask the original error).
         err = capsys.readouterr().err
         assert "cProfile: hottest functions" in err
+
+
+class TestLoadgenExitCode:
+    """`repro loadgen` must exit non-zero when the serializability
+    replay fails — the oracle's verdict is the command's verdict."""
+
+    def _patched_main(self, monkeypatch, serializable):
+        import repro.service as service
+        from repro.service.loadgen import LoadgenConfig, LoadReport
+
+        report = LoadReport(
+            config=LoadgenConfig(clients=1, transactions_per_client=1),
+            protocol="pcp-da",
+            wall_s=1.0,
+            serializable=serializable,
+            violation="" if serializable else "cycle T1#0 -> T2#0 -> T1#0",
+        )
+
+        async def fake_run_loadgen(config, connect):
+            return report
+
+        monkeypatch.setattr(service, "run_loadgen", fake_run_loadgen)
+        # --connect avoids self-hosting a server; the patched loadgen
+        # never dials it, so the whole test is socket-free
+        return main(["loadgen", "--connect", "127.0.0.1:1"])
+
+    def test_violation_exits_nonzero(self, monkeypatch, capsys):
+        assert self._patched_main(monkeypatch, serializable=False) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_serializable_run_exits_zero(self, monkeypatch, capsys):
+        assert self._patched_main(monkeypatch, serializable=True) == 0
+        assert "serializability: OK" in capsys.readouterr().out
+
+
+@pytest.mark.stress
+class TestStressCommand:
+    def test_small_run_writes_ledger_and_exits_zero(self, tmp_path, capsys):
+        ledger = tmp_path / "BENCH_stress.json"
+        code = main([
+            "stress", "--transactions", "120", "--overload", "1.2",
+            "--shards", "1", "--parity-seeds", "1",
+            "--parity-transactions", "8", "--sim-limit", "60",
+            "--ledger", str(ledger),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "decision parity: OK" in out
+        assert "simulator oracle: OK" in out
+        assert "conservation: OK" in out
+        assert ledger.exists()
+        import json
+
+        doc = json.loads(ledger.read_text())
+        assert doc["mode"] == "stress"
+        assert doc["results"][0]["benchmark"] == "stress_loadgen"
+
+    def test_failure_exits_nonzero(self, monkeypatch, capsys):
+        # sabotage the parity battery to prove the gate actually gates
+        import repro.verify.parity as parity
+
+        def explode(**kwargs):
+            raise parity.ParityError("synthetic divergence")
+
+        monkeypatch.setattr(parity, "parity_battery", explode)
+        code = main([
+            "stress", "--transactions", "60", "--shards", "1",
+            "--parity-seeds", "1", "--sim-limit", "40",
+        ])
+        assert code == 1
+        assert "decision parity: FAIL" in capsys.readouterr().out

@@ -100,3 +100,81 @@ class TestCheckSerializable:
         h.record_commit("T2#0", 2.0)
         order = serialization_order(h)
         assert order == ("T1#0", "T2#0")
+
+
+class TestSparseChecker:
+    """check_serializable_fast must render the same verdict as the dense
+    check — its sparse graph keeps only the first rw successor plus the
+    ww chain, which preserves reachability among committed jobs."""
+
+    def _fast(self):
+        from repro.db.serializability import check_serializable_fast
+
+        return check_serializable_fast
+
+    def test_serializable_history_passes(self):
+        graph = self._fast()(_serial_history())
+        assert graph.is_acyclic()
+
+    def test_write_skew_cycle_detected(self):
+        h = History()
+        h.record_read("T1#0", "x", 0, 1.0)
+        h.record_read("T2#0", "y", 0, 1.5)
+        h.record_install("T2#0", "x", 1, 2.0)
+        h.record_commit("T2#0", 2.0)
+        h.record_install("T1#0", "y", 2, 3.0)
+        h.record_commit("T1#0", 3.0)
+        with pytest.raises(SerializationViolation) as exc:
+            self._fast()(h)
+        assert set(exc.value.cycle) == {"T1#0", "T2#0"}
+
+    def test_uncommitted_installers_skipped_for_rw(self):
+        # the first later installer never commits; the rw edge must land
+        # on the *committed* one behind it for the cycle to be found
+        h = History()
+        h.record_read("T1#0", "x", 0, 1.0)
+        h.record_install("ghost#0", "x", 1, 1.5)  # never commits
+        h.record_read("T2#0", "y", 0, 2.0)
+        h.record_install("T2#0", "x", 2, 2.5)
+        h.record_commit("T2#0", 2.5)
+        h.record_install("T1#0", "y", 3, 3.0)
+        h.record_commit("T1#0", 3.0)
+        with pytest.raises(SerializationViolation):
+            self._fast()(h)
+
+    def test_random_histories_agree_with_dense_verdict(self):
+        import random
+
+        fast = self._fast()
+        for trial in range(60):
+            rng = random.Random(trial)
+            h = History()
+            jobs = [f"T{j}#0" for j in range(rng.randint(2, 6))]
+            items = ["x", "y", "z"]
+            versions = {item: [0] for item in items}
+            seq = 0
+            for _ in range(rng.randint(3, 14)):
+                job = rng.choice(jobs)
+                item = rng.choice(items)
+                if rng.random() < 0.5:
+                    h.record_read(
+                        job, item, rng.choice(versions[item]), seq
+                    )
+                else:
+                    seq += 1
+                    versions[item].append(seq)
+                    h.record_install(job, item, seq, seq)
+            for job in jobs:
+                if rng.random() < 0.8:
+                    h.record_commit(job, 100 + seq)
+            try:
+                check_serializable(h)
+                dense_ok = True
+            except SerializationViolation:
+                dense_ok = False
+            try:
+                fast(h)
+                fast_ok = True
+            except SerializationViolation:
+                fast_ok = False
+            assert dense_ok == fast_ok, f"trial {trial} diverged"

@@ -1,0 +1,112 @@
+"""Kernel force-opt-out coverage (ISSUE satellite: fallback parity).
+
+Two protocols opt out of the array kernel on purpose — ``rw-pcp-abort``
+(its abort branch diverges from the RW-PCP table it would inherit) and
+``pcp-da-checked`` (routing decisions around its ``decide()`` would skip
+the lemma assertions).  ``SimConfig(kernel=True)`` must then fall back
+to the object path *silently and identically*: these tests pin
+
+* that ``compile_table()`` / ``build_kernel()`` actually decline;
+* byte-identical traces for ``kernel=True`` (fallback) vs
+  ``kernel=False`` (explicit object path) across the golden corpus and
+  the stress harness's seeded workloads;
+* that ``pcp-da-checked`` remains observationally identical to plain
+  ``pcp-da`` (the assertions must never change a decision).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine.kernel import build_kernel
+from repro.engine.lock_table import LockTable
+from repro.engine.simulator import SimConfig, Simulator
+from repro.protocols import make_protocol
+from repro.trace.export import result_to_json
+from repro.verify.stress import StressSpec, build_taskset
+
+from tests.golden_traces import CORPUS
+
+OPT_OUT_PROTOCOLS = ("rw-pcp-abort", "pcp-da-checked")
+
+#: Golden-corpus cases replayed under each opt-out protocol (seeded
+#: random workloads with deadlock resolution — the richest decision mix).
+_CORPUS_CASES = [
+    (name, build, config)
+    for name, build, _proto, config in CORPUS
+    if name.startswith("workload-s")
+][:6]
+
+
+def _bound(protocol_name):
+    """A protocol bound to a small task set, as compile_table requires."""
+    from repro.workloads.examples import example1_taskset
+
+    protocol = make_protocol(protocol_name)
+    protocol.bind(example1_taskset(), LockTable())
+    return protocol
+
+
+class TestOptOutDeclared:
+    @pytest.mark.parametrize("protocol", OPT_OUT_PROTOCOLS)
+    def test_compile_table_returns_none(self, protocol):
+        assert _bound(protocol).compile_table() is None
+
+    @pytest.mark.parametrize("protocol", OPT_OUT_PROTOCOLS)
+    def test_build_kernel_declines(self, protocol):
+        assert build_kernel(_bound(protocol), LockTable()) is None
+
+    def test_base_protocol_does_compile(self):
+        # the control: plain pcp-da takes the kernel path, so the
+        # fallback cases below genuinely exercise a different route
+        assert _bound("pcp-da").compile_table() is not None
+
+
+def _run(build, protocol, config, *, kernel):
+    config = dataclasses.replace(config or SimConfig(), kernel=kernel)
+    result = Simulator(build(), make_protocol(protocol), config).run()
+    return result_to_json(result)
+
+
+class TestFallbackByteIdentity:
+    @pytest.mark.parametrize("protocol", OPT_OUT_PROTOCOLS)
+    @pytest.mark.parametrize(
+        "name,build,config", _CORPUS_CASES,
+        ids=[c[0] for c in _CORPUS_CASES],
+    )
+    def test_golden_corpus_cases(self, protocol, name, build, config):
+        assert (
+            _run(build, protocol, config, kernel=True)
+            == _run(build, protocol, config, kernel=False)
+        )
+
+    @pytest.mark.parametrize("protocol", OPT_OUT_PROTOCOLS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stress_workloads(self, protocol, seed):
+        spec = StressSpec(seed=seed, transactions=60)
+        taskset = build_taskset(spec)
+        payloads = [
+            result_to_json(Simulator(
+                taskset, make_protocol(protocol), SimConfig(kernel=kernel)
+            ).run())
+            for kernel in (True, False)
+        ]
+        assert payloads[0] == payloads[1]
+
+
+class TestCheckedEquivalence:
+    """pcp-da-checked = pcp-da + assertions, never different decisions."""
+
+    @pytest.mark.parametrize(
+        "name,build,config", _CORPUS_CASES,
+        ids=[c[0] for c in _CORPUS_CASES],
+    )
+    def test_matches_plain_pcp_da(self, name, build, config):
+        # the export embeds the protocol's registry name; everything
+        # else — every decision, segment, and sysceil sample — must match
+        checked = json.loads(_run(build, "pcp-da-checked", config, kernel=True))
+        plain = json.loads(_run(build, "pcp-da", config, kernel=False))
+        assert checked.pop("protocol") == "pcp-da-checked"
+        assert plain.pop("protocol") == "pcp-da"
+        assert checked == plain

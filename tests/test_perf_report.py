@@ -129,11 +129,13 @@ class TestCheckedInLedger:
         "path", LEDGER_FILES, ids=[p.name for p in LEDGER_FILES]
     )
     def test_checked_in_document_is_dated(self, path):
-        # BENCH_YYYY-MM-DD.json, matching what `make bench` writes.
+        # BENCH_YYYY-MM-DD.json (what `make bench` writes), or
+        # BENCH_<tag>_YYYY-MM-DD.json for tagged ledgers such as the
+        # stress harness's BENCH_stress_<date>.json (`make stress`).
         stem = path.stem
         assert stem.startswith("BENCH_")
-        date = stem[len("BENCH_"):]
+        date = stem[len("BENCH_"):].rsplit("_", 1)[-1]
         parts = date.split("-")
         assert len(parts) == 3 and all(p.isdigit() for p in parts), (
-            f"{path.name}: expected BENCH_YYYY-MM-DD.json"
+            f"{path.name}: expected BENCH_[tag_]YYYY-MM-DD.json"
         )

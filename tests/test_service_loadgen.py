@@ -194,3 +194,124 @@ class TestReportRender:
         round_tripped = LatencyHistogram.from_dict(hist.to_dict())
         assert round_tripped.counts == hist.counts
         assert round_tripped.total == hist.total
+
+
+class TestChaosDeterministic:
+    """The loadgen-chaos abort branch at probability 1.0: every
+    transaction takes it, making the counters exact rather than
+    statistical."""
+
+    def test_full_chaos_aborts_everything(self):
+        manager = make_manager(seed=31)
+        config = LoadgenConfig(
+            clients=3, transactions_per_client=5, seed=2,
+            abort_probability=1.0,
+        )
+        report = run_against(manager, config)
+        assert report.completed == 0
+        assert report.client_aborts == 15
+        assert report.serializable  # nothing committed, trivially so
+        assert report.serialization_order == ()
+        assert report.stats is not None
+        assert report.stats.client_aborts == 15
+        assert report.stats.commits == 0
+
+
+class TestBurstKnobs:
+    def test_rejects_sub_unit_burst_factor(self):
+        with pytest.raises(SpecificationError):
+            LoadgenConfig(burst_factor=0.9)
+
+    def test_rejects_nonpositive_burst_period(self):
+        with pytest.raises(SpecificationError):
+            LoadgenConfig(burst_period_s=0.0)
+
+    def test_rejects_zero_burst_duty(self):
+        with pytest.raises(SpecificationError):
+            LoadgenConfig(burst_duty=0.0)
+
+    def test_current_rate_square_wave(self):
+        from repro.service.loadgen import _Worker
+
+        config = LoadgenConfig(
+            arrival_rate_hz=100.0, burst_factor=4.0,
+            burst_period_s=1.0, burst_duty=0.25,
+        )
+        report = LoadReport(config=config, protocol="pcp-da", wall_s=0.0)
+        worker = _Worker(
+            0, None, config,
+            [{"name": "T1", "operations": []}], report, None,
+        )
+        assert worker._current_rate(0.1) == 400.0   # inside the burst
+        assert worker._current_rate(0.25) == 100.0  # at the edge: base
+        assert worker._current_rate(0.9) == 100.0
+        assert worker._current_rate(1.1) == 400.0   # next cycle's burst
+
+    def test_default_factor_keeps_constant_rate(self):
+        from repro.service.loadgen import _Worker
+
+        config = LoadgenConfig(arrival_rate_hz=100.0)
+        report = LoadReport(config=config, protocol="pcp-da", wall_s=0.0)
+        worker = _Worker(
+            0, None, config,
+            [{"name": "T1", "operations": []}], report, None,
+        )
+        assert all(
+            worker._current_rate(t) == 100.0 for t in (0.0, 0.1, 0.7, 3.2)
+        )
+
+    def test_bursty_open_loop_run_stays_serializable(self):
+        manager = make_manager(seed=53)
+        config = LoadgenConfig(
+            clients=3, transactions_per_client=5, seed=4,
+            arrival_rate_hz=800.0, burst_factor=6.0,
+            burst_period_s=0.05, burst_duty=0.3,
+        )
+        report = run_against(manager, config)
+        assert report.serializable, report.violation
+        assert report.completed == 15
+
+
+class TestZeroGrantShardWarning:
+    """_render_shards' silent-misrouting detector, pinned on synthetic
+    stats documents."""
+
+    def _shard_entry(self, shard, grants, commits):
+        return {
+            "shard": shard, "items": 3, "sessions": commits,
+            "grants": grants, "denials": 0, "commits": commits,
+            "commit_latency": LatencyHistogram().to_dict(),
+        }
+
+    def _report(self, completed, shards):
+        report = LoadReport(
+            config=LoadgenConfig(clients=1, transactions_per_client=1),
+            protocol="pcp-da", wall_s=1.0, completed=completed,
+        )
+        report.stats_doc = {"shards": shards}
+        return report
+
+    def test_idle_shard_warned_by_number(self):
+        report = self._report(5, [
+            self._shard_entry(0, grants=10, commits=5),
+            self._shard_entry(1, grants=0, commits=0),
+        ])
+        text = report.render()
+        assert "WARNING: shard(s) 1 granted zero lock" in text
+        assert "possible silent misrouting" in text
+
+    def test_no_warning_when_every_shard_granted(self):
+        report = self._report(5, [
+            self._shard_entry(0, grants=10, commits=3),
+            self._shard_entry(1, grants=4, commits=2),
+        ])
+        assert "WARNING" not in report.render()
+
+    def test_no_warning_on_an_empty_run(self):
+        # nothing committed anywhere: idle shards are expected, not
+        # suspicious
+        report = self._report(0, [
+            self._shard_entry(0, grants=0, commits=0),
+            self._shard_entry(1, grants=0, commits=0),
+        ])
+        assert "WARNING" not in report.render()
