@@ -106,9 +106,14 @@ stress:
 		--ledger $(if $(STRESS_LEDGER),$(STRESS_LEDGER),BENCH_stress_$$(date +%F).json)
 
 # Small deterministic slice of the same harness (seconds); part of
-# `make verify`. No ledger write — this is a gate, not a measurement.
+# `make verify`. Writes a throwaway ledger so the shard-scaling gate can
+# assert the 4-shard smoke run commits at least as much throughput as
+# the 1-shard run (tolerance via bench_compare --threshold).
 stress-smoke:
-	$(PYTHON) -m repro stress --smoke
+	tmp=$$(mktemp -u /tmp/stress_smoke_XXXXXX.json) && \
+	$(PYTHON) -m repro stress --smoke --ledger $$tmp && \
+	$(PYTHON) benchmarks/bench_compare.py $$tmp --shard-scaling; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 # Every benchmark, including the slow full-ledger comparison cases.
 bench-all:

@@ -22,10 +22,20 @@ Stress ledgers (``mode="stress"``, written by ``make stress`` /
 throughput per deployment shape is matched and thresholded exactly like
 engine-throughput rows — one comparator for both trend families.
 
+``--shard-scaling`` is a *single-ledger* mode for stress ledgers: it
+groups ``stress_loadgen`` rows by protocol base name and fails when any
+``@Nsh`` (N > 1) row commits fewer transactions per second than
+``(1 - threshold) ×`` its ``@1sh`` baseline — scale-out that loses to a
+single shard is a regression, not a deployment choice.  ``make
+stress-smoke`` runs it against a fresh smoke ledger on every ``make
+verify``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_compare.py BASE HEAD \
         [--threshold 0.10]
+    PYTHONPATH=src python benchmarks/bench_compare.py LEDGER \
+        --shard-scaling [--threshold 0.10]
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -107,6 +118,89 @@ def compare(
     }
 
 
+_SHARD_KEY = re.compile(r"^(?P<proto>.+)@(?P<shards>\d+)sh$")
+
+
+def shard_scaling_report(
+    doc: Dict[str, Any], threshold: float = 0.10
+) -> Dict[str, Any]:
+    """Within-ledger shard-scaling check over ``stress_loadgen`` rows.
+
+    For each protocol with a ``@1sh`` row, every ``@Nsh`` (N > 1) row is
+    compared against it: the multi-shard deployment must commit at least
+    ``(1 - threshold) ×`` the single-shard transactions/s.  Duplicate
+    keys keep the *last* row, matching the append-only trend-ledger
+    convention (the freshest run wins).  Protocols with multi-shard rows
+    but no 1-shard baseline are listed under ``unmatched`` and never
+    fail the gate.
+    """
+    latest: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    for row in doc["results"]:
+        if row["benchmark"] != "stress_loadgen":
+            continue
+        match = _SHARD_KEY.match(row["protocol"])
+        if match is None:
+            continue
+        latest[(match.group("proto"), int(match.group("shards")))] = row
+    rows: List[Dict[str, Any]] = []
+    unmatched: List[str] = []
+    for (proto, shards), row in sorted(latest.items()):
+        if shards == 1:
+            continue
+        base = latest.get((proto, 1))
+        if base is None:
+            unmatched.append(f"{proto}@{shards}sh")
+            continue
+        b = base["events_per_sec"]
+        h = row["events_per_sec"]
+        ratio = h / b if b else 0.0
+        rows.append({
+            "protocol": proto,
+            "shards": shards,
+            "base_events_per_sec": b,
+            "head_events_per_sec": h,
+            "base_events": base["events"],
+            "head_events": row["events"],
+            "ratio": ratio,
+            "regressed": h < b * (1.0 - threshold),
+        })
+    return {
+        "threshold": threshold,
+        "rows": rows,
+        "unmatched": unmatched,
+        "ok": bool(rows) and not any(r["regressed"] for r in rows),
+        "empty": not rows,
+    }
+
+
+def render_shard_scaling(report: Dict[str, Any]) -> str:
+    """Human-readable table for one shard-scaling report."""
+    lines = [
+        f"{'protocol':<12}{'1sh ev/s':>12}{'Nsh ev/s':>12}"
+        f"{'1sh txns':>10}{'Nsh txns':>10}{'ratio':>8}",
+    ]
+    for row in report["rows"]:
+        flag = "  REGRESSION" if row["regressed"] else ""
+        lines.append(
+            f"{row['protocol'] + '@' + str(row['shards']) + 'sh':<12}"
+            f"{row['base_events_per_sec']:>12,.0f}"
+            f"{row['head_events_per_sec']:>12,.0f}"
+            f"{row['base_events']:>10,}{row['head_events']:>10,}"
+            f"{row['ratio']:>7.2f}x{flag}"
+        )
+    for key in report["unmatched"]:
+        lines.append(f"no 1-shard baseline for {key}")
+    if report["empty"]:
+        lines.append(
+            "no comparable stress_loadgen @1sh/@Nsh row pairs in the ledger"
+        )
+    lines.append(
+        f"gate: multi-shard >= {1.0 - report['threshold']:.0%} of 1-shard "
+        "committed txn/s -> " + ("OK" if report["ok"] else "FAIL")
+    )
+    return "\n".join(lines)
+
+
 def render(report: Dict[str, Any]) -> str:
     """Human-readable delta table for one comparison report."""
     lines = [
@@ -141,9 +235,13 @@ def render(report: Dict[str, Any]) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("base", metavar="BASE", type=pathlib.Path,
-                        help="baseline BENCH JSON (the commit under review's parent)")
+                        help="baseline BENCH JSON (the commit under review's "
+                             "parent); with --shard-scaling, the single "
+                             "stress ledger to check")
     parser.add_argument("head", metavar="HEAD", type=pathlib.Path,
-                        help="candidate BENCH JSON (the commit under review)")
+                        nargs="?", default=None,
+                        help="candidate BENCH JSON (the commit under review); "
+                             "omitted in --shard-scaling mode")
     parser.add_argument(
         "--threshold", type=float, default=0.10, metavar="FRACTION",
         help="maximum tolerated events/s drop per row and in total "
@@ -154,9 +252,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="gate on the aggregate row only (for smoke ledgers whose "
              "per-protocol timings are too short to be stable)",
     )
+    parser.add_argument(
+        "--shard-scaling", action="store_true",
+        help="single-ledger mode: fail when any stress @Nsh row commits "
+             "fewer txn/s than (1 - threshold) x its @1sh baseline",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error("--threshold must be a fraction in (0, 1)")
+    if args.shard_scaling:
+        if args.head is not None:
+            parser.error("--shard-scaling reads one ledger; drop HEAD")
+        report = shard_scaling_report(load_ledger(args.base), args.threshold)
+        print(render_shard_scaling(report))
+        return 0 if report["ok"] else 1
+    if args.head is None:
+        parser.error("HEAD ledger is required unless --shard-scaling")
     report = compare(
         load_ledger(args.base), load_ledger(args.head), args.threshold,
         total_only=args.total_only,

@@ -394,6 +394,7 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     """
     import asyncio
 
+    from repro.service import install_uvloop
     from repro.verify.parity import ParityError, parity_battery
     from repro.verify.stress import (
         StressSpec,
@@ -402,13 +403,30 @@ def _cmd_stress(args: argparse.Namespace) -> int:
         simulator_stress_check,
     )
 
+    loop_impl = install_uvloop(args.uvloop)
+    if args.uvloop:
+        print(f"event loop: {loop_impl}")
+
     if args.smoke:
         transactions = 400
         parity_seeds = range(2)
         parity_transactions = 10
         sim_limit = 150
-        shard_counts = [1, 2]
-        overload = 1.5
+        # 1 vs 4 shards so the smoke ledger feeds the shard-scaling gate
+        # (make stress-smoke fails when 4-shard loses to 1-shard).
+        shard_counts = [1, 4]
+        # The gate compares *sustained* committed throughput, so the
+        # smoke's offered load must sit inside every deployment's
+        # capacity: at a burst peak of 4 x 600 = 2,400 arrivals/s both
+        # deployments keep pace and the ratio catches coordination
+        # regressions (a polling coordinator parks waiters for whole
+        # failsafe periods and craters the multi-shard wall) instead of
+        # re-litigating peak capacity, which a single event loop decides
+        # in the 1-shard deployment's favor by construction — see
+        # docs/PERFORMANCE.md.  The full `repro stress` run keeps the
+        # genuine overload profile.
+        overload = 1.0
+        arrival_hz = 600.0
     else:
         transactions = args.transactions
         parity_seeds = range(args.parity_seeds)
@@ -416,12 +434,13 @@ def _cmd_stress(args: argparse.Namespace) -> int:
         sim_limit = args.sim_limit
         shard_counts = [int(s) for s in args.shards.split(",") if s]
         overload = args.overload
+        arrival_hz = args.arrival_rate
 
     spec = StressSpec(
         seed=args.seed,
         transactions=transactions,
         overload=overload,
-        arrival_rate_hz=args.arrival_rate,
+        arrival_rate_hz=arrival_hz,
         burst_factor=args.burst_factor,
         burst_period_s=args.burst_period,
         burst_duty=args.burst_duty,
@@ -462,12 +481,12 @@ def _cmd_stress(args: argparse.Namespace) -> int:
 
     rows = []
     for shards in shard_counts:
-        # The coordinator's cross-shard gate goes quadratic with hundreds
-        # of live sessions, so multi-shard runs get a small admission cap
-        # by default; overload shedding is part of conservation.
+        # One cap for every deployment shape: the event-driven
+        # coordinator holds up under hundreds of live sessions, so
+        # multi-shard runs no longer need a protective lower default.
         max_sessions = args.max_sessions
         if max_sessions is None:
-            max_sessions = 64 if shards > 1 else 512
+            max_sessions = 512
         report = asyncio.run(run_stress(
             spec,
             args.protocol,
@@ -781,7 +800,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("hash", "range"))
     stress.add_argument("--max-sessions", type=int, default=None,
                         help="admission cap for the concurrent phase "
-                             "(default: 512 unsharded, 64 sharded)")
+                             "(default: 512 for every shard count)")
+    stress.add_argument("--uvloop", action="store_true",
+                        help="run the concurrent phase on uvloop when "
+                             "installed (falls back to asyncio)")
     stress.add_argument("--parity-seeds", type=int, default=20, metavar="N",
                         help="decision-parity workload seeds 0..N-1")
     stress.add_argument("--parity-transactions", type=int, default=25,

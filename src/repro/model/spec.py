@@ -14,6 +14,7 @@ operations; nothing in the engine assumes integral times.
 from __future__ import annotations
 
 import enum
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
@@ -144,26 +145,31 @@ class TransactionSpec:
     # ------------------------------------------------------------------
     # Derived, cached views
     # ------------------------------------------------------------------
-    @property
+    # ``functools.cached_property`` stores the computed value in the
+    # instance ``__dict__`` directly, which sidesteps the frozen-dataclass
+    # ``__setattr__`` guard; the spec is immutable, so the views never go
+    # stale.  The hot admission path consults these sets on every lock
+    # request — rebuilding the frozensets per call dominated profiles.
+    @functools.cached_property
     def execution_time(self) -> float:
         """Total CPU demand ``C_i`` (sum of operation durations)."""
         return sum(op.duration for op in self.operations)
 
-    @property
+    @functools.cached_property
     def read_set(self) -> FrozenSet[str]:
         """Items this transaction may read (declared read set)."""
         return frozenset(
             op.item for op in self.operations if op.kind is OpKind.READ and op.item
         )
 
-    @property
+    @functools.cached_property
     def write_set(self) -> FrozenSet[str]:
         """Items this transaction may write — ``WriteSet(T_i)`` in the paper."""
         return frozenset(
             op.item for op in self.operations if op.kind is OpKind.WRITE and op.item
         )
 
-    @property
+    @functools.cached_property
     def access_set(self) -> FrozenSet[str]:
         """All items this transaction may read or write."""
         return self.read_set | self.write_set

@@ -165,9 +165,15 @@ def in_process_client(manager: LockManager) -> ServiceClient:
 
     Runs the exact dispatch code the TCP server runs — only the socket is
     skipped — so in-process tests exercise the full service surface.
+    Each request still crosses the event loop once: over TCP every op is
+    a socket round-trip that lets other connections run, and without the
+    equivalent yield here an in-process client would execute whole
+    transactions back-to-back — no interleaving, so no contention, which
+    is not the concurrency profile the wire tests mean to exercise.
     """
 
     async def transport(request: Dict[str, Any]) -> Dict[str, Any]:
+        await asyncio.sleep(0)
         return await wire.dispatch_request(manager, request)
 
     return ServiceClient(transport)

@@ -204,17 +204,26 @@ class LoadReport:
         if not shards:
             return []
         lines = ["", "per-shard breakdown:"]
+        # Shard lock-wait is listed per shard, while coordinator
+        # gate/guard park time lives in the coordinator paragraph below
+        # (ShardingStats.gate_wait / guard_wait) — the two are no longer
+        # folded into one histogram, so regressions stay attributable.
         lines.append(
             f"  {'shard':>5} {'items':>6} {'sessions':>9} {'grants':>7} "
-            f"{'denies':>7} {'commits':>8} {'commit p95':>11}"
+            f"{'denies':>7} {'commits':>8} {'commit p95':>11} "
+            f"{'lock-wait p95':>14}"
         )
         for entry in shards:
             hist = LatencyHistogram.from_dict(entry["commit_latency"])
+            wait_doc = entry.get("lock_wait")
+            waits = (LatencyHistogram.from_dict(wait_doc) if wait_doc
+                     else LatencyHistogram())
             lines.append(
                 f"  {entry['shard']:>5} {entry['items']:>6} "
                 f"{entry['sessions']:>9} {entry['grants']:>7} "
                 f"{entry['denials']:>7} {entry['commits']:>8} "
-                f"{_fmt_s(hist.percentile(95)):>11}"
+                f"{_fmt_s(hist.percentile(95)):>11} "
+                f"{_fmt_s(waits.percentile(95)):>14}"
             )
         idle = [str(entry["shard"]) for entry in shards
                 if not entry.get("grants")]

@@ -22,10 +22,12 @@ Concurrency model (docs/SERVICE.md has the full write-up):
   waiters — and its blockers inherit the requester's priority through the
   shared wait-for graph, exactly as in the engine;
 * every lock release re-services the grant queue in (running priority,
-  earliest deadline, FIFO) order, re-evaluating each waiter against the
-  protocol's locking conditions; "wake" and "grant" are one atomic step
-  here because there is no CPU to schedule, unlike the simulator's
-  wake-then-retry dance;
+  earliest deadline, FIFO) order, re-evaluating against the protocol's
+  locking conditions exactly the waiters the release can affect (an
+  item→waiters index plus each denial's blame set select them; every
+  other denial is invariant under the churn); "wake" and "grant" are one
+  atomic step here because there is no CPU to schedule, unlike the
+  simulator's wake-then-retry dance;
 * commits install deferred writes from the session workspace into the
   shared database under a monotonic service clock, so the recorded
   history replays through :func:`repro.db.serializability.check_serializable`
@@ -71,6 +73,7 @@ from __future__ import annotations
 
 import asyncio
 import enum
+import heapq
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
@@ -223,6 +226,13 @@ class _Waiter:
     parked_at: float
     #: Latest denial reason; "order guard ..." marks a service-level wait.
     reason: str = ""
+    #: Blame set of the latest denial — the jobs whose lock churn could
+    #: flip this decision.  Drives the partial re-decide in
+    #: :meth:`LockManager._service_grant_queue`.
+    blockers: Tuple[Job, ...] = ()
+    #: The requester's running priority when last decided; a later change
+    #: can flip LC2/LC3, so any delta re-queues the waiter.
+    decided_priority: int = 0
 
 
 class LockManager:
@@ -261,6 +271,17 @@ class LockManager:
         #: capture a decision sequence in global order — including across
         #: the shards of a coordinator, where per-shard traces interleave.
         self.decision_listeners: List[Callable[[LockEvent], None]] = []
+        #: Callbacks fired synchronously on lock churn, for embedders that
+        #: maintain derived state (the shard coordinator).  Signature is
+        #: ``listener(kind, job, other)`` with kinds:
+        #:
+        #: * ``"constraint"`` — an LC3/LC4 read recorded ``job ≺ other``;
+        #: * ``"finish"`` / ``"abort"`` — ``job`` reached a terminal state
+        #:   (``"abort"`` fires after the teardown is complete);
+        #: * ``"wait"`` — ``job`` parked on (or re-pointed) a wait edge.
+        self.churn_listeners: List[
+            Callable[[str, Job, Optional[Job]], None]
+        ] = []
         self.stats = ServiceStats()
         self.protocol.bind(catalog, self.table)
         self.protocol.bind_runtime(self.waits)
@@ -290,10 +311,21 @@ class LockManager:
         self._by_job: Dict[Job, Session] = {}
         self._live: Dict[Session, None] = {}   # insertion-ordered set
         self._waiters: Dict[Session, _Waiter] = {}
+        #: item -> sessions parked on it (partial re-decide index).
+        self._item_waiters: Dict[str, Set[Session]] = {}
+        #: Lock churn since the last grant-queue drain: items whose locks
+        #: were released and the jobs that released them.  Terminal
+        #: transitions and early unlocks feed these; the drain re-decides
+        #: only the waiters they can affect.
+        self._churn_items: Set[str] = set()
+        self._churn_jobs: Set[Job] = set()
         # Serialization-order constraints among LIVE jobs (see module
         # docstring): _pred[w] = {s: s ≺ w}, _succ[s] = {w: s ≺ w}.
         self._pred: Dict[Job, Set[Job]] = {}
         self._succ: Dict[Job, Set[Job]] = {}
+        #: Memoized transitive closures over ``_pred``, dirtied wholesale
+        #: on any constraint-graph edit (see :meth:`_transitive_preds`).
+        self._preds_cache: Dict[Job, Set[Job]] = {}
         #: Sessions parked at the commit gate, with their wake-up futures.
         self._gate_futures: Dict[Session, "asyncio.Future[None]"] = {}
         self._next_session_id = 0
@@ -585,6 +617,18 @@ class LockManager:
         for listener in self.decision_listeners:
             listener(event)
 
+    def _notify_churn(
+        self, kind: str, job: Job, other: Optional[Job] = None
+    ) -> None:
+        """Fan one churn event out to the registered listeners."""
+        for listener in self.churn_listeners:
+            listener(kind, job, other)
+
+    def _note_release_churn(self, job: Job, items) -> None:
+        """Record released locks for the next grant-queue drain."""
+        self._churn_jobs.add(job)
+        self._churn_items.update(items)
+
     def _pre_op(
         self,
         session: Session,
@@ -627,15 +671,16 @@ class LockManager:
         session.op_count += 1
         if not self.config.honor_early_release:
             return
-        released = False
+        released: List[str] = []
         for item, mode in self.protocol.after_operation(session.job, op_index):
             # A free-form client may diverge from the declared program; an
             # early-unlock suggestion for a lock not actually held is
             # skipped rather than treated as corruption.
             if self.table.holds(session.job, item, mode):
                 self.table.release(session.job, item, mode)
-                released = True
+                released.append(item)
         if released:
+            self._note_release_churn(session.job, released)
             self._recompute_priorities()
             self._service_grant_queue()
 
@@ -669,10 +714,14 @@ class LockManager:
         )
         future: "asyncio.Future[str]" = asyncio.get_running_loop().create_future()
         waiter = _Waiter(session, item, mode, future, now,
-                         reason=decision.reason)
+                         reason=decision.reason,
+                         blockers=decision.blockers,
+                         decided_priority=job.running_priority)
         self._waiters[session] = waiter
+        self._item_waiters.setdefault(item, set()).add(session)
         session.state = SessionState.WAITING
         self.waits.block(job, decision.blockers, inherit=decision.inherit)
+        self._notify_churn("wait", job)
         self._recompute_priorities()
         try:
             self._check_deadlock(session)
@@ -753,7 +802,17 @@ class LockManager:
         return self._decide(job, item, mode)
 
     def _transitive_preds(self, job: Job) -> Set[Job]:
-        """All live jobs serialized before ``job`` (transitively)."""
+        """All live jobs serialized before ``job`` (transitively).
+
+        Memoized per job: the cache is dirtied wholesale on every
+        constraint-graph edit (:meth:`_apply_grant` adds edges,
+        :meth:`_drop_constraints` removes them), so the order guard's
+        repeated closure walks between lock churns are O(1).  Callers
+        must not mutate the returned set.
+        """
+        cached = self._preds_cache.get(job)
+        if cached is not None:
+            return cached
         seen: Set[Job] = set()
         stack = [job]
         while stack:
@@ -761,6 +820,7 @@ class LockManager:
                 if pred not in seen:
                     seen.add(pred)
                     stack.append(pred)
+        self._preds_cache[job] = seen
         return seen
 
     def _apply_grant(
@@ -780,9 +840,13 @@ class LockManager:
             # Reading past a write lock (LC3/LC4) serializes this session
             # before every current write holder — record the adjusted
             # order so commit gating can enforce it (see module docstring).
-            for writer in self.table.writers_of(item) - {job}:
-                self._succ.setdefault(job, set()).add(writer)
-                self._pred.setdefault(writer, set()).add(job)
+            writers = self.table.writers_of(item) - {job}
+            if writers:
+                self._preds_cache.clear()
+                for writer in writers:
+                    self._succ.setdefault(job, set()).add(writer)
+                    self._pred.setdefault(writer, set()).add(job)
+                    self._notify_churn("constraint", job, writer)
         self._recompute_priorities()
         job.grant_rules.append((now, item, mode, rule))
         self.stats.record_grant(job.base_priority)
@@ -825,40 +889,95 @@ class LockManager:
         return (-waiter.session.job.running_priority, deadline,
                 waiter.session.job.seq)
 
-    def _service_grant_queue(self) -> None:
-        """Re-evaluate parked requests after lock churn.
+    def _drain_candidates(self) -> Dict[Session, _Waiter]:
+        """Consume the churn sets and pick the waiters they can affect.
 
-        Each pass walks the queue in priority order and grants every
-        request the protocol now admits; a grant changes the table, so the
-        pass restarts until a fixpoint (no waiter admissible).  This is
-        the service counterpart of the simulator's wake-then-retry loop,
-        collapsed into one atomic step because waiters need no CPU to
-        proceed.
+        A parked request is a re-decide candidate iff (a) a lock on *its
+        item* was released, (b) a job *it blames* released any lock (the
+        denial reports exactly the holders whose departure can flip it:
+        LC1's readers, the ceiling's T*, the footnote's violators, the
+        guard's writing predecessors), or (c) its own running priority
+        moved since it was last decided (LC2 compares the requester's
+        priority against the system ceiling).  Every other denial is
+        invariant under the drained churn, so skipping it changes only
+        the work done, never the decisions.
         """
+        churn_items = self._churn_items
+        churn_jobs = self._churn_jobs
+        self._churn_items = set()
+        self._churn_jobs = set()
+        if not self._waiters:
+            return {}
+        picked: Dict[Session, _Waiter] = {}
+        for item in churn_items:
+            for session in self._item_waiters.get(item, ()):
+                waiter = self._waiters.get(session)
+                if waiter is not None:
+                    picked[session] = waiter
+        for session, waiter in self._waiters.items():
+            if session in picked:
+                continue
+            if waiter.session.job.running_priority != waiter.decided_priority:
+                picked[session] = waiter
+                continue
+            if churn_jobs:
+                for blocker in waiter.blockers:
+                    if blocker in churn_jobs:
+                        picked[session] = waiter
+                        break
+        return picked
+
+    def _service_grant_queue(self) -> None:
+        """Re-decide the parked requests the latest lock churn can flip.
+
+        Releases accumulate in ``_churn_items`` / ``_churn_jobs`` between
+        drains; each pass re-evaluates only the candidates
+        :meth:`_drain_candidates` selects, ordered through a heap in
+        (running priority, earliest deadline, FIFO) order.  Each
+        candidate is decided *at most once per drain*: a denial removes
+        it from the working set (its refreshed blame re-selects it on
+        the next relevant churn), and a grant resumes the pass over the
+        still-undecided suffix plus whatever fresh churn the grant's
+        teardown produced (an ``AbortAndGrant`` feeds its victims'
+        releases back through the churn sets).  A pure grant never frees
+        a lock, so re-deciding the already-denied prefix after one could
+        only flip through a priority ripple — which the next drain's
+        priority-delta rule catches.  This is the service counterpart of
+        the simulator's wake-then-retry loop, collapsed into one atomic
+        step because waiters need no CPU to proceed — minus the
+        full-queue re-sort (and per-grant re-decide storm) the simulator
+        never needed either.
+        """
+        candidates = self._drain_candidates()
         progressed = True
-        while progressed and self._waiters:
+        while progressed and candidates:
             progressed = False
-            ordered = [
-                w for w in sorted(
-                    self._waiters.values(), key=self._grant_queue_order
-                )
-                if not w.future.done()  # done: cleaned up by its own coro
+            heap = [
+                (self._grant_queue_order(w), w.session.job.seq, w)
+                for s, w in candidates.items()
+                if self._waiters.get(s) is w and not w.future.done()
             ]
+            heapq.heapify(heap)
+            ordered: List[_Waiter] = []
+            while heap:
+                ordered.append(heapq.heappop(heap)[2])
             decisions = self._decide_queue(ordered)
             for waiter, decision in zip(ordered, decisions):
                 session = waiter.session
                 now = self.now()
                 if isinstance(decision, Grant):
                     self._pop_waiter(session)
+                    candidates.pop(session, None)
                     session.state = SessionState.ACTIVE
                     self._apply_grant(
                         session, waiter.item, waiter.mode, decision.rule, now
                     )
                     waiter.future.set_result(decision.rule)
                     progressed = True
-                    break  # table changed: restart the pass in fresh order
+                    break  # table changed: resume over the suffix
                 if isinstance(decision, AbortAndGrant):
                     self._pop_waiter(session)
+                    candidates.pop(session, None)
                     session.state = SessionState.ACTIVE
                     self._resolve_abort_grant(
                         session, waiter.item, waiter.mode, decision, now
@@ -867,6 +986,13 @@ class LockManager:
                     progressed = True
                     break
                 assert isinstance(decision, Deny)
+                # Decided this drain: out of the working set until churn
+                # that can actually flip it re-selects it.
+                candidates.pop(session, None)
+            if progressed:
+                # The grant (or its victims' teardown) is fresh churn:
+                # fold any newly affected waiters into the working set.
+                candidates.update(self._drain_candidates())
         self._recompute_priorities()
         # Blocker refreshes above can *redirect* wait edges (the denial's
         # blame set tracks the current holders), so a cycle can appear
@@ -922,8 +1048,11 @@ class LockManager:
         (the open block interval keeps its original start — one wait is
         one interval)."""
         waiter.reason = decision.reason
+        waiter.blockers = decision.blockers
         job = waiter.session.job
+        waiter.decided_priority = job.running_priority
         self.waits.block(job, decision.blockers, inherit=decision.inherit)
+        self._notify_churn("wait", job)
         if job.block_intervals and job.block_intervals[-1].end is None:
             last = job.block_intervals[-1]
             last.blockers = tuple(
@@ -939,6 +1068,11 @@ class LockManager:
         waiter = self._waiters.pop(session, None)
         if waiter is None:
             return None
+        parked = self._item_waiters.get(waiter.item)
+        if parked is not None:
+            parked.discard(session)
+            if not parked:
+                self._item_waiters.pop(waiter.item, None)
         job = session.job
         now = self.now()
         if job.block_intervals and job.block_intervals[-1].end is None:
@@ -976,6 +1110,7 @@ class LockManager:
         session.state = SessionState.WAITING
         job.begin_block(now, "<commit>", LockMode.WRITE, names, reason)
         self.waits.block(job, predecessors, inherit=True)
+        self._notify_churn("wait", job)
         self._recompute_priorities()
         try:
             self._check_deadlock(session)
@@ -1033,6 +1168,8 @@ class LockManager:
 
     def _drop_constraints(self, job: Job) -> None:
         """Remove a finished job from the serialization-constraint graph."""
+        if self._preds_cache:
+            self._preds_cache.clear()
         for succ in self._succ.pop(job, ()):
             preds = self._pred.get(succ)
             if preds is not None:
@@ -1097,7 +1234,7 @@ class LockManager:
                 gate.set_exception(
                     exc or TransactionAborted(f"{session.name}: {reason}")
                 )
-        self.table.release_all(job)
+        released = self.table.release_all(job)
         self.protocol.on_release_all(job)
         self.waits.forget(job)
         if self.kernel is not None:
@@ -1107,17 +1244,19 @@ class LockManager:
         session.abort_reason = reason
         self._live.pop(session, None)
         self._drop_constraints(job)
+        self._note_release_churn(job, (item for item, _ in released))
         self.history.record_abort(job.name, now)
         self.stats.record_abort(job.base_priority, forced=forced)
         self.trace.sched(now, SchedEventKind.ABORT, job.name)
         self._recompute_priorities()
         self._sample_sysceil()
         self._wake_gates()
+        self._notify_churn("abort", job)
 
     def _finish(self, session: Session, state: SessionState, now: float) -> None:
         """Common terminal transition for commit."""
         job = session.job
-        self.table.release_all(job)
+        released = self.table.release_all(job)
         self.protocol.on_release_all(job)
         self.waits.forget(job)
         if self.kernel is not None:
@@ -1125,9 +1264,11 @@ class LockManager:
         session.state = state
         self._live.pop(session, None)
         self._drop_constraints(job)
+        self._note_release_churn(job, (item for item, _ in released))
         self._recompute_priorities()
         self._sample_sysceil()
         self._wake_gates()
+        self._notify_churn("finish", job)
 
     def _is_service_cycle(self, cycle: Tuple[Job, ...]) -> bool:
         """True when the cycle involves a service-level wait (gate/guard).

@@ -4,8 +4,11 @@ One :class:`LockServer` wraps one :class:`~repro.service.manager.LockManager`
 behind ``asyncio.start_server``.  Connections are cheap: each request line
 spawns a task, so a client may pipeline requests (a session blocked in the
 grant queue does not stall the connection's other sessions); responses are
-written under a per-connection lock in completion order and matched by
-``id`` on the client side.
+batched per event-loop tick — every response completing in one tick is
+coalesced into a single write+drain by the connection's flusher task, so a
+pipelining client costs one syscall per tick instead of one per message.
+Responses leave in completion order and are matched by ``id`` on the
+client side.
 
 Crash safety for clients: sessions are owned by the connection that opened
 them.  When a connection drops, its still-live sessions are aborted and
@@ -101,15 +104,37 @@ class LockServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        write_lock = asyncio.Lock()
         # Sessions opened over this connection, for disconnect cleanup.
         owned: Dict[int, None] = {}
         inflight: Set[asyncio.Task] = set()
+        # Batched response path: handlers append and wake the flusher;
+        # everything queued by the time it runs goes out as one
+        # write+drain (wire.encode_batch), so pipelined responses cost
+        # one syscall per event-loop tick, not one per message.
+        pending: list = []
+        flush_wakeup = asyncio.Event()
 
-        async def respond(document: dict) -> None:
-            async with write_lock:
-                writer.write(wire.encode(document))
-                await writer.drain()
+        def respond(document: dict) -> None:
+            pending.append(document)
+            flush_wakeup.set()
+
+        async def flush_loop() -> None:
+            try:
+                while True:
+                    await flush_wakeup.wait()
+                    flush_wakeup.clear()
+                    if not pending:
+                        continue
+                    batch = wire.encode_batch(pending)
+                    pending.clear()
+                    writer.write(batch)
+                    await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                pass  # peer vanished mid-response; cleanup happens below
+            except asyncio.CancelledError:
+                pass
+
+        flusher = asyncio.ensure_future(flush_loop())
 
         async def handle(request: dict) -> None:
             response = await wire.dispatch_request(self.manager, request)
@@ -119,10 +144,7 @@ class LockServer:
                 and isinstance(response.get("result"), dict)
             ):
                 owned[response["result"]["session"]] = None
-            try:
-                await respond(response)
-            except (ConnectionError, RuntimeError):
-                pass  # peer vanished mid-response; cleanup happens below
+            respond(response)
 
         try:
             while True:
@@ -137,7 +159,7 @@ class LockServer:
                 try:
                     request = wire.decode(line)
                 except ValueError as exc:
-                    await respond(
+                    respond(
                         wire.error_response(None, "bad-request", str(exc))
                     )
                     continue
@@ -151,6 +173,17 @@ class LockServer:
                 task.cancel()
             if inflight:
                 await asyncio.gather(*inflight, return_exceptions=True)
+            flusher.cancel()
+            await asyncio.gather(flusher, return_exceptions=True)
+            if pending:
+                # Final flush: responses completed after the flusher's
+                # last pass must still reach an orderly-closing peer.
+                try:
+                    writer.write(wire.encode_batch(pending))
+                    await writer.drain()
+                except (ConnectionError, RuntimeError, OSError):
+                    pass
+                pending.clear()
             await self._abort_owned(owned)
             writer.close()
             try:

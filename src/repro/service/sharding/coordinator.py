@@ -21,14 +21,18 @@ serializable service:
   recorded on a shard where it holds locks, i.e. its home).  Multi-shard
   ("global") sessions pay for coordination.
 * **Global commit gate.**  Before a cross-shard commit installs
-  anything, the coordinator aggregates the per-shard reader≺writer
-  registries (``LockManager._pred``) into one merged, session-level
-  constraint graph and parks the committer until every live predecessor
-  on *every* touched shard has finished.  The install loop that follows
-  contains no ``await`` until the last shard's install lands — per-shard
-  local gates are empty by then (their constraints are a subset of the
-  merged ones), so a multi-shard commit is atomic on the event loop and
-  no concurrent reader can observe a partially-installed transaction.
+  anything, the coordinator parks the committer until every live
+  predecessor on the merged, session-level constraint graph has
+  finished.  The graph is maintained *incrementally*: every shard
+  publishes churn notifications (``LockManager.churn_listeners``), and
+  an LC3/LC4 constraint record adds a session-level edge the moment the
+  shard records it, while a global terminal removes the session's node —
+  no per-wait rebuild over the shard ``_pred`` registries.  The install
+  loop that follows contains no ``await`` until the last shard's install
+  lands — per-shard local gates are empty by then (their constraints are
+  a subset of the merged ones), so a multi-shard commit is atomic on the
+  event loop and no concurrent reader can observe a partially-installed
+  transaction.
 * **Global order guard.**  A read is held back while any live
   *transitive* predecessor on the merged graph — beyond those the owning
   shard can see locally — declares the item in its write set.  On a
@@ -42,14 +46,20 @@ serializable service:
   or through lock waits on two different shards (the per-shard ceilings
   cannot see each other, so the paper's deadlock-freedom theorem does
   not survive partitioning; ``docs/SHARDING.md`` discusses this
-  honestly).  Waiters poll a cheap sweep while parked; the sweep builds
-  the session-level union of all shard wait-for graphs plus the
-  coordinator waits, and resolves any cycle not attributable to a
-  single shard by aborting its lowest-priority member.
+  honestly).  A cycle needs a *new* wait edge to close, so the check is
+  event-driven: shard ``"wait"`` notifications and coordinator parks
+  schedule one coalesced detection pass per event-loop tick, which
+  builds the session-level union of all shard wait-for graphs plus the
+  coordinator waits and resolves any cycle not attributable to a single
+  shard by aborting its lowest-priority member.
 
-Deadlines are owned by the coordinator (legs run without deadlines):
-checked at operation boundaries and enforced mid-wait by the watchdog
-that wraps every forwarded operation.
+Everything the old polling watchdog did is now notification-driven:
+shard-side leg aborts cascade to their global session synchronously
+from the shard's ``"abort"`` churn event, predecessor terminals wake
+exactly the gate/guard waiters indexed on them, and deadlines are
+enforced as wait timeouts.  A long-period failsafe re-check (the
+remnant of ``sweep_interval_s``) backstops lost notifications but does
+no steady-state work.
 """
 
 from __future__ import annotations
@@ -141,11 +151,12 @@ class GlobalSession:
 
 @dataclass
 class _CoordWait:
-    """One parked coordinator-level wait (gate or guard), for deadlock
-    edges and introspection."""
+    """One parked coordinator-level wait (gate or guard): deadlock
+    edges, introspection, and the future a blocker's terminal fires."""
 
     kind: str
     blockers: Tuple[GlobalSession, ...]
+    future: "asyncio.Future[None]"
 
 
 class ShardedLockManager:
@@ -170,8 +181,11 @@ class ShardedLockManager:
         shards: number of partitions (>= 1).
         partitioner: scheme name (``"hash"`` / ``"range"``) or a prebuilt
             :class:`Partitioner`.
-        sweep_interval_s: polling period of the parked-waiter watchdog
-            (cascade of shard-side aborts + cross-shard deadlock check).
+        sweep_interval_s: period of the *failsafe* re-check run by parked
+            waiters (cascade of shard-side aborts + cross-shard deadlock
+            check).  All steady-state progress is notification-driven;
+            the failsafe only backstops lost wake-ups, so its period is
+            floored at one second regardless of this value.
     """
 
     def __init__(
@@ -203,6 +217,14 @@ class ShardedLockManager:
                 f"manager has {shards}"
             )
         self.partitioner = partitioner
+        #: item -> shard, precomputed for every catalog item: routing sits
+        #: on the per-operation hot path and the mapping is static.
+        self._shard_of: Dict[str, int] = {
+            item: partitioner.shard_of(item) for item in items
+        }
+        #: transaction name -> shard span; static by the same argument
+        #: that makes the ceilings static (declared access sets).
+        self._span_cache: Dict[str, FrozenSet[int]] = {}
         shard_config = ServiceConfig(
             deadlock_action=self.config.deadlock_action,
             record_sysceil=self.config.record_sysceil,
@@ -220,6 +242,9 @@ class ShardedLockManager:
         self.stats = ServiceStats()
         self.sharding_stats = ShardingStats()
         self._sweep_interval = sweep_interval_s
+        #: Failsafe period for parked waiters: the event-driven design
+        #: needs no timer for progress, so the re-check runs rarely.
+        self._failsafe_interval = max(sweep_interval_s, 1.0)
 
         self._sessions: Dict[int, GlobalSession] = {}
         self._live: Dict[GlobalSession, None] = {}  # insertion-ordered set
@@ -227,13 +252,31 @@ class ShardedLockManager:
         self._job_sessions: Dict[Job, GlobalSession] = {}
         #: Parked coordinator-level waits (commit gate / order guard).
         self._coord_waits: Dict[GlobalSession, _CoordWait] = {}
-        #: Futures fired whenever any global session finishes.
-        self._finish_futures: List["asyncio.Future[None]"] = []
+        #: blocker session -> waiters parked on it (terminal wake index).
+        self._wake_index: Dict[GlobalSession, Set[GlobalSession]] = {}
+        #: The incrementally maintained session-level constraint graph,
+        #: mirrored from shard LC3/LC4 records via churn notifications:
+        #: _gpred[w] = {s: s ≺ w}, _gsucc[s] = {w: s ≺ w}.  A session's
+        #: node is dropped wholesale at its global terminal — exactly
+        #: when its legs' shard-side edges are dropped.
+        self._gpred: Dict[GlobalSession, Set[GlobalSession]] = {}
+        self._gsucc: Dict[GlobalSession, Set[GlobalSession]] = {}
+        #: Memoized transitive closures over ``_gpred``, dirtied
+        #: wholesale on any graph edit.
+        self._gpred_cache: Dict[GlobalSession, Set[GlobalSession]] = {}
+        #: Coalescing flag: at most one deadlock pass per loop tick.
+        self._deadlock_check_scheduled = False
         #: (kind, instance name, time) terminal rows for the merged history.
         self._outcomes: List[Tuple[str, str, float]] = []
         self._instances: Dict[str, int] = {}
         self._next_session_id = 0
         self._closed = False
+        for index, shard in enumerate(self.shards):
+            shard.churn_listeners.append(
+                lambda kind, job, other, _shard=index: self._on_shard_churn(
+                    _shard, kind, job, other
+                )
+            )
 
     # ------------------------------------------------------------------
     # Clock and identity
@@ -241,6 +284,14 @@ class ShardedLockManager:
     def now(self) -> float:
         """Seconds since the deployment started (shared service clock)."""
         return time.monotonic() - self._t0
+
+    def _route(self, item: str) -> int:
+        """Owning shard of ``item`` (memoized over the partitioner)."""
+        shard = self._shard_of.get(item)
+        if shard is None:
+            shard = self.partitioner.shard_of(item)
+            self._shard_of[item] = shard
+        return shard
 
     @property
     def protocol(self):
@@ -295,9 +346,11 @@ class ShardedLockManager:
         )
         if relative is not None:
             session.deadline = now + relative
-        session.span = frozenset(
-            self.partitioner.shard_of(item) for item in spec.access_set
-        )
+        span = self._span_cache.get(transaction)
+        if span is None:
+            span = frozenset(self._route(item) for item in spec.access_set)
+            self._span_cache[transaction] = span
+        session.span = span
         self._sessions[session.id] = session
         self._live[session] = None
         self.stats.sessions_started += 1
@@ -323,7 +376,7 @@ class ShardedLockManager:
         write.  The shard's own guard then covers the local remainder.
         """
         self._pre_op(session)
-        shard_id = self.partitioner.shard_of(item)
+        shard_id = self._route(item)
         session.in_flight = True
         try:
             await self._await_remote(
@@ -340,7 +393,7 @@ class ShardedLockManager:
     async def write(self, session: GlobalSession, item: str, value: Any) -> None:
         """Buffer a deferred write on the owning shard's leg."""
         self._pre_op(session)
-        shard_id = self.partitioner.shard_of(item)
+        shard_id = self._route(item)
         session.in_flight = True
         try:
             leg = await self._ensure_leg(session, shard_id)
@@ -403,9 +456,9 @@ class ShardedLockManager:
             now = self.now()
             self._finish_global(session, now)
             # OCC-style installs may have broadcast-aborted other
-            # sessions' legs; cascade synchronously (no await: the
-            # atomic section stays atomic).
-            self._cascade_dead()
+            # sessions' legs; those cascaded synchronously from the
+            # shards' "abort" notifications inside the install loop, so
+            # the atomic section stayed atomic with no extra scan here.
             return {
                 "installed": sorted(installed),
                 "latency_s": now - session.opened_at,
@@ -463,7 +516,10 @@ class ShardedLockManager:
         merged = ServiceStats()
         for shard in self.shards:
             merged.merge(shard.stats)
-        merged.lock_wait.merge(self.stats.lock_wait)  # gate/guard parks
+        # Coordinator gate/guard parks are deliberately NOT merged into
+        # lock_wait: they live in their own histograms on the
+        # ``coordinator`` entry (ShardingStats.gate_wait / guard_wait),
+        # so shard lock waits stay attributable.
         doc = merged.to_dict()
         for scalar in (
             "sessions_started", "sessions_rejected", "commits",
@@ -573,10 +629,10 @@ class ShardedLockManager:
             raise SessionStateError(
                 f"{session.name}: session already {session.state.value}"
             )
-        # A leg may have died shard-side since the last touch (2PL-HP
-        # victim, OCC broadcast abort) without any parked waiter to run
-        # the sweep: mirror the unsharded manager, where such an abort
-        # flips the session state synchronously.
+        # A leg abort cascades synchronously from the shard's "abort"
+        # notification, so a live global session with a dead leg should
+        # be unobservable; keep the check as a cheap belt-and-braces
+        # mirror of the unsharded manager's synchronous state flip.
         self._cascade_session(session)
         if not session.state.live:
             raise TransactionAborted(
@@ -625,56 +681,211 @@ class ShardedLockManager:
         return leg
 
     # ------------------------------------------------------------------
-    # Forwarding with the watchdog
+    # Shard churn notifications (the event-driven core)
+    # ------------------------------------------------------------------
+    def _on_shard_churn(
+        self, shard_id: int, kind: str, job: Job, other: Optional[Job]
+    ) -> None:
+        """One shard's synchronous churn callback.
+
+        * ``"constraint"`` — the shard recorded ``job ≺ other`` (an
+          LC3/LC4 read passed a write lock): mirror the edge on the
+          session-level graph, the incremental replacement for rebuilding
+          the merged registries at every gate/guard evaluation.
+        * ``"abort"`` — a leg died shard-side (deadlock victim, 2PL-HP
+          displacement, OCC broadcast): cascade to its global session
+          *now*, synchronously, exactly as the unsharded manager flips
+          such sessions' states inside the operation.  This replaces the
+          polling cascade sweep.
+        * ``"wait"`` — a wait edge was created or re-pointed: a cross-
+          shard cycle can only close here, so schedule one coalesced
+          deadlock pass.
+        """
+        if kind == "constraint":
+            reader = self._job_sessions.get(job)
+            writer = self._job_sessions.get(other)
+            if reader is None or writer is None or reader is writer:
+                return
+            succs = self._gsucc.setdefault(reader, set())
+            if writer in succs:
+                return
+            succs.add(writer)
+            self._gpred.setdefault(writer, set()).add(reader)
+            if self._gpred_cache:
+                self._gpred_cache.clear()
+        elif kind == "abort":
+            session = self._job_sessions.get(job)
+            if session is not None and session.state.live:
+                self._cascade_session(session)
+        elif kind == "wait":
+            self._schedule_deadlock_check()
+
+    def _schedule_deadlock_check(self) -> None:
+        """Coalesce deadlock detection to one pass per event-loop tick.
+
+        Every new wait edge schedules a pass; concurrent edges within
+        one tick share it.  A 1-shard deployment skips entirely: no
+        coordinator wait ever parks there and cross-shard cycles cannot
+        exist, so the shard's own detector is complete.
+        """
+        if (
+            self._deadlock_check_scheduled
+            or self._closed
+            or len(self.shards) == 1
+        ):
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            self._check_global_deadlock()
+            return
+        self._deadlock_check_scheduled = True
+        loop.call_soon(self._run_deadlock_check)
+
+    def _run_deadlock_check(self) -> None:
+        self._deadlock_check_scheduled = False
+        if not self._closed:
+            self._check_global_deadlock()
+
+    def _drop_session_constraints(self, session: GlobalSession) -> None:
+        """Remove a finished session's node from the constraint graph."""
+        succs = self._gsucc.pop(session, None)
+        preds = self._gpred.pop(session, None)
+        if succs:
+            for succ in succs:
+                remaining = self._gpred.get(succ)
+                if remaining is not None:
+                    remaining.discard(session)
+                    if not remaining:
+                        self._gpred.pop(succ, None)
+        if preds:
+            for pred in preds:
+                remaining = self._gsucc.get(pred)
+                if remaining is not None:
+                    remaining.discard(session)
+                    if not remaining:
+                        self._gsucc.pop(pred, None)
+        if succs or preds:
+            self._gpred_cache.clear()
+        else:
+            self._gpred_cache.pop(session, None)
+
+    def _on_session_terminal(self, session: GlobalSession) -> None:
+        """Shared terminal bookkeeping: drop the constraint node, wake
+        exactly the gate/guard waiters whose predecessor sets shrink."""
+        self._drop_session_constraints(session)
+        waiters = self._wake_index.pop(session, None)
+        if waiters:
+            for waiter in tuple(waiters):
+                wait = self._coord_waits.get(waiter)
+                if wait is not None and not wait.future.done():
+                    wait.future.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Forwarding
     # ------------------------------------------------------------------
     async def _forward(self, session: GlobalSession, coro) -> Any:
-        """Await a shard operation under the coordinator's watchdog.
+        """Await a shard operation, mapping failures and deadlines.
 
-        While the operation is parked shard-side, the watchdog wakes
-        every sweep interval to cascade shard-initiated aborts, run the
-        cross-shard deadlock check, and enforce the session's deadline
-        (legs carry none).  Cancellation (client disconnect) tears the
-        global session down, mirroring the unsharded manager.
+        The operation's first step runs *eagerly*, on the caller's
+        stack: the overwhelmingly common shard op (an unblocked grant, a
+        buffered write, an uncontended leg commit) finishes without ever
+        suspending, so it never touches the event loop at all.  Without
+        this, every forwarded op costs at least one loop tick — under an
+        open-system arrival schedule that forced interleaving lets
+        hundreds of later transactions start before earlier ones finish,
+        and the resulting constraint pile-up is what collapsed
+        multi-shard throughput.  Only an op that actually parks
+        (lock wait, shard-side gate) is handed to a task.
+
+        Shard churn that the old polling watchdog existed to observe now
+        arrives as synchronous notifications (leg aborts cascade from
+        the shard's ``"abort"`` event before the operation even
+        resolves), so an operation without a deadline simply awaits its
+        task.  A deadline bounds the wait; cancellation (client
+        disconnect) tears the global session down, mirroring the
+        unsharded manager.
         """
-        task = asyncio.ensure_future(coro)
-        while True:
-            if (
-                session.deadline is not None
-                and self.now() > session.deadline
-            ):
-                await self._reap(task)
-                if session.state.live:
-                    self.stats.deadline_aborts += 1
-                    self._abort_global(session, "deadline", forced=True)
-                raise DeadlineExceeded(
-                    f"{session.name}: deadline passed during the operation"
-                )
-            timeout = self._sweep_interval
-            if session.deadline is not None:
-                timeout = min(
-                    timeout, max(1e-4, session.deadline - self.now())
-                )
+        task: Optional["asyncio.Future"] = None
+        try:
             try:
-                result = await asyncio.wait_for(asyncio.shield(task), timeout)
-                # The operation may have aborted *other* sessions
-                # shard-side (2PL-HP victims, OCC broadcast): cascade
-                # now, synchronously, exactly as the unsharded manager
-                # flips those sessions' states inside the operation.
-                self._cascade_dead()
-                return result
-            except asyncio.TimeoutError:
-                self._sweep()
-            except asyncio.CancelledError:
+                first = coro.send(None)
+            except StopIteration as stop:
+                return stop.value
+            task = asyncio.ensure_future(self._settle(coro, first))
+            if session.deadline is None:
+                return await asyncio.shield(task)
+            while True:
+                remaining = session.deadline - self.now()
+                if remaining <= 0:
+                    await self._reap(task)
+                    if session.state.live:
+                        self.stats.deadline_aborts += 1
+                        self._abort_global(session, "deadline", forced=True)
+                    raise DeadlineExceeded(
+                        f"{session.name}: deadline passed during the operation"
+                    )
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.shield(task), remaining
+                    )
+                except asyncio.TimeoutError:
+                    continue
+        except asyncio.CancelledError:
+            if task is not None:
                 await self._reap(task)
-                if session.state.live:
-                    self._abort_global(session, "cancelled", forced=True)
-                raise
-            except ServiceError as exc:
-                self._on_leg_failure(session, exc)
-                raise
+            if session.state.live:
+                self._abort_global(session, "cancelled", forced=True)
+            raise
+        except ServiceError as exc:
+            self._on_leg_failure(session, exc)
+            raise
 
     @staticmethod
-    async def _reap(task: "asyncio.Task") -> None:
+    async def _settle(coro, yielded) -> Any:
+        """Finish a leg coroutine whose eager first step suspended.
+
+        Mirrors the task step/wakeup protocol: wait for the future the
+        coroutine yielded, then resume it with ``send`` (or ``throw`` on
+        failure) until it returns.  Cancellation cancels the inner
+        future and is thrown into the coroutine so its cleanup handlers
+        (waiter un-parking, gate teardown) run exactly as they would
+        under a cancelled task.
+        """
+        while True:
+            exc: Optional[BaseException] = None
+            if yielded is None:
+                await asyncio.sleep(0)
+            else:
+                yielded._asyncio_future_blocking = False
+                waiter = asyncio.get_running_loop().create_future()
+
+                def _wake(_f, waiter=waiter):
+                    if not waiter.done():
+                        waiter.set_result(None)
+
+                yielded.add_done_callback(_wake)
+                try:
+                    await waiter
+                except asyncio.CancelledError as cancel:
+                    yielded.remove_done_callback(_wake)
+                    yielded.cancel()
+                    exc = cancel
+                else:
+                    try:
+                        yielded.result()
+                    except BaseException as inner:  # noqa: BLE001
+                        exc = inner
+            try:
+                if exc is not None:
+                    yielded = coro.throw(exc)
+                else:
+                    yielded = coro.send(None)
+            except StopIteration as stop:
+                return stop.value
+
+    @staticmethod
+    async def _reap(task: "asyncio.Future") -> None:
         """Cancel a forwarded task and silence its outcome."""
         task.cancel()
         try:
@@ -712,24 +923,26 @@ class ShardedLockManager:
     def _merged_preds(self, session: GlobalSession) -> Set[GlobalSession]:
         """Live sessions serialized before this one, on the merged graph.
 
-        Transitive closure over the union of every shard's constraint
-        registry, translated from leg jobs to global sessions.  The
-        registries hold only live jobs, so no staleness filtering is
-        needed.
+        Transitive closure over the incrementally maintained session-
+        level graph (``_gpred``), which mirrors every shard's constraint
+        records via churn notifications — equivalent to the old rebuild
+        over the shard registries because a session-level edge exists
+        exactly while its shard-side edge does (both drop at the global
+        terminal).  Memoized; any graph edit dirties the cache
+        wholesale.  Callers must not mutate the returned set.
         """
         self.sharding_stats.constraint_merges += 1
+        cached = self._gpred_cache.get(session)
+        if cached is not None:
+            return cached
         seen: Set[GlobalSession] = set()
         stack: List[GlobalSession] = [session]
         while stack:
-            current = stack.pop()
-            for shard_id, leg in current.legs.items():
-                shard = self.shards[shard_id]
-                for pred_job in shard._pred.get(leg.job, ()):
-                    pred = self._job_sessions.get(pred_job)
-                    if pred is None or pred is session or pred in seen:
-                        continue
+            for pred in self._gpred.get(stack.pop(), ()):
+                if pred is not session and pred not in seen:
                     seen.add(pred)
                     stack.append(pred)
+        self._gpred_cache[session] = seen
         return seen
 
     def _remote_guard_blockers(
@@ -778,36 +991,44 @@ class ShardedLockManager:
         kind: str,
         blockers_fn: Callable[[], Tuple[GlobalSession, ...]],
     ) -> None:
-        """Park until ``blockers_fn`` drains (finish-wakes + sweep polls).
+        """Park until ``blockers_fn`` drains (event-driven wake-ups).
 
-        Registers the wait for the cross-shard deadlock detector, counts
-        it in the sharding stats, and enforces liveness/deadline on
-        every wake.  Returns synchronously once the blocker set is empty
-        — callers rely on there being no trailing ``await``.
+        The wait indexes itself on each blocker, so only a blocker's
+        terminal transition wakes it — predecessors arriving *while*
+        parked can only grow the set and never require a wake, and the
+        re-evaluation after each wake picks them up.  Registers the wait
+        for the cross-shard deadlock detector (one coalesced pass per
+        park), enforces liveness/deadline on every wake, and falls back
+        to a rare failsafe re-check against lost notifications.  Returns
+        synchronously once the blocker set is empty — callers rely on
+        there being no trailing ``await``.
         """
         blockers = blockers_fn()
         if not blockers:
             return
         if kind == "commit gate":
             self.sharding_stats.gate_waits += 1
+            park_hist = self.sharding_stats.gate_wait
         else:
             self.sharding_stats.guard_waits += 1
+            park_hist = self.sharding_stats.guard_wait
         started = self.now()
         previous_state = session.state
         session.state = SessionState.WAITING
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 blockers = blockers_fn()
                 if not blockers:
                     return
-                loop = asyncio.get_running_loop()
                 future: "asyncio.Future[None]" = loop.create_future()
-                self._finish_futures.append(future)
-                self._coord_waits[session] = _CoordWait(kind, blockers)
-                self._check_global_deadlock()
+                self._coord_waits[session] = _CoordWait(kind, blockers, future)
+                for blocker in blockers:
+                    self._wake_index.setdefault(blocker, set()).add(session)
+                self._schedule_deadlock_check()
                 try:
                     if session.state.live:
-                        timeout = self._sweep_interval
+                        timeout = self._failsafe_interval
                         if session.deadline is not None:
                             timeout = min(
                                 timeout,
@@ -818,7 +1039,7 @@ class ShardedLockManager:
                                 asyncio.shield(future), timeout
                             )
                         except asyncio.TimeoutError:
-                            self._sweep()
+                            self._sweep()  # failsafe, not the wake path
                         except asyncio.CancelledError:
                             if session.state.live:
                                 self._abort_global(
@@ -827,8 +1048,12 @@ class ShardedLockManager:
                             raise
                 finally:
                     self._coord_waits.pop(session, None)
-                    if future in self._finish_futures:
-                        self._finish_futures.remove(future)
+                    for blocker in blockers:
+                        waiters = self._wake_index.get(blocker)
+                        if waiters is not None:
+                            waiters.discard(session)
+                            if not waiters:
+                                self._wake_index.pop(blocker, None)
                 if not session.state.live:
                     raise TransactionAborted(
                         f"{session.name}: "
@@ -847,13 +1072,9 @@ class ShardedLockManager:
         finally:
             if session.state is SessionState.WAITING:
                 session.state = previous_state
-            self.stats.record_wait(session.priority, self.now() - started)
-
-    def _wake_finish_waiters(self) -> None:
-        """Fire every parked coordinator wait to re-evaluate its blockers."""
-        for future in self._finish_futures:
-            if not future.done():
-                future.set_result(None)
+            elapsed = self.now() - started
+            self.stats.record_wait(session.priority, elapsed)
+            park_hist.record(elapsed)
 
     # ------------------------------------------------------------------
     # Terminal transitions
@@ -868,7 +1089,7 @@ class ShardedLockManager:
         self.stats.record_commit(session.priority, now - session.opened_at)
         if len(session.legs) > 1:
             self.sharding_stats.cross_shard_commits += 1
-        self._wake_finish_waiters()
+        self._on_session_terminal(session)
 
     def _abort_global(
         self,
@@ -891,7 +1112,12 @@ class ShardedLockManager:
             self._job_sessions.pop(leg.job, None)
         self._outcomes.append(("abort", session.name, self.now()))
         self.stats.record_abort(session.priority, forced=forced)
-        self._wake_finish_waiters()
+        self._on_session_terminal(session)
+        # The victim itself may be parked at a gate/guard: fire its own
+        # future so the park observes the abort without a failsafe tick.
+        own = self._coord_waits.get(session)
+        if own is not None and not own.future.done():
+            own.future.set_result(None)
 
     # ------------------------------------------------------------------
     # Sweep: cascades and cross-shard deadlock detection
@@ -934,11 +1160,16 @@ class ShardedLockManager:
             self._cascade_session(session)
 
     def _sweep(self) -> None:
-        """Periodic watchdog body (runs while anything is parked).
+        """Failsafe re-check body (rarely run; see ``sweep_interval_s``).
 
-        1. Cascade: a leg aborted shard-side (deadlock victim, OCC
-           validation) without the coordinator on the call stack kills
-           its global session, so sibling legs release their locks.
+        Both steps are redundant under the notification design — leg
+        aborts cascade synchronously from shard ``"abort"`` events and
+        cycles are checked when wait edges appear — but a lost wake-up
+        would otherwise park a waiter forever, so parked waiters re-run
+        this on their (long) failsafe period:
+
+        1. Cascade: kill the global session of any leg aborted
+           shard-side, so sibling legs release their locks.
         2. Cross-shard deadlock detection (see module docstring).
         """
         self._cascade_dead()

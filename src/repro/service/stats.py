@@ -409,6 +409,13 @@ class ShardingStats:
     cascade_aborts: int = 0
     #: Wait cycles spanning shards/coordinator, resolved by victim abort.
     cross_shard_deadlocks: int = 0
+    #: Time cross-shard commits spent parked at the global commit gate —
+    #: kept apart from the shards' ``lock_wait`` so coordinator overhead
+    #: stays attributable (it used to be folded into the merged
+    #: histogram, where gate regressions were invisible).
+    gate_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: Time reads spent parked at the merged-graph order guard.
+    guard_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     @property
     def cross_shard_ratio(self) -> float:
@@ -428,6 +435,8 @@ class ShardingStats:
             "constraint_merges": self.constraint_merges,
             "cascade_aborts": self.cascade_aborts,
             "cross_shard_deadlocks": self.cross_shard_deadlocks,
+            "gate_wait": self.gate_wait.to_dict(),
+            "guard_wait": self.guard_wait.to_dict(),
         }
 
     @classmethod
@@ -440,6 +449,11 @@ class ShardingStats:
             "cascade_aborts", "cross_shard_deadlocks",
         ):
             setattr(stats, name, int(doc[name]))
+        # Park-time histograms arrived after the counters; tolerate
+        # documents from older servers that lack them.
+        for name in ("gate_wait", "guard_wait"):
+            if name in doc:
+                setattr(stats, name, LatencyHistogram.from_dict(doc[name]))
         return stats
 
     def render(self) -> str:
@@ -448,10 +462,18 @@ class ShardingStats:
             "coordinator: sessions local={0} cross-shard={1} "
             "(ratio {2:.2f}) cross_shard_commits={3}\n"
             "  gate_waits={4} guard_waits={5} constraint_merges={6} "
-            "cascade_aborts={7} cross_shard_deadlocks={8}".format(
+            "cascade_aborts={7} cross_shard_deadlocks={8}\n"
+            "  gate park: n={9} total={10} p95={11} max={12}\n"
+            "  guard park: n={13} total={14} p95={15} max={16}".format(
                 self.local_sessions, self.cross_shard_sessions,
                 self.cross_shard_ratio, self.cross_shard_commits,
                 self.gate_waits, self.guard_waits, self.constraint_merges,
                 self.cascade_aborts, self.cross_shard_deadlocks,
+                self.gate_wait.total, _fmt_s(self.gate_wait.sum),
+                _fmt_s(self.gate_wait.percentile(95)),
+                _fmt_s(self.gate_wait.max),
+                self.guard_wait.total, _fmt_s(self.guard_wait.sum),
+                _fmt_s(self.guard_wait.percentile(95)),
+                _fmt_s(self.guard_wait.max),
             )
         )

@@ -30,7 +30,7 @@ The full operation table lives in docs/SERVICE.md.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Type
+from typing import Any, Dict, Iterable, Type
 
 from repro.exceptions import (
     AdmissionError,
@@ -67,6 +67,17 @@ ERROR_TYPES: Dict[str, Type[ServiceError]] = {
 def encode(document: Dict[str, Any]) -> bytes:
     """Serialize one wire document to an NDJSON line."""
     return (json.dumps(document, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def encode_batch(documents: Iterable[Dict[str, Any]]) -> bytes:
+    """Serialize many wire documents to one NDJSON byte block.
+
+    The server's per-tick response batching: every response completing
+    within one event-loop tick is coalesced into a single write+drain,
+    so pipelined clients pay one syscall per tick instead of one per
+    message.
+    """
+    return b"".join(encode(document) for document in documents)
 
 
 def decode(line: bytes) -> Dict[str, Any]:
