@@ -269,24 +269,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     loop_impl = install_uvloop(args.uvloop)
     taskset = generate_taskset(_workload_from_args(args))
+    config = ServiceConfig(
+        max_sessions=args.max_sessions,
+        default_deadline_s=args.deadline,
+    )
 
-    async def run() -> None:
-        manager = _service_manager(
-            taskset,
-            args.protocol,
-            ServiceConfig(
-                max_sessions=args.max_sessions,
-                default_deadline_s=args.deadline,
-            ),
-            args.shards,
-            args.partitioner,
-        )
+    async def run() -> int:
+        supervisor = None
+        if args.shard_procs > 1:
+            from repro.service.sharding.procs import start_proc_deployment
+
+            supervisor, manager = await start_proc_deployment(
+                taskset,
+                args.protocol,
+                shards=args.shard_procs,
+                config=config,
+                partitioner=args.partitioner,
+                on_crash=args.on_crash,
+            )
+            sharding = (
+                f", {args.shard_procs} shard processes ({args.partitioner})"
+            )
+        else:
+            manager = _service_manager(
+                taskset, args.protocol, config, args.shards, args.partitioner
+            )
+            sharding = (
+                f", {args.shards} shards ({args.partitioner})"
+                if args.shards > 1 else ""
+            )
         server = LockServer(manager, args.host, args.port)
         await server.start()
-        sharding = (
-            f", {args.shards} shards ({args.partitioner})"
-            if args.shards > 1 else ""
-        )
         print(
             f"repro-service listening on {server.host}:{server.port} "
             f"(protocol={args.protocol}, "
@@ -296,15 +309,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
         try:
-            await server.serve_forever()
+            if supervisor is None:
+                await server.serve_forever()
+                return 0
+            # Multi-process mode: serve until interrupted OR the
+            # deployment fails (a shard host died under on_crash=fail).
+            serving = asyncio.ensure_future(server.serve_forever())
+            crashed = asyncio.ensure_future(supervisor.crashed.wait())
+            try:
+                await asyncio.wait(
+                    (serving, crashed),
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                for task in (serving, crashed):
+                    task.cancel()
+                await asyncio.gather(serving, crashed,
+                                     return_exceptions=True)
+            if supervisor.failed is not None:
+                print(f"deployment failed: {supervisor.failed}",
+                      file=sys.stderr)
+                return 1
+            return 0
         finally:
             await server.close()
+            if supervisor is not None:
+                await supervisor.stop()
 
     try:
-        asyncio.run(run())
+        return asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted; shutting down", file=sys.stderr)
     return 0
+
+
+def _cmd_shard_host(args: argparse.Namespace) -> int:
+    """Run one shard host (normally spawned by the supervisor)."""
+    from repro.service.sharding.procs.host import run_shard_host
+    import asyncio
+
+    try:
+        return asyncio.run(run_shard_host(args))
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -337,6 +384,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     async def run():
         server = None
+        supervisor = None
         if args.connect:
             host, _, port_text = args.connect.rpartition(":")
             if not host or not port_text.isdigit():
@@ -352,13 +400,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 target_utilization=args.utilization,
                 seed=args.workload_seed,
             ))
-            manager = _service_manager(
-                taskset,
-                args.protocol,
-                ServiceConfig(max_sessions=args.max_sessions),
-                args.shards,
-                args.partitioner,
-            )
+            service_config = ServiceConfig(max_sessions=args.max_sessions)
+            if args.shard_procs > 1:
+                from repro.service.sharding.procs import (
+                    start_proc_deployment,
+                )
+
+                supervisor, manager = await start_proc_deployment(
+                    taskset,
+                    args.protocol,
+                    shards=args.shard_procs,
+                    config=service_config,
+                    partitioner=args.partitioner,
+                )
+            else:
+                manager = _service_manager(
+                    taskset,
+                    args.protocol,
+                    service_config,
+                    args.shards,
+                    args.partitioner,
+                )
             server = LockServer(manager, "127.0.0.1", 0)
             await server.start()
             host, port = server.host, server.port
@@ -367,6 +429,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         finally:
             if server is not None:
                 await server.close()
+            if supervisor is not None:
+                await supervisor.stop()
 
     report = asyncio.run(run())
     print(report.render())
@@ -479,20 +543,38 @@ def _cmd_stress(args: argparse.Namespace) -> int:
             "time, kernel/object byte-identical, Theorem 1-3 oracles pass"
         )
 
+    # One cap for every deployment shape: the event-driven
+    # coordinator holds up under hundreds of live sessions, so
+    # multi-shard runs no longer need a protective lower default.
+    max_sessions = args.max_sessions
+    if max_sessions is None:
+        max_sessions = 512
+
     rows = []
     for shards in shard_counts:
-        # One cap for every deployment shape: the event-driven
-        # coordinator holds up under hundreds of live sessions, so
-        # multi-shard runs no longer need a protective lower default.
-        max_sessions = args.max_sessions
-        if max_sessions is None:
-            max_sessions = 512
         report = asyncio.run(run_stress(
             spec,
             args.protocol,
             shards=shards,
             partitioner=args.partitioner,
             max_sessions=max_sessions,
+        ))
+        print(report.render())
+        if report.ok:
+            rows.append(report.trend_row())
+        else:
+            failed = True
+
+    proc_counts = [
+        int(s) for s in (args.shard_procs or "").split(",") if s
+    ]
+    for procs in proc_counts:
+        report = asyncio.run(run_stress(
+            spec,
+            args.protocol,
+            partitioner=args.partitioner,
+            max_sessions=max_sessions,
+            shard_procs=procs,
         ))
         print(report.render())
         if report.ok:
@@ -705,6 +787,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--partitioner", default="hash",
                        choices=("hash", "range"),
                        help="item-to-shard mapping scheme (with --shards > 1)")
+    serve.add_argument("--shard-procs", type=int, default=1,
+                       help="run N shards as separate shard-host OS "
+                            "processes behind the coordinator (default 1: "
+                            "in-process; overrides --shards)")
+    serve.add_argument("--on-crash", default="fail",
+                       choices=("fail", "restart"),
+                       help="shard-host crash policy with --shard-procs: "
+                            "fail the deployment fast, or restart the "
+                            "shard empty after aborting affected "
+                            "transactions")
     serve.add_argument("--max-sessions", type=int, default=None,
                        help="admission-control cap on live sessions")
     serve.add_argument("--deadline", type=float, default=None, metavar="S",
@@ -763,6 +855,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("hash", "range"),
                          help="partitioning scheme for the self-hosted "
                               "sharded server")
+    loadgen.add_argument("--shard-procs", type=int, default=1,
+                         help="self-host N shards as separate shard-host "
+                              "processes (ignored with --connect; "
+                              "overrides --shards)")
     loadgen.add_argument("--uvloop", action="store_true",
                          help="run on uvloop when installed (clean "
                               "fallback to the stock asyncio loop)")
@@ -798,6 +894,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "concurrent phase (default '1,4')")
     stress.add_argument("--partitioner", default="hash",
                         choices=("hash", "range"))
+    stress.add_argument("--shard-procs", default="", metavar="LIST",
+                        help="comma list of shard-process counts to also "
+                             "run the concurrent phase against (e.g. '4': "
+                             "one 4-process deployment; default: none)")
     stress.add_argument("--max-sessions", type=int, default=None,
                         help="admission cap for the concurrent phase "
                              "(default: 512 for every shard count)")
@@ -821,6 +921,16 @@ def build_parser() -> argparse.ArgumentParser:
     stress.add_argument("--skip-parity", action="store_true",
                         help="skip the decision-parity battery")
     stress.set_defaults(func=_cmd_stress)
+
+    shard_host = sub.add_parser(
+        "shard-host",
+        help="run one lock-manager shard behind the NDJSON wire "
+             "(normally spawned by the --shard-procs supervisor)",
+    )
+    from repro.service.sharding.procs.host import add_host_args
+
+    add_host_args(shard_host)
+    shard_host.set_defaults(func=_cmd_shard_host)
     return parser
 
 

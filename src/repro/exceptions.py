@@ -164,3 +164,15 @@ class DeadlineExceeded(ServiceError):
     """
 
     kind = "deadline"
+
+
+class ProtocolVersionError(ServiceError):
+    """The client and server speak incompatible wire-protocol eras.
+
+    Raised by the ``hello`` negotiation when the major versions differ —
+    e.g. a ``repro-service/1`` client against an event-frame-capable
+    ``repro-service/2`` shard host.  The message names both versions so
+    operators know which side to upgrade.
+    """
+
+    kind = "version"

@@ -117,6 +117,17 @@ class ServiceClient:
         """Liveness probe; returns version and protocol name."""
         return await self.request("ping")
 
+    async def hello(self, *, features: tuple = ("events",)) -> Dict[str, Any]:
+        """Negotiate protocol version and features with the server.
+
+        Raises :class:`~repro.exceptions.ProtocolVersionError` when the
+        server speaks a different wire era; otherwise returns the
+        server's version and the granted feature subset.
+        """
+        return await self.request(
+            "hello", version=wire.PROTOCOL_VERSION, features=list(features)
+        )
+
     async def catalog(self) -> Dict[str, Any]:
         """The service's transaction catalog (specs and operations)."""
         return await self.request("catalog")
@@ -179,8 +190,19 @@ def in_process_client(manager: LockManager) -> ServiceClient:
     return ServiceClient(transport)
 
 
-async def connect_tcp(host: str, port: int) -> ServiceClient:
-    """Open an NDJSON-over-TCP connection to a running lock server."""
+async def connect_tcp(
+    host: str,
+    port: int,
+    *,
+    on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> ServiceClient:
+    """Open an NDJSON-over-TCP connection to a running lock server.
+
+    ``on_event`` receives server-pushed frames (documents with no
+    correlation id — the v2 event stream a shard host emits after a
+    ``subscribe``).  Without it frames are dropped, which keeps plain
+    clients compatible with event-capable servers.
+    """
     reader, writer = await asyncio.open_connection(
         host, port, limit=wire.STREAM_LIMIT
     )
@@ -198,6 +220,10 @@ async def connect_tcp(host: str, port: int) -> ServiceClient:
                 if not line.strip():
                     continue
                 response = wire.decode(line)
+                if wire.is_event(response):
+                    if on_event is not None:
+                        on_event(response)
+                    continue
                 future = pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)

@@ -204,6 +204,12 @@ class LoadReport:
         if not shards:
             return []
         lines = ["", "per-shard breakdown:"]
+        if self.stats_doc.get("deployment") == "multiprocess":
+            procs = self.stats_doc.get("shard_procs", len(shards))
+            lines[-1] = (
+                f"per-shard breakdown ({procs} shard host processes, "
+                "one per shard):"
+            )
         # Shard lock-wait is listed per shard, while coordinator
         # gate/guard park time lives in the coordinator paragraph below
         # (ShardingStats.gate_wait / guard_wait) — the two are no longer

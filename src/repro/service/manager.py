@@ -114,6 +114,33 @@ from repro.trace.recorder import (
 )
 
 
+def catalog_document(catalog: TaskSet) -> List[Dict[str, Any]]:
+    """JSON-friendly description of a catalog's transaction types.
+
+    Shared by :meth:`LockManager.catalog_document` and the remote shard
+    proxy, which answers the same query from its local catalog copy
+    without a round-trip (the catalog is static and identical on every
+    host by construction).
+    """
+    return [
+        {
+            "name": spec.name,
+            "priority": spec.priority,
+            "operations": [
+                {
+                    "kind": op.kind.value,
+                    "item": op.item,
+                    "duration": op.duration,
+                }
+                for op in spec.operations
+            ],
+            "reads": sorted(spec.read_set),
+            "writes": sorted(spec.write_set),
+        }
+        for spec in catalog
+    ]
+
+
 class SessionState(enum.Enum):
     """Lifecycle of a service session (one transaction instance)."""
 
@@ -189,7 +216,7 @@ class Session:
     """
 
     __slots__ = ("id", "job", "state", "deadline", "opened_at", "op_count",
-                 "abort_reason")
+                 "abort_reason", "committing")
 
     def __init__(self, session_id: int, job: Job, opened_at: float,
                  deadline: Optional[float]):
@@ -202,6 +229,8 @@ class Session:
         #: Completed data operations (drives the CCP early-unlock hook).
         self.op_count = 0
         self.abort_reason = ""
+        #: Commit fence flag (see :meth:`LockManager.prepare_commit`).
+        self.committing = False
 
     @property
     def name(self) -> str:
@@ -278,7 +307,10 @@ class LockManager:
         #: * ``"constraint"`` — an LC3/LC4 read recorded ``job ≺ other``;
         #: * ``"finish"`` / ``"abort"`` — ``job`` reached a terminal state
         #:   (``"abort"`` fires after the teardown is complete);
-        #: * ``"wait"`` — ``job`` parked on (or re-pointed) a wait edge.
+        #: * ``"wait"`` — ``job`` parked on (or re-pointed) a wait edge;
+        #: * ``"unwait"`` — ``job`` left the wait-for graph without
+        #:   terminating (grant, gate exit).  In-process consumers can
+        #:   ignore it; remote wait-graph mirrors need it.
         self.churn_listeners: List[
             Callable[[str, Job, Optional[Job]], None]
         ] = []
@@ -328,6 +360,9 @@ class LockManager:
         self._preds_cache: Dict[Job, Set[Job]] = {}
         #: Sessions parked at the commit gate, with their wake-up futures.
         self._gate_futures: Dict[Session, "asyncio.Future[None]"] = {}
+        #: Commit-fenced sessions (see :meth:`prepare_commit`): while a
+        #: job is in here, reads may not pass its write locks.
+        self._committing: Dict[Job, Session] = {}
         self._next_session_id = 0
         self._instances: Dict[str, int] = {}
         self._t0 = time.monotonic()
@@ -495,6 +530,49 @@ class LockManager:
             "blocking_s": blocking,
         }
 
+    def prepare_commit(self, session: Session) -> Tuple[str, ...]:
+        """Fence the session for a coordinator-driven cross-shard install.
+
+        Used by the multi-process deployment, where installing one
+        global commit leg per shard takes a wire round-trip each: the
+        coordinator fences every leg first, so no reader can slip past a
+        write lock (recording a ``reader ≺ committer`` constraint) after
+        the coordinator's last merged-gate check.  Reads denied by the
+        fence park in the grant queue and are re-decided when the fence
+        drops — at the leg's commit (they then read the installed
+        version) or at :meth:`unprepare_commit` (the coordinator backed
+        off to wait at its gate).
+
+        Returns the names of the session's current live local
+        ``≺``-predecessors, so the coordinator can re-check its merged
+        gate once every leg is fenced.  Sync on purpose: the in-process
+        coordinator calls it inside its atomic commit section.
+        """
+        if not session.state.live:
+            raise TransactionAborted(
+                f"{session.name}: {session.abort_reason or 'not live'}"
+            )
+        session.committing = True
+        self._committing[session.job] = session
+        return tuple(sorted(
+            p.name for p in self._pred.get(session.job, ())
+        ))
+
+    def unprepare_commit(self, session: Session) -> None:
+        """Drop a commit fence without committing (coordinator back-off).
+
+        Re-services the grant queue so reads the fence parked are
+        re-decided — they pass the write locks again (LC3/LC4) exactly
+        as if the fence had never existed.
+        """
+        if self._committing.pop(session.job, None) is None:
+            return
+        session.committing = False
+        # Fence denials blame the fenced job; dropping the fence is churn
+        # on that job, which re-selects exactly those waiters.
+        self._note_release_churn(session.job, ())
+        self._service_grant_queue()
+
     async def abort(self, session: Session, reason: str = "client") -> None:
         """Abort the session: discard its workspace, release its locks."""
         if not session.state.live:
@@ -558,23 +636,7 @@ class LockManager:
 
     def catalog_document(self) -> List[Dict[str, Any]]:
         """The registered transaction types (the ``catalog`` command)."""
-        return [
-            {
-                "name": spec.name,
-                "priority": spec.priority,
-                "operations": [
-                    {
-                        "kind": op.kind.value,
-                        "item": op.item,
-                        "duration": op.duration,
-                    }
-                    for op in spec.operations
-                ],
-                "reads": sorted(spec.read_set),
-                "writes": sorted(spec.write_set),
-            }
-            for spec in self.catalog
-        ]
+        return catalog_document(self.catalog)
 
     def snapshot_result(self) -> SimulationResult:
         """Package the run so far as a :class:`SimulationResult`.
@@ -791,14 +853,51 @@ class LockManager:
             )
         return None
 
+    def _commit_fence(
+        self, job: Job, item: str, mode: LockMode
+    ) -> Optional[Deny]:
+        """Deny reads past a fenced (committing) session's write locks.
+
+        Between :meth:`prepare_commit` and the commit (or
+        :meth:`unprepare_commit`), an LC3/LC4 read passing one of the
+        fenced session's write locks would record a new ``reader ≺
+        committer`` constraint that the coordinator's merged gate check
+        can no longer see in time — so the read parks until the install
+        completes (it then reads the new version, serialized after) or
+        the fence is dropped (it then passes as usual).
+        """
+        if not self._committing or mode is not LockMode.READ:
+            return None
+        holders = tuple(sorted(
+            (w for w in self.table.writers_of(item)
+             if w is not job and w in self._committing),
+            key=lambda j: j.seq,
+        ))
+        if holders:
+            return Deny(
+                holders,
+                "commit fence: a write holder is installing across shards",
+            )
+        return None
+
+    def _service_predecide(
+        self, job: Job, item: str, mode: LockMode
+    ) -> Optional[Deny]:
+        """The service-level pre-decision (fence, then order guard), or
+        ``None`` to fall through to the protocol."""
+        fence = self._commit_fence(job, item, mode)
+        if fence is not None:
+            return fence
+        return self._order_guard(job, item, mode)
+
     def _service_decide(
         self, job: Job, item: str, mode: LockMode
     ) -> Union[Grant, AbortAndGrant, Deny]:
         """The protocol's decision (kernel or object path), tightened by
-        the order guard (see :meth:`_order_guard`)."""
-        guard = self._order_guard(job, item, mode)
-        if guard is not None:
-            return guard
+        the commit fence and the order guard."""
+        deny = self._service_predecide(job, item, mode)
+        if deny is not None:
+            return deny
         return self._decide(job, item, mode)
 
     def _transitive_preds(self, job: Job) -> Set[Job]:
@@ -1017,11 +1116,11 @@ class LockManager:
             requests = []
             for waiter in ordered:
                 job = waiter.session.job
-                guard = self._order_guard(job, waiter.item, waiter.mode)
-                if guard is None:
+                deny = self._service_predecide(job, waiter.item, waiter.mode)
+                if deny is None:
                     requests.append((job, waiter.item, waiter.mode))
                 else:
-                    requests.append((job, waiter.item, waiter.mode, guard))
+                    requests.append((job, waiter.item, waiter.mode, deny))
             # Denials are exactly the processed prefix of ``ordered`` (the
             # batch stops at the first grant), so the callback walks the
             # same list in lock-step.
@@ -1081,6 +1180,7 @@ class LockManager:
                 job.base_priority, job.block_intervals[-1].duration
             )
         self.waits.unblock(job)
+        self._notify_churn("unwait", job)
         return waiter
 
     # ------------------------------------------------------------------
@@ -1158,6 +1258,7 @@ class LockManager:
             session.state = SessionState.ACTIVE
         if session.state.live:
             self.waits.unblock(job)
+            self._notify_churn("unwait", job)
             self._recompute_priorities()
 
     def _wake_gates(self) -> None:
@@ -1242,6 +1343,8 @@ class LockManager:
         job.workspace.discard()
         session.state = SessionState.ABORTED
         session.abort_reason = reason
+        session.committing = False
+        self._committing.pop(job, None)
         self._live.pop(session, None)
         self._drop_constraints(job)
         self._note_release_churn(job, (item for item, _ in released))
@@ -1262,6 +1365,8 @@ class LockManager:
         if self.kernel is not None:
             self.kernel.retire(job)
         session.state = state
+        session.committing = False
+        self._committing.pop(job, None)
         self._live.pop(session, None)
         self._drop_constraints(job)
         self._note_release_churn(job, (item for item, _ in released))
@@ -1285,7 +1390,9 @@ class LockManager:
             if session in self._gate_futures:
                 return True
             waiter = self._waiters.get(session)
-            if waiter is not None and waiter.reason.startswith("order guard"):
+            if waiter is not None and waiter.reason.startswith(
+                ("order guard", "commit fence")
+            ):
                 return True
         return False
 

@@ -97,6 +97,12 @@ class LockServer:
             self._connections.add(task)
         try:
             await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Server shutdown cancelled us mid-cleanup.  Ending the
+            # connection task cancelled would make asyncio's streams
+            # machinery log a spurious "exception was never retrieved";
+            # close() gathers us with return_exceptions anyway.
+            pass
         finally:
             if task is not None:
                 self._connections.discard(task)
@@ -135,15 +141,10 @@ class LockServer:
                 pass
 
         flusher = asyncio.ensure_future(flush_loop())
+        self._connection_opened(respond)
 
         async def handle(request: dict) -> None:
-            response = await wire.dispatch_request(self.manager, request)
-            if (
-                response.get("ok")
-                and request.get("op") == "begin"
-                and isinstance(response.get("result"), dict)
-            ):
-                owned[response["result"]["session"]] = None
+            response = await self._handle_request(request, respond, owned)
             respond(response)
 
         try:
@@ -184,12 +185,36 @@ class LockServer:
                 except (ConnectionError, RuntimeError, OSError):
                     pass
                 pending.clear()
+            self._connection_closed(respond)
             await self._abort_owned(owned)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _handle_request(
+        self, request: dict, respond, owned: Dict[int, None]
+    ) -> dict:
+        """Dispatch one request; subclasses intercept connection-scoped
+        operations here (the shard host's ``subscribe``).  ``respond``
+        is the connection's push callback — anything passed to it rides
+        the same batched write path as responses, in order.
+        """
+        response = await wire.dispatch_request(self.manager, request)
+        if (
+            response.get("ok")
+            and request.get("op") == "begin"
+            and isinstance(response.get("result"), dict)
+        ):
+            owned[response["result"]["session"]] = None
+        return response
+
+    def _connection_opened(self, respond) -> None:
+        """Hook: a connection's push callback became usable."""
+
+    def _connection_closed(self, respond) -> None:
+        """Hook: the connection is going away; drop any push registrations."""
 
     async def _abort_owned(self, owned: Dict[int, None]) -> None:
         """Abort live sessions whose connection disappeared."""

@@ -74,6 +74,7 @@ from typing import (
     FrozenSet,
     List,
     Optional,
+    Sequence,
     Set,
     Tuple,
     Union,
@@ -197,6 +198,7 @@ class ShardedLockManager:
         shards: int = 2,
         partitioner: Union[str, Partitioner] = "hash",
         sweep_interval_s: float = 0.05,
+        shard_managers: Optional[Sequence[Any]] = None,
     ) -> None:
         if not isinstance(protocol, str):
             raise SpecificationError(
@@ -230,12 +232,30 @@ class ShardedLockManager:
             record_sysceil=self.config.record_sysceil,
             honor_early_release=self.config.honor_early_release,
         )
-        self.shards: Tuple[LockManager, ...] = tuple(
-            LockManager(catalog, protocol, shard_config)
-            for _ in range(shards)
+        if shard_managers is not None:
+            # Injected shard surfaces — RemoteShardProxy instances for a
+            # multi-process deployment, or pre-built managers in tests.
+            if len(shard_managers) != shards:
+                raise SpecificationError(
+                    f"{len(shard_managers)} shard manager(s) injected, "
+                    f"deployment declares {shards}"
+                )
+            self.shards = tuple(shard_managers)
+        else:
+            self.shards = tuple(
+                LockManager(catalog, protocol, shard_config)
+                for _ in range(shards)
+            )
+        #: True when any shard lives behind a process boundary: flips
+        #: ``stats_document`` / ``history_events`` to the async fetch
+        #: path (the wire layer awaits either shape).
+        self._remote = any(
+            getattr(shard, "is_remote", False) for shard in self.shards
         )
         # One service clock for the whole deployment: merged histories
-        # and latency figures must be comparable across shards.
+        # and latency figures must be comparable across shards.  A
+        # supervisor overrides ``_t0`` afterwards with the epoch it
+        # already handed the shard-host processes.
         self._t0 = time.monotonic()
         for shard in self.shards:
             shard._t0 = self._t0
@@ -271,12 +291,19 @@ class ShardedLockManager:
         self._instances: Dict[str, int] = {}
         self._next_session_id = 0
         self._closed = False
+        #: Registered decision listeners, kept so a replacement shard
+        #: (crash restart) can be re-subscribed to all of them.
+        self._decision_listeners: List[Callable] = []
         for index, shard in enumerate(self.shards):
-            shard.churn_listeners.append(
-                lambda kind, job, other, _shard=index: self._on_shard_churn(
-                    _shard, kind, job, other
-                )
+            self._attach_shard_listeners(index, shard)
+
+    def _attach_shard_listeners(self, index: int, shard: Any) -> None:
+        """Subscribe the coordinator to one shard's churn stream."""
+        shard.churn_listeners.append(
+            lambda kind, job, other, _shard=index: self._on_shard_churn(
+                _shard, kind, job, other
             )
+        )
 
     # ------------------------------------------------------------------
     # Clock and identity
@@ -312,6 +339,7 @@ class ShardedLockManager:
         per-shard traces alone cannot reconstruct the interleaving.  Used
         by the parity harness (:mod:`repro.verify.parity`).
         """
+        self._decision_listeners.append(listener)
         for shard in self.shards:
             shard.decision_listeners.append(listener)
 
@@ -430,31 +458,48 @@ class ShardedLockManager:
                 summary["shards"] = list(legs)
                 return summary
 
-            await self._await_remote(
-                session, "commit gate",
-                lambda: self._gate_blockers(session),
-            )
-            # Atomic section: from the (empty) gate check to the last
-            # install there is no await — each leg commit's local gate is
-            # empty (its constraints are a subset of the merged set just
-            # drained), so awaiting it never yields to the loop.
+            while True:
+                await self._await_remote(
+                    session, "commit gate",
+                    lambda: self._gate_blockers(session),
+                )
+                if await self._prepare_legs(session, legs):
+                    break
+            # Install section.  In-process there is no await between the
+            # gate check and the last install — each leg commit's local
+            # gate is empty (its constraints are a subset of the merged
+            # set just drained), so awaiting it never yields to the
+            # loop.  Over the wire each leg commit is a round-trip, and
+            # atomicity comes from the fences instead: every leg is
+            # fenced, so no reader can pass a write lock and record a
+            # new ``reader ≺ committer`` constraint between the installs
+            # (write conflicts were already held off by the locks).
             installed: List[str] = []
             blocking = 0.0
+            deferred_cancel: List[BaseException] = []
             try:
                 for shard_id, leg in legs.items():
-                    summary = await self.shards[shard_id].commit(leg)
+                    summary = await self._install_leg(
+                        self.shards[shard_id].commit(leg), deferred_cancel
+                    )
                     installed.extend(summary["installed"])
                     blocking += summary["blocking_s"]
             except BaseException as exc:
-                # Unreachable by construction (legs are ACTIVE and their
-                # gates empty); if it ever fires, fail loudly but do not
-                # leave sibling legs holding locks.
-                self._abort_global(
-                    session, f"commit failure: {exc}", forced=True
-                )
+                # In-process this is unreachable by construction (legs
+                # are ACTIVE and their gates empty); remotely a shard
+                # host can die mid-install.  Either way, fail loudly but
+                # do not leave sibling legs holding locks.
+                if session.state.live:
+                    self._abort_global(
+                        session, f"commit failure: {exc}", forced=True
+                    )
                 raise
             now = self.now()
             self._finish_global(session, now)
+            if deferred_cancel:
+                # The client went away mid-install; the commit point had
+                # passed, so the installs ran to completion first.
+                raise deferred_cancel[0]
             # OCC-style installs may have broadcast-aborted other
             # sessions' legs; those cascaded synchronously from the
             # shards' "abort" notifications inside the install loop, so
@@ -467,6 +512,70 @@ class ShardedLockManager:
             }
         finally:
             session.in_flight = False
+
+    async def _prepare_legs(
+        self, session: GlobalSession, legs: Dict[int, Session]
+    ) -> bool:
+        """Fence every leg for install; True when the gate stayed empty.
+
+        In-process, :meth:`LockManager.prepare_commit` is synchronous,
+        so this adds only inert state flips inside the atomic section.
+        Over the wire each fence is a round-trip, and a reader may have
+        slipped past a write lock (recording a new ``reader ≺
+        committer`` constraint) before its shard's fence landed — but
+        any such constraint frame travelled the same connection *before*
+        the fence acknowledgement, so by the time every prepare has
+        resolved the merged graph is complete: re-checking the gate here
+        is sound.  Non-empty means back off (drop the fences, park at
+        the gate again); the parked readers re-pass the write locks as
+        if the fences never existed.
+        """
+        prepared: List[Tuple[int, Session]] = []
+        try:
+            for shard_id, leg in legs.items():
+                result = self.shards[shard_id].prepare_commit(leg)
+                if asyncio.iscoroutine(result):
+                    await self._forward(session, result)
+                prepared.append((shard_id, leg))
+        except BaseException:
+            self._unprepare_legs(prepared)
+            raise
+        if not self._gate_blockers(session):
+            return True
+        self._unprepare_legs(prepared)
+        return False
+
+    def _unprepare_legs(self, prepared: List[Tuple[int, Session]]) -> None:
+        """Drop the fences of still-live legs (sync both ways: the proxy
+        posts fire-and-forget)."""
+        for shard_id, leg in prepared:
+            if leg.state.live:
+                self.shards[shard_id].unprepare_commit(leg)
+
+    async def _install_leg(
+        self, coro, deferred_cancel: List[BaseException]
+    ) -> Any:
+        """Run one leg commit to completion, deferring cancellation.
+
+        Past the commit point (every leg fenced, gate empty) a client
+        cancellation must not split the install across shards: the leg
+        commit runs shielded to completion and the cancellation is
+        collected for the caller to re-raise after the last install.
+        In-process the coroutine completes on the eager first step, so
+        this is exactly the old ``await shard.commit(leg)``.
+        """
+        try:
+            first = coro.send(None)
+        except StopIteration as stop:
+            return stop.value
+        task = asyncio.ensure_future(self._settle(coro, first))
+        while True:
+            try:
+                return await asyncio.shield(task)
+            except asyncio.CancelledError as exc:
+                if task.cancelled():
+                    raise
+                deferred_cancel.append(exc)
 
     async def abort(self, session: GlobalSession, reason: str = "client") -> None:
         """Client-requested abort: tear down every leg, discard buffers."""
@@ -494,6 +603,57 @@ class ShardedLockManager:
             await shard.shutdown()
 
     # ------------------------------------------------------------------
+    # Shard-process failure (supervisor hooks)
+    # ------------------------------------------------------------------
+    def on_shard_lost(self, shard_id: int, reason: str) -> None:
+        """A shard process died: abort every session touching it.
+
+        The supervisor calls this when a shard-host exits unexpectedly.
+        Any transaction with a leg on the dead shard — or whose declared
+        span includes it, so a future operation would route there — is
+        aborted; its legs on *surviving* shards release their locks
+        normally.  Mirror legs on the dead shard are flipped terminally
+        first so the global abort does not try to RPC a corpse.
+        """
+        dead = self.shards[shard_id]
+        drop = getattr(dead, "mark_lost", None)
+        if drop is not None:
+            drop(reason)
+        failure = TransactionAborted(
+            f"shard {shard_id} lost: {reason}"
+        )
+        for session in list(self._live):
+            touches = (
+                shard_id in session.legs or shard_id in session.span
+            )
+            if not touches:
+                continue
+            self.sharding_stats.cascade_aborts += 1
+            self._abort_global(
+                session, f"shard {shard_id} lost: {reason}",
+                forced=True, exc=failure,
+            )
+
+    def replace_shard(self, shard_id: int, shard: Any) -> None:
+        """Swap in a restarted shard (supervisor crash-restart policy).
+
+        ``on_shard_lost`` must already have run for ``shard_id`` — the
+        new shard starts empty, so no live session may still reference
+        the old one.  The replacement joins the shared service clock and
+        is re-subscribed to churn and every registered decision listener.
+        """
+        shards = list(self.shards)
+        shards[shard_id] = shard
+        self.shards = tuple(shards)
+        shard._t0 = self._t0
+        self._attach_shard_listeners(shard_id, shard)
+        for listener in self._decision_listeners:
+            shard.decision_listeners.append(listener)
+        self._remote = any(
+            getattr(s, "is_remote", False) for s in self.shards
+        )
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def live_sessions(self) -> Tuple[GlobalSession, ...]:
@@ -512,10 +672,45 @@ class ShardedLockManager:
         sharding counters — both ignored by
         :meth:`ServiceStats.from_dict`, so unsharded consumers read the
         document unchanged.
+
+        With remote shards this returns a *coroutine* (the shard
+        documents are wire fetches); the wire layer awaits either shape,
+        and in-process embedders keep the synchronous contract.
         """
+        if self._remote:
+            return self._stats_document_remote()
+        return self._assemble_stats(
+            [shard.stats for shard in self.shards],
+            shard_waiting=sum(len(shard._waiters) for shard in self.shards),
+            ceilings=[shard.system_ceiling() for shard in self.shards],
+        )
+
+    async def _stats_document_remote(self) -> Dict[str, Any]:
+        """Fetch per-host stats documents and assemble the merged view."""
+        docs = await asyncio.gather(
+            *(shard.fetch_stats_document() for shard in self.shards)
+        )
+        doc = self._assemble_stats(
+            [ServiceStats.from_dict(shard_doc) for shard_doc in docs],
+            shard_waiting=sum(
+                shard_doc.get("waiting_sessions", 0) for shard_doc in docs
+            ),
+            ceilings=[shard_doc.get("system_ceiling") for shard_doc in docs],
+        )
+        doc["shard_procs"] = len(self.shards)
+        doc["deployment"] = "multiprocess"
+        return doc
+
+    def _assemble_stats(
+        self,
+        shard_stats: List[ServiceStats],
+        *,
+        shard_waiting: int,
+        ceilings: List[Optional[int]],
+    ) -> Dict[str, Any]:
         merged = ServiceStats()
-        for shard in self.shards:
-            merged.merge(shard.stats)
+        for stats in shard_stats:
+            merged.merge(stats)
         # Coordinator gate/guard parks are deliberately NOT merged into
         # lock_wait: they live in their own histograms on the
         # ``coordinator`` entry (ShardingStats.gate_wait / guard_wait),
@@ -530,11 +725,7 @@ class ShardedLockManager:
         doc["protocol"] = self.protocol.name
         doc["uptime_s"] = self.now()
         doc["live_sessions"] = len(self._live)
-        doc["waiting_sessions"] = (
-            sum(len(shard._waiters) for shard in self.shards)
-            + len(self._coord_waits)
-        )
-        ceilings = [shard.system_ceiling() for shard in self.shards]
+        doc["waiting_sessions"] = shard_waiting + len(self._coord_waits)
         known = [c for c in ceilings if c is not None]
         doc["system_ceiling"] = max(known) if known else None
         assignment = self.partitioner.assignment(self.catalog.items)
@@ -544,16 +735,16 @@ class ShardedLockManager:
             {
                 "shard": index,
                 "items": len(assignment[index]),
-                "sessions": shard.stats.sessions_started,
-                "grants": shard.stats.grants,
-                "denials": shard.stats.denials,
-                "commits": shard.stats.commits,
-                "forced_aborts": shard.stats.forced_aborts,
-                "deadlocks": shard.stats.deadlocks,
-                "commit_latency": shard.stats.commit_latency.to_dict(),
-                "lock_wait": shard.stats.lock_wait.to_dict(),
+                "sessions": stats.sessions_started,
+                "grants": stats.grants,
+                "denials": stats.denials,
+                "commits": stats.commits,
+                "forced_aborts": stats.forced_aborts,
+                "deadlocks": stats.deadlocks,
+                "commit_latency": stats.commit_latency.to_dict(),
+                "lock_wait": stats.lock_wait.to_dict(),
             }
-            for index, shard in enumerate(self.shards)
+            for index, stats in enumerate(shard_stats)
         ]
         doc["coordinator"] = self.sharding_stats.to_dict()
         return doc
@@ -581,20 +772,49 @@ class ShardedLockManager:
         serializability oracle depends only on per-item version
         sequences, which shard-disjoint item spaces keep consistent, so
         the merged log replays through ``check_serializable`` unchanged.
+
+        With remote shards this returns a *coroutine* (the per-host rows
+        are wire fetches); the wire layer awaits either shape.
         """
+        if self._remote:
+            return self._history_events_remote()
+        data_rows = [
+            {
+                "kind": event.kind.value,
+                "job": event.job,
+                "item": event.item,
+                "version_seq": event.version_seq,
+                "time": event.time,
+            }
+            for shard in self.shards
+            for event in shard.history
+        ]
+        return self._assemble_history(data_rows)
+
+    async def _history_events_remote(self) -> List[Dict[str, Any]]:
+        """Fetch each host's history rows and assemble the merged view."""
+        fetched = await asyncio.gather(
+            *(shard.fetch_history_events() for shard in self.shards)
+        )
+        return self._assemble_history(
+            [row for rows in fetched for row in rows]
+        )
+
+    def _assemble_history(
+        self, data_rows: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
         rows: List[Tuple[float, int, Dict[str, Any]]] = []
-        for shard in self.shards:
-            for event in shard.history:
-                kind = event.kind.value
-                if kind not in ("read", "install"):
-                    continue  # per-leg terminals: superseded globally
-                rows.append((event.time, _HISTORY_RANK[kind], {
-                    "kind": kind,
-                    "job": event.job,
-                    "item": event.item,
-                    "version_seq": event.version_seq,
-                    "time": event.time,
-                }))
+        for row in data_rows:
+            kind = row["kind"]
+            if kind not in ("read", "install"):
+                continue  # per-leg terminals: superseded globally
+            rows.append((row["time"], _HISTORY_RANK[kind], {
+                "kind": kind,
+                "job": row["job"],
+                "item": row["item"],
+                "version_seq": row["version_seq"],
+                "time": row["time"],
+            }))
         for kind, name, when in self._outcomes:
             rows.append((when, _HISTORY_RANK[kind], {
                 "kind": kind,
@@ -676,6 +896,12 @@ class ShardedLockManager:
         # purely as a deterministic tie-break, and this leg's job is in
         # no queue yet, so the override is safe.
         leg.job.seq = session.id
+        pin = getattr(shard, "pin_leg_seq", None)
+        if pin is not None:
+            # Remote shard: the override above touched only the local
+            # mirror job; the proxy forwards it to the host (same-stream
+            # FIFO lands it before the leg's first lock request).
+            pin(leg, session.id)
         session.legs[shard_id] = leg
         self._job_sessions[leg.job] = session
         return leg

@@ -1,0 +1,19 @@
+"""Multi-process shard deployments: hosts, proxies, and the supervisor.
+
+One shard per OS process (``repro shard-host``), mirrored into the
+coordinator's address space by :class:`RemoteShardProxy`, spawned and
+reaped by :class:`ShardSupervisor`.  See docs/SHARDING.md for the
+topology and crash semantics.
+"""
+
+from repro.service.sharding.procs.proxy import RemoteShardProxy
+from repro.service.sharding.procs.supervisor import (
+    ShardSupervisor,
+    start_proc_deployment,
+)
+
+__all__ = [
+    "RemoteShardProxy",
+    "ShardSupervisor",
+    "start_proc_deployment",
+]

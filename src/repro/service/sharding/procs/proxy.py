@@ -1,0 +1,523 @@
+"""The coordinator's stand-in for a shard living in another process.
+
+A :class:`RemoteShardProxy` implements exactly the surface
+:class:`~repro.service.sharding.coordinator.ShardedLockManager` consumes
+from a shard — ``begin``/``read``/``write``/``commit``, the commit-fence
+pair ``prepare_commit``/``unprepare_commit``, ``force_abort``, the
+constraint/wait introspection (``_transitive_preds``, ``waits``) and the
+churn/decision listener hookup — so the coordinator code runs unchanged
+whether a shard is an in-process :class:`LockManager` or a
+``repro shard-host`` on the far side of a socket.
+
+Two mechanisms make that possible:
+
+* **Mirrors.**  The proxy keeps a local mirror :class:`Session` (with a
+  real engine :class:`Job` inside) for every leg it opened, plus
+  name-keyed mirrors of the host's constraint edges and wait-for edges.
+  Synchronous coordinator reads — the gate's predecessor closure, the
+  deadlock detector's wait graph — are answered from the mirrors with no
+  round-trip.
+* **The push stream.**  After ``hello`` + ``subscribe`` the host streams
+  every churn/decision notification as a v2 event frame.  Frames are
+  emitted synchronously during dispatch and ride the same batched
+  per-connection buffer as responses, so on this one TCP stream every
+  frame precedes the response of the operation that caused it: by the
+  time an operation's response resolves, the mirrors already reflect
+  everything that operation changed.  The mirrors are therefore not
+  "eventually consistent" in any way the coordinator can observe —
+  they are exact at every response boundary.
+
+Writes travel two ways: operations whose result the coordinator needs
+(``begin``, ``read``, ``prepare``) are awaited calls; bookkeeping the
+coordinator treats as synchronous on an in-process shard
+(``set_seq``, ``unprepare``, ``force_abort``) is *posted* fire-and-forget
+— the mirror flips immediately, the frame confirming it is ignored, and
+same-stream FIFO guarantees the host applies it before any later call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.engine.job import Job
+from repro.exceptions import ServiceError
+from repro.model.spec import TaskSet
+from repro.service import wire
+from repro.service.manager import Session, SessionState, catalog_document
+from repro.service.stats import ServiceStats
+from repro.trace.recorder import LockEvent
+
+
+class _RemoteProtocol:
+    """Protocol identity of the remote shard (name only).
+
+    The coordinator reads ``shard.protocol.name`` for documents and
+    reports; decision *logic* runs host-side, so the name is all a proxy
+    needs to carry.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return f"_RemoteProtocol({self.name!r})"
+
+
+class _WaitMirror:
+    """Read-only ``WaitForGraph`` facade over the proxy's wait edges.
+
+    The coordinator's cross-shard deadlock detector consumes only
+    ``waiters()`` and ``blockers_of()``; both are answered from the
+    name-keyed edge mirror maintained by ``wait``/``unwait`` frames.
+    """
+
+    def __init__(self, proxy: "RemoteShardProxy"):
+        self._proxy = proxy
+
+    def waiters(self) -> List[Job]:
+        jobs = self._proxy._jobs
+        return [
+            jobs[name] for name in self._proxy._wait_edges if name in jobs
+        ]
+
+    def blockers_of(self, job: Job) -> List[Job]:
+        jobs = self._proxy._jobs
+        return [
+            jobs[name]
+            for name in self._proxy._wait_edges.get(job.name, ())
+            if name in jobs
+        ]
+
+
+class RemoteShardProxy:
+    """One shard-host connection, speaking the ``LockManager`` surface."""
+
+    #: Flips the coordinator's introspection to the async fetch path.
+    is_remote = True
+
+    def __init__(
+        self,
+        catalog: TaskSet,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        label: str = "shard",
+    ) -> None:
+        self._catalog = catalog
+        self._reader = reader
+        self._writer = writer
+        self.label = label
+        self._ids = itertools.count(1)
+        #: Correlation id -> future of an awaited call.
+        self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        #: Correlation ids of posted (fire-and-forget) operations.
+        self._discard: Set[int] = set()
+        self._closed = False
+        self._pump_task: Optional[asyncio.Task] = None
+
+        # -- mirrors -----------------------------------------------------
+        #: instance name -> mirror job of a live leg.
+        self._jobs: Dict[str, Job] = {}
+        #: instance name -> mirror session of a live leg.
+        self._legs: Dict[str, Session] = {}
+        #: Constraint mirror: _pred[w] = {r: r ≺ w}, by instance name.
+        self._pred: Dict[str, Set[str]] = {}
+        self._succ: Dict[str, Set[str]] = {}
+        #: waiter name -> blocker names (current wait-for edges).
+        self._wait_edges: Dict[str, Tuple[str, ...]] = {}
+
+        # -- LockManager-surface attributes ------------------------------
+        self.waits = _WaitMirror(self)
+        self.churn_listeners: List[Callable[..., None]] = []
+        self.decision_listeners: List[Callable[[LockEvent], None]] = []
+        #: Mirror legs never carry history or local stats; the
+        #: coordinator uses the async fetch path for both when any shard
+        #: is remote, so these exist only to satisfy the surface.
+        self.history: Tuple[Any, ...] = ()
+        self.stats = ServiceStats()
+        self.protocol = _RemoteProtocol("unknown")
+        self._t0 = 0.0  # overwritten by the coordinator/supervisor
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls,
+        catalog: TaskSet,
+        host: str,
+        port: int,
+        *,
+        label: str = "shard",
+    ) -> "RemoteShardProxy":
+        """Open a TCP connection to a shard host and negotiate v2."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=wire.STREAM_LIMIT
+        )
+        return await cls.from_streams(catalog, reader, writer, label=label)
+
+    @classmethod
+    async def from_streams(
+        cls,
+        catalog: TaskSet,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        label: str = "shard",
+    ) -> "RemoteShardProxy":
+        """Build a proxy over existing streams (tests use in-memory pairs)."""
+        proxy = cls(catalog, reader, writer, label=label)
+        proxy._pump_task = asyncio.ensure_future(proxy._pump())
+        hello = await proxy._call(
+            "hello",
+            version=wire.PROTOCOL_VERSION,
+            features=["events", "shard-ops"],
+        )
+        granted = set(hello.get("features", ()))
+        missing = {"events", "shard-ops"} - granted
+        if missing:
+            await proxy.shutdown()
+            raise ServiceError(
+                f"{label}: host lacks required features {sorted(missing)} "
+                "(not a shard host?)"
+            )
+        proxy.protocol = _RemoteProtocol(hello["protocol"])
+        await proxy._call("subscribe")
+        return proxy
+
+    async def _pump(self) -> None:
+        """Apply event frames and route responses, in stream order."""
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                document = wire.decode(line)
+                if wire.is_event(document):
+                    self._apply_frame(document)
+                    continue
+                request_id = document.get("id")
+                if request_id in self._discard:
+                    self._discard.discard(request_id)
+                    continue
+                future = self._pending.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(document)
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServiceError(f"{self.label}: shard connection lost")
+                    )
+            self._pending.clear()
+
+    async def shutdown(self) -> None:
+        """Close the connection; pending calls fail, mirrors are kept."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def mark_lost(self, reason: str) -> None:
+        """The host process died: flip every live mirror leg terminally.
+
+        Called by the coordinator's ``on_shard_lost`` *before* it aborts
+        the touched global sessions, so their dead-shard legs are
+        already non-live and ``force_abort`` never posts to the corpse.
+        """
+        for name, leg in list(self._legs.items()):
+            if leg.state.live:
+                leg.state = SessionState.ABORTED
+                leg.abort_reason = f"shard host lost: {reason}"
+            self._forget(name)
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    async def _call(self, op: str, **params: Any) -> Dict[str, Any]:
+        """One awaited request; raises the mapped service error."""
+        if self._closed:
+            raise ServiceError(f"{self.label}: shard connection lost")
+        request_id = next(self._ids)
+        document = {"id": request_id, "op": op, **params}
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        try:
+            self._writer.write(wire.encode(document))
+            await self._writer.drain()
+        except (ConnectionError, OSError, RuntimeError) as exc:
+            self._pending.pop(request_id, None)
+            raise ServiceError(
+                f"{self.label}: shard connection lost: {exc}"
+            ) from exc
+        response = await future
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error") or {}
+        kind = error.get("kind", "service")
+        message = error.get("message", "unknown shard error")
+        raise wire.ERROR_TYPES.get(kind, ServiceError)(message)
+
+    def _post(self, op: str, **params: Any) -> None:
+        """Fire-and-forget request: the response frame is discarded.
+
+        Used for operations the coordinator treats as synchronous on an
+        in-process shard.  The local mirror flips before this returns;
+        same-stream FIFO means the host applies the operation before
+        anything this coordinator sends later.  A dead connection is
+        tolerated silently — the supervisor's crash handling owns that.
+        """
+        if self._closed:
+            return
+        request_id = next(self._ids)
+        self._discard.add(request_id)
+        try:
+            self._writer.write(wire.encode({
+                "id": request_id, "op": op, **params
+            }))
+        except (ConnectionError, OSError, RuntimeError):
+            self._discard.discard(request_id)
+
+    # ------------------------------------------------------------------
+    # Event frames -> mirrors
+    # ------------------------------------------------------------------
+    def _apply_frame(self, frame: Dict[str, Any]) -> None:
+        if frame.get("event") == "decision":
+            event = wire.decision_from_frame(frame)
+            for listener in self.decision_listeners:
+                listener(event)
+            return
+        if frame.get("event") != "churn":
+            return  # unknown event type: forward-compatible skip
+        kind = frame.get("kind")
+        name = frame.get("job")
+        if kind == "constraint":
+            other = frame.get("other")
+            if other is None:
+                return
+            self._pred.setdefault(other, set()).add(name)
+            self._succ.setdefault(name, set()).add(other)
+            self._notify(kind, self._jobs.get(name), self._jobs.get(other))
+        elif kind == "wait":
+            self._wait_edges[name] = tuple(frame.get("blockers", ()))
+            self._notify(kind, self._jobs.get(name), None)
+        elif kind == "unwait":
+            self._wait_edges.pop(name, None)
+            self._notify(kind, self._jobs.get(name), None)
+        elif kind == "abort":
+            leg = self._legs.get(name)
+            if leg is not None and leg.state.live:
+                leg.state = SessionState.ABORTED
+                leg.abort_reason = frame.get("reason") or "shard abort"
+            job = self._jobs.get(name)
+            self._forget(name)
+            # Notify *after* the mirror flip: the coordinator's cascade
+            # reads the leg state synchronously inside this callback.
+            self._notify(kind, job, None)
+        elif kind == "finish":
+            leg = self._legs.get(name)
+            if leg is not None and leg.state.live:
+                leg.state = SessionState.COMMITTED
+            job = self._jobs.get(name)
+            self._forget(name)
+            self._notify(kind, job, None)
+
+    def _notify(
+        self, kind: str, job: Optional[Job], other: Optional[Job]
+    ) -> None:
+        """Fan a churn frame out to listeners, mirror-jobs attached.
+
+        Frames about legs this proxy no longer mirrors (e.g. the host's
+        abort confirmation after a local ``force_abort`` already forgot
+        the leg) carry no job object and are dropped: the coordinator
+        already observed that terminal.
+        """
+        if job is None:
+            return
+        for listener in self.churn_listeners:
+            listener(kind, job, other)
+
+    def _forget(self, name: str) -> None:
+        """Drop a terminal leg's mirrors (constraint node, wait edge)."""
+        self._jobs.pop(name, None)
+        self._legs.pop(name, None)
+        self._wait_edges.pop(name, None)
+        succs = self._succ.pop(name, None)
+        if succs:
+            for succ in succs:
+                remaining = self._pred.get(succ)
+                if remaining is not None:
+                    remaining.discard(name)
+                    if not remaining:
+                        self._pred.pop(succ, None)
+        preds = self._pred.pop(name, None)
+        if preds:
+            for pred in preds:
+                remaining = self._succ.get(pred)
+                if remaining is not None:
+                    remaining.discard(name)
+                    if not remaining:
+                        self._succ.pop(pred, None)
+
+    # ------------------------------------------------------------------
+    # The LockManager surface the coordinator consumes
+    # ------------------------------------------------------------------
+    async def begin(
+        self,
+        transaction: str,
+        *,
+        deadline_s: Optional[float] = None,
+        instance: Optional[int] = None,
+    ) -> Session:
+        """Open a leg on the host; returns its local mirror session.
+
+        The mirror embeds a real engine :class:`Job` so every
+        coordinator structure keyed or ordered by jobs (constraint
+        graph, wait graph, ``_job_sessions``) works identically to the
+        in-process case.  The mirror's arrival time and seq are
+        placeholders — the coordinator pins ``seq`` to the global
+        session id immediately via :meth:`pin_leg_seq`.
+        """
+        params: Dict[str, Any] = {"transaction": transaction}
+        if deadline_s is not None:
+            params["deadline_s"] = deadline_s
+        if instance is not None:
+            params["instance"] = instance
+        result = await self._call("begin", **params)
+        name = result["name"]
+        if instance is None:
+            instance = int(name.rpartition("#")[2])
+        job = Job(self._catalog[transaction], instance, 0.0)
+        leg = Session(result["session"], job, 0.0, None)
+        self._jobs[name] = job
+        self._legs[name] = leg
+        return leg
+
+    def pin_leg_seq(self, leg: Session, seq: int) -> None:
+        """Forward the coordinator's tie-break seq override to the host."""
+        self._post("set_seq", session=leg.id, seq=seq)
+
+    async def read(self, leg: Session, item: str) -> Any:
+        """Read ``item`` through the host's protocol; may park there."""
+        result = await self._call("read", session=leg.id, item=item)
+        leg.op_count += 1
+        return result["value"]
+
+    async def write(self, leg: Session, item: str, value: Any) -> None:
+        """Acquire the write lock host-side and buffer the value."""
+        await self._call("write", session=leg.id, item=item, value=value)
+        leg.op_count += 1
+
+    async def commit(self, leg: Session) -> Dict[str, Any]:
+        """Install the leg host-side; the finish frame precedes the ack."""
+        result = await self._call("commit", session=leg.id)
+        if leg.state.live:  # frame raced a connection hiccup: flip anyway
+            leg.state = SessionState.COMMITTED
+            self._forget(leg.name)
+        return result
+
+    async def abort(self, leg: Session, reason: str = "client") -> None:
+        """Client-initiated abort; the abort frame flips the mirror."""
+        await self._call("abort", session=leg.id, reason=reason)
+
+    async def prepare_commit(self, leg: Session) -> Tuple[str, ...]:
+        """Fence the leg for install (awaited: the ack is the fence point).
+
+        By the time the ack resolves, every constraint frame recorded
+        before the fence landed has been applied to the mirror — the
+        property the coordinator's post-prepare gate re-check is built
+        on.
+        """
+        result = await self._call("prepare", session=leg.id)
+        leg.committing = True
+        return tuple(result.get("gate", ()))
+
+    def unprepare_commit(self, leg: Session) -> None:
+        """Drop the fence (gate back-off); posted fire-and-forget."""
+        leg.committing = False
+        self._post("unprepare", session=leg.id)
+
+    def force_abort(
+        self, leg: Session, reason: str, *, exc: Optional[BaseException] = None
+    ) -> None:
+        """Coordinator-driven abort: mirror flips now, host follows.
+
+        Matches the in-process contract of being synchronous and
+        idempotent.  The host's own abort frame for this leg arrives
+        later and is dropped (the mirror is already forgotten).
+        """
+        if not leg.state.live:
+            return
+        leg.state = SessionState.ABORTED
+        leg.abort_reason = reason
+        name = leg.name
+        self._forget(name)
+        self._post("force_abort", session=leg.id, reason=reason)
+
+    def _transitive_preds(self, job: Job) -> Set[Job]:
+        """Closure over the mirrored constraint graph, live jobs only."""
+        closure: Set[str] = set()
+        frontier = [job.name]
+        while frontier:
+            name = frontier.pop()
+            for pred in self._pred.get(name, ()):
+                if pred not in closure:
+                    closure.add(pred)
+                    frontier.append(pred)
+        return {
+            self._jobs[name] for name in closure if name in self._jobs
+        }
+
+    @property
+    def _waiters(self) -> Dict[str, Tuple[str, ...]]:
+        """Parked-waiter gauge (len() only); mirrors the wait edges."""
+        return self._wait_edges
+
+    def system_ceiling(self) -> Optional[int]:
+        """Unknown without a round-trip; the async stats path carries it."""
+        return None
+
+    def catalog_document(self) -> List[Dict[str, Any]]:
+        """Answered locally: the catalog is static and shared."""
+        return catalog_document(self._catalog)
+
+    # ------------------------------------------------------------------
+    # Async introspection (the coordinator's remote fetch path)
+    # ------------------------------------------------------------------
+    async def ping(self) -> Dict[str, Any]:
+        """Liveness probe; returns the host's version document."""
+        return await self._call("ping")
+
+    async def fetch_stats_document(self) -> Dict[str, Any]:
+        """The shard's full stats document, fetched over the wire."""
+        return await self._call("stats")
+
+    async def fetch_history_events(self) -> List[Dict[str, Any]]:
+        """The shard's history rows (one dict per data event)."""
+        return (await self._call("history"))["events"]
+
+    async def fetch_wait_graph(self) -> Dict[str, List[str]]:
+        """The host's authoritative wait-for edges (diagnostics)."""
+        return (await self._call("wait_graph"))["edges"]

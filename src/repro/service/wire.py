@@ -24,27 +24,55 @@ Error ``kind`` strings are the stable ``kind`` attributes of the
 :class:`~repro.exceptions.ServiceError` hierarchy, which lets the client
 library re-raise the matching exception class (see ``ERROR_TYPES``).
 
+Version 2 adds server-pushed **event frames** — documents with an
+``event`` key and *no* ``id`` — which a shard host emits to subscribed
+connections so ``churn_listeners`` / ``decision_listeners``
+notifications stream to a remote coordinator::
+
+    {"event": "churn", "kind": "constraint", "job": "T1#4", "other": "T2#0"}
+    {"event": "decision", "job": "T1#4", "item": "x", "mode": "read",
+     "outcome": "granted", "rule": "LC3", "time": 0.17, "blockers": []}
+
+Frames are emitted synchronously while the triggering request is being
+dispatched and travel through the same per-connection batch buffer as
+responses, so on one connection every frame precedes the response of the
+operation that caused it — the ordering the proxy's mirrors rely on.
+Clients that never send ``subscribe`` never receive a frame; clients of
+a different protocol era get a clear ``version`` error from ``hello``.
+
 The full operation table lives in docs/SERVICE.md.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
-from typing import Any, Dict, Iterable, Type
+from typing import Any, Dict, Iterable, Optional, Type
 
 from repro.exceptions import (
     AdmissionError,
     DeadlineExceeded,
+    ProtocolVersionError,
     ReproError,
     ServiceError,
     SessionStateError,
     TransactionAborted,
 )
+from repro.model.spec import LockMode
 from repro.service.manager import LockManager
+from repro.trace.recorder import LockEvent, LockOutcome
 
 #: Bumped on incompatible schema changes; shipped in every ``hello``/
 #: ``ping`` response so clients can refuse to talk to the wrong era.
-PROTOCOL_VERSION = "repro-service/1"
+#: v2: event frames, ``hello`` negotiation, and the shard-host operation
+#: family (``subscribe`` / ``prepare`` / ``unprepare`` / ``force_abort``
+#: / ``wait_graph`` / ``set_seq``).
+PROTOCOL_VERSION = "repro-service/2"
+
+#: Optional capabilities a ``hello`` may negotiate.  ``events`` is the
+#: server-push frame stream; ``shard-ops`` is the coordinator-facing
+#: operation family a shard host exposes.
+FEATURES = frozenset({"events", "shard-ops"})
 
 #: asyncio stream limit for one NDJSON line, both directions.  The default
 #: 64 KiB is far too small for ``history`` responses (one row per data
@@ -60,6 +88,7 @@ ERROR_TYPES: Dict[str, Type[ServiceError]] = {
         SessionStateError,
         TransactionAborted,
         DeadlineExceeded,
+        ProtocolVersionError,
     )
 }
 
@@ -142,6 +171,28 @@ async def dispatch_request(
     return ok_response(request_id, result)
 
 
+async def _maybe_await(value: Any) -> Any:
+    """Resolve a possibly-async introspection result.
+
+    A plain :class:`LockManager` answers ``stats_document`` /
+    ``history_events`` synchronously; a coordinator over remote shards
+    must fetch the shard documents over the wire and returns a
+    coroutine.  The wire layer accepts either so both deployments serve
+    the same operation table.
+    """
+    if asyncio.iscoroutine(value):
+        return await value
+    return value
+
+
+def _shard_surface(manager: "LockManager", op: str) -> None:
+    if not hasattr(manager, "prepare_commit"):
+        raise ValueError(
+            f"{op}: this server is not a shard host "
+            "(the operation targets a single LockManager shard)"
+        )
+
+
 async def _execute(
     manager: "LockManager", op: str, request: Dict[str, Any]
 ) -> Dict[str, Any]:
@@ -149,6 +200,8 @@ async def _execute(
         return {"pong": True, "version": PROTOCOL_VERSION,
                 "protocol": manager.protocol.name,
                 "shards": getattr(manager, "shard_count", 1)}
+    if op == "hello":
+        return _hello(manager, request)
     if op == "catalog":
         return {
             "protocol": manager.protocol.name,
@@ -156,9 +209,14 @@ async def _execute(
             "transactions": manager.catalog_document(),
         }
     if op == "begin":
-        session = await manager.begin(
-            request["transaction"], deadline_s=request.get("deadline_s")
-        )
+        kwargs: Dict[str, Any] = {"deadline_s": request.get("deadline_s")}
+        if request.get("instance") is not None:
+            kwargs["instance"] = request["instance"]
+        session = await manager.begin(request["transaction"], **kwargs)
+        if request.get("seq") is not None:
+            # Coordinator tie-break pin: the global session id replaces
+            # the shard-local arrival sequence (see docs/SHARDING.md).
+            session.job.seq = request["seq"]
         return {
             "session": session.id,
             "name": session.name,
@@ -179,10 +237,37 @@ async def _execute(
         session = manager.session(request["session"])
         await manager.abort(session, request.get("reason", "client"))
         return {"aborted": True}
+    if op == "set_seq":
+        _shard_surface(manager, op)
+        session = manager.session(request["session"])
+        session.job.seq = request["seq"]
+        return {"seq": request["seq"]}
+    if op == "prepare":
+        _shard_surface(manager, op)
+        session = manager.session(request["session"])
+        gate = manager.prepare_commit(session)
+        return {"prepared": True, "gate": list(gate)}
+    if op == "unprepare":
+        _shard_surface(manager, op)
+        session = manager.session(request["session"])
+        manager.unprepare_commit(session)
+        return {"prepared": False}
+    if op == "force_abort":
+        _shard_surface(manager, op)
+        session = manager.session(request["session"])
+        manager.force_abort(session, request.get("reason", "coordinator"))
+        return {"aborted": True}
+    if op == "wait_graph":
+        _shard_surface(manager, op)
+        edges = {
+            waiter.name: sorted(b.name for b in manager.waits.blockers_of(waiter))
+            for waiter in manager.waits.waiters()
+        }
+        return {"edges": edges}
     if op == "stats":
-        return manager.stats_document()
+        return await _maybe_await(manager.stats_document())
     if op == "history":
-        return {"events": manager.history_events()}
+        return {"events": await _maybe_await(manager.history_events())}
     if op == "topology":
         if hasattr(manager, "topology_document"):
             return manager.topology_document()
@@ -194,3 +279,100 @@ async def _execute(
             "assignment": {"0": sorted(manager.catalog.items)},
         }
     raise ValueError(f"unknown operation {op!r}")
+
+
+def _hello(manager: "LockManager", request: Dict[str, Any]) -> Dict[str, Any]:
+    """Version/feature negotiation.
+
+    Major versions (the part after the ``/``) must match exactly; the
+    mismatch error names both sides so a ``repro-service/1`` client gets
+    an actionable message instead of silently mis-parsing event frames.
+    Features are granted as the intersection of what the client asked
+    for and what this server implements.
+    """
+    client_version = str(request.get("version", "") or "")
+    client_era = client_version.partition("/")[2]
+    server_era = PROTOCOL_VERSION.partition("/")[2]
+    if client_era != server_era:
+        raise ProtocolVersionError(
+            f"incompatible wire protocol: client speaks "
+            f"{client_version or 'an unknown version'!r}, server speaks "
+            f"{PROTOCOL_VERSION!r} (event-frame servers require matching "
+            "versions; upgrade the older side)"
+        )
+    requested = request.get("features") or ()
+    return {
+        "version": PROTOCOL_VERSION,
+        "protocol": manager.protocol.name,
+        "features": sorted(FEATURES.intersection(requested)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Event frames (server push, v2)
+# ----------------------------------------------------------------------
+
+#: Churn kinds a shard host streams; mirrors ``LockManager`` churn
+#: notifications plus ``unwait`` (a waiter left the wait-for graph
+#: without terminating), which remote mirrors need but in-process
+#: listeners can derive from re-decides.
+CHURN_KINDS = ("constraint", "wait", "unwait", "abort", "finish")
+
+
+def is_event(document: Dict[str, Any]) -> bool:
+    """True for a server-pushed frame (no correlation id, ``event`` key)."""
+    return "event" in document and "id" not in document
+
+
+def churn_frame(
+    kind: str,
+    job: str,
+    other: Optional[str] = None,
+    *,
+    blockers: Optional[Iterable[str]] = None,
+    reason: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Encode one churn notification as a push frame.
+
+    ``other`` carries the successor job of a ``constraint`` edge;
+    ``blockers`` the current blocker set of a ``wait``; ``reason`` the
+    abort reason of an ``abort``.  Absent fields are omitted from the
+    frame rather than sent as nulls.
+    """
+    if kind not in CHURN_KINDS:
+        raise ValueError(f"unknown churn kind {kind!r}")
+    frame: Dict[str, Any] = {"event": "churn", "kind": kind, "job": job}
+    if other is not None:
+        frame["other"] = other
+    if blockers is not None:
+        frame["blockers"] = sorted(blockers)
+    if reason is not None:
+        frame["reason"] = reason
+    return frame
+
+
+def decision_frame(event: LockEvent) -> Dict[str, Any]:
+    """Encode one protocol decision as a push frame."""
+    return {
+        "event": "decision",
+        "time": event.time,
+        "job": event.job,
+        "item": event.item,
+        "mode": event.mode.value,
+        "outcome": event.outcome.value,
+        "rule": event.rule,
+        "blockers": list(event.blockers),
+    }
+
+
+def decision_from_frame(frame: Dict[str, Any]) -> LockEvent:
+    """Decode a decision frame back into the in-process event object."""
+    return LockEvent(
+        time=frame["time"],
+        job=frame["job"],
+        item=frame["item"],
+        mode=LockMode(frame["mode"]),
+        outcome=LockOutcome(frame["outcome"]),
+        rule=frame["rule"],
+        blockers=tuple(frame.get("blockers", ())),
+    )

@@ -198,6 +198,49 @@ def coordinator_decisions(
     return captured
 
 
+def procs_coordinator_decisions(
+    spec: StressSpec,
+    protocol: str,
+    *,
+    shard_procs: int = 4,
+    partitioner: str = "hash",
+) -> List[DecisionRecord]:
+    """Decision sequence of the sequential replay through a multi-process
+    deployment: N ``repro shard-host`` children behind the coordinator.
+
+    The decisions themselves are made host-side; they reach the capture
+    listener as v2 event frames through each shard's
+    :class:`~repro.service.sharding.procs.proxy.RemoteShardProxy`.
+    Because frames are emitted synchronously during dispatch and
+    delivered before the triggering operation's response on the same
+    connection, a sequential driver observes them in exact decision
+    order — so this path must agree record-for-record with the
+    in-process executions, proving the wire (serialization, event
+    frames, mirrors) adds no semantic drift.
+    """
+    from repro.service.sharding.procs import start_proc_deployment
+
+    catalog = make_catalog(spec)
+    order = [a.name for a in iter_arrivals(spec)]
+    captured: List[DecisionRecord] = []
+
+    async def run() -> None:
+        supervisor, manager = await start_proc_deployment(
+            catalog, protocol, shards=shard_procs, partitioner=partitioner
+        )
+        manager.add_decision_listener(
+            lambda event: captured.append(_normalise(event))
+        )
+        try:
+            await _drive_sequential(manager, catalog, order)
+        finally:
+            await manager.shutdown()
+            await supervisor.stop()
+
+    asyncio.run(run())
+    return captured
+
+
 @dataclass(frozen=True)
 class ParityReport:
     """Outcome of one decision-parity comparison.
@@ -243,6 +286,7 @@ def check_decision_parity(
     protocol: str,
     *,
     coordinator_shards: int = 1,
+    coordinator_procs: int = 0,
     extra_executions: Optional[
         Dict[str, Callable[[], List[DecisionRecord]]]
     ] = None,
@@ -250,9 +294,12 @@ def check_decision_parity(
     """Assert all executions of one workload agree decision-for-decision.
 
     Runs the four standard executions (simulator kernel/object, plain
-    service, coordinator at ``coordinator_shards``), plus any
-    ``extra_executions`` (label → thunk), and compares the normalised
-    decision sequences pairwise against the kernel-simulator reference.
+    service, coordinator at ``coordinator_shards``), plus — when
+    ``coordinator_procs`` > 0 — a fifth: the coordinator over that many
+    shard-host *processes* (real sockets, decisions streamed back as
+    event frames), plus any ``extra_executions`` (label → thunk), and
+    compares the normalised decision sequences pairwise against the
+    kernel-simulator reference.
 
     Returns:
         A :class:`ParityReport` on agreement.
@@ -273,6 +320,12 @@ def check_decision_parity(
             spec, protocol, shards=coordinator_shards
         ),
     }
+    if coordinator_procs:
+        executions[f"coordinator[{coordinator_procs}proc]"] = (
+            lambda: procs_coordinator_decisions(
+                spec, protocol, shard_procs=coordinator_procs
+            )
+        )
     if extra_executions:
         executions.update(extra_executions)
     sequences = {label: run() for label, run in executions.items()}
@@ -306,6 +359,7 @@ def parity_battery(
     protocols: Sequence[str] = CEILING_FAMILY,
     transactions: int = 25,
     coordinator_shards: int = 1,
+    coordinator_procs: int = 0,
     **spec_overrides: Any,
 ) -> List[ParityReport]:
     """Run decision parity over a seed × protocol grid.
@@ -322,7 +376,9 @@ def parity_battery(
         )
         for protocol in protocols:
             reports.append(check_decision_parity(
-                spec, protocol, coordinator_shards=coordinator_shards
+                spec, protocol,
+                coordinator_shards=coordinator_shards,
+                coordinator_procs=coordinator_procs,
             ))
     return reports
 
@@ -334,6 +390,7 @@ __all__ = [
     "check_decision_parity",
     "coordinator_decisions",
     "parity_battery",
+    "procs_coordinator_decisions",
     "sequential_taskset",
     "service_decisions",
     "simulator_decisions",

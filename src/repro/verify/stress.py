@@ -312,6 +312,11 @@ class StressReport:
     spec: StressSpec
     protocol: str
     shards: int
+    #: Shard-host *processes* (0 = in-process deployment).  When set it
+    #: equals ``shards`` — one shard per process — and the trend row key
+    #: becomes ``proto@Nproc`` so process scaling diffs independently of
+    #: in-process shard scaling.
+    procs: int = 0
     wall_s: float = 0.0
     begun: int = 0
     committed: int = 0
@@ -340,8 +345,12 @@ class StressReport:
 
     def render(self) -> str:
         """Multi-line text summary (the ``repro stress`` report body)."""
+        deployment = (
+            f"shard-procs={self.procs}" if self.procs
+            else f"shards={self.shards}"
+        )
         lines = [
-            f"stress: protocol={self.protocol} shards={self.shards} "
+            f"stress: protocol={self.protocol} {deployment} "
             f"arrivals={self.spec.transactions} "
             f"overload={self.spec.overload:g} "
             f"burst={self.spec.burst_factor:g}x wall={self.wall_s:.2f}s",
@@ -372,9 +381,13 @@ class StressReport:
         independently.
         """
         wall = max(self.wall_s, 1e-9)
+        key = (
+            f"{self.protocol}@{self.procs}proc" if self.procs
+            else f"{self.protocol}@{self.shards}sh"
+        )
         return {
             "benchmark": "stress_loadgen",
-            "protocol": f"{self.protocol}@{self.shards}sh",
+            "protocol": key,
             "runs": 1,
             "events": self.committed,
             "wall_s": wall,
@@ -392,6 +405,7 @@ async def run_stress(
     partitioner: str = "hash",
     max_sessions: Optional[int] = 512,
     kernel: bool = True,
+    shard_procs: int = 0,
 ) -> StressReport:
     """Drive one stress workload through a live deployment and check it.
 
@@ -402,18 +416,33 @@ async def run_stress(
     through the sparse serializability oracle and audits conservation and
     abort attribution.  The returned report carries verdicts, not
     assertions; callers gate on :attr:`StressReport.ok`.
+
+    ``shard_procs=N`` (N > 1) replaces the in-process deployment with N
+    ``repro shard-host`` child processes behind the same coordinator —
+    real sockets, real process boundaries; ``shards`` is ignored.
     """
     from repro.service import LockManager, ServiceConfig, ShardedLockManager
 
     catalog = make_catalog(spec)
     config = ServiceConfig(max_sessions=max_sessions, kernel=kernel)
-    if shards > 1:
-        manager: Any = ShardedLockManager(
+    supervisor = None
+    if shard_procs > 1:
+        from repro.service.sharding.procs import start_proc_deployment
+
+        shards = shard_procs
+        supervisor, manager = await start_proc_deployment(
+            catalog, protocol, shards=shard_procs,
+            config=config, partitioner=partitioner,
+        )
+    elif shards > 1:
+        manager = ShardedLockManager(
             catalog, protocol, config, shards=shards, partitioner=partitioner
         )
     else:
         manager = LockManager(catalog, protocol, config)
-    report = StressReport(spec=spec, protocol=protocol, shards=shards)
+    report = StressReport(
+        spec=spec, protocol=protocol, shards=shards, procs=shard_procs
+    )
     programs = {name: catalog[name].operations for name in catalog.names}
 
     async def one(arrival: Arrival) -> None:
@@ -461,6 +490,8 @@ async def run_stress(
         from repro.service.loadgen import history_from_events
 
         events = manager.history_events()
+        if asyncio.iscoroutine(events):  # remote shards: wire fetch
+            events = await events
         report.history_events = len(events)
         history = history_from_events(events)
         try:
@@ -469,11 +500,16 @@ async def run_stress(
             report.serializable = False
             report.violation = str(exc)
 
-        report.stats_doc = manager.stats_document()
+        stats_doc = manager.stats_document()
+        if asyncio.iscoroutine(stats_doc):
+            stats_doc = await stats_doc
+        report.stats_doc = stats_doc
         _audit_conservation(report, manager)
         _audit_bounds(report)
     finally:
         await manager.shutdown()
+        if supervisor is not None:
+            await supervisor.stop()
     return report
 
 

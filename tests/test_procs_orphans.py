@@ -1,0 +1,152 @@
+"""Orphan-process regression: no shard host survives its parent. Ever.
+
+These tests spawn a real parent interpreter that builds a 2-process
+deployment, then kill the parent — including with SIGKILL, which no
+atexit handler or signal handler in the parent can observe — and assert
+every shard-host child exits on its own (the stdin-EOF parent-death
+watchdog).  This is the property the whole hygiene stack exists for, so
+it runs in tier-1 despite costing a few seconds of real subprocess
+startup.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.model.priorities import assign_by_order
+from repro.model.spec import TaskSet, TransactionSpec, read, write
+from repro.workloads.io import dump_taskset
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+#: Parent script: stand up a 2-process deployment, report the child
+#: pids on stdout, then idle until killed.
+PARENT = """
+import asyncio, json, sys
+from repro.workloads.io import load_taskset
+from repro.service.sharding.procs.supervisor import start_proc_deployment
+
+async def main():
+    catalog = load_taskset(sys.argv[1])
+    supervisor, coordinator = await start_proc_deployment(
+        catalog, "pcp-da", shards=2
+    )
+    print(json.dumps({
+        "pids": [h.process.pid for h in supervisor.handles]
+    }), flush=True)
+    mode = sys.argv[2]
+    if mode == "idle":
+        await asyncio.sleep(300)
+    elif mode == "clean":
+        await coordinator.shutdown()
+        await supervisor.stop()
+    elif mode == "crash":
+        raise RuntimeError("unhandled: exercises the atexit backstop")
+
+asyncio.run(main())
+"""
+
+
+def catalog_file(tmp_path) -> str:
+    specs = [
+        TransactionSpec("R", (read("x", 1.0),), offset=0.0),
+        TransactionSpec("W", (write("x", 1.0), write("y", 1.0)), offset=0.0),
+    ]
+    path = str(tmp_path / "catalog.json")
+    dump_taskset(assign_by_order(specs), path)
+    return path
+
+
+def spawn_parent(tmp_path, mode: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.Popen(
+        [sys.executable, "-c", PARENT, catalog_file(tmp_path), mode],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env,
+    )
+
+
+def read_child_pids(parent: subprocess.Popen) -> list:
+    line = parent.stdout.readline()
+    info = json.loads(line.decode("utf-8"))
+    pids = info["pids"]
+    assert len(pids) == 2
+    for pid in pids:
+        os.kill(pid, 0)  # all children alive at handoff
+    return pids
+
+
+def assert_all_exit(pids, timeout_s: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    live = set(pids)
+    while live and time.monotonic() < deadline:
+        for pid in list(live):
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                live.discard(pid)
+        if live:
+            time.sleep(0.1)
+    if live:  # leave no orphans behind even when failing the test
+        for pid in live:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+        pytest.fail(f"shard hosts survived their parent: {sorted(live)}")
+
+
+class TestOrphanHygiene:
+    def test_sigkilled_parent_leaves_no_children(self, tmp_path):
+        """SIGKILL skips every handler; only the stdin pipe saves us."""
+        parent = spawn_parent(tmp_path, "idle")
+        try:
+            pids = read_child_pids(parent)
+            parent.kill()
+            parent.wait(timeout=10)
+            assert_all_exit(pids)
+        finally:
+            if parent.poll() is None:
+                parent.kill()
+            parent.wait(timeout=10)
+
+    def test_sigterm_parent_leaves_no_children(self, tmp_path):
+        """Default SIGTERM disposition skips atexit; stdin EOF covers it."""
+        parent = spawn_parent(tmp_path, "idle")
+        try:
+            pids = read_child_pids(parent)
+            parent.send_signal(signal.SIGTERM)
+            parent.wait(timeout=10)
+            assert_all_exit(pids)
+        finally:
+            if parent.poll() is None:
+                parent.kill()
+            parent.wait(timeout=10)
+
+    def test_unhandled_exception_leaves_no_children(self, tmp_path):
+        """A crash that skips stop() still reaps via atexit."""
+        parent = spawn_parent(tmp_path, "crash")
+        try:
+            pids = read_child_pids(parent)
+            assert parent.wait(timeout=30) != 0
+            assert_all_exit(pids)
+        finally:
+            if parent.poll() is None:
+                parent.kill()
+            parent.wait(timeout=10)
+
+    def test_clean_stop_exits_zero_and_reaps(self, tmp_path):
+        parent = spawn_parent(tmp_path, "clean")
+        try:
+            pids = read_child_pids(parent)
+            assert parent.wait(timeout=30) == 0
+            assert_all_exit(pids, timeout_s=5.0)
+        finally:
+            if parent.poll() is None:
+                parent.kill()
+            parent.wait(timeout=10)

@@ -13,6 +13,7 @@ import pytest
 from repro.exceptions import (
     AdmissionError,
     DeadlineExceeded,
+    ProtocolVersionError,
     ServiceError,
     SessionStateError,
     SpecificationError,
@@ -62,6 +63,7 @@ class TestCodec:
             "session-state": SessionStateError,
             "aborted": TransactionAborted,
             "deadline": DeadlineExceeded,
+            "version": ProtocolVersionError,
         }
 
     def test_exception_mapping(self):
